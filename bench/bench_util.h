@@ -1,0 +1,97 @@
+// Shared plumbing for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure from the paper: it sweeps the
+// relevant parameter, runs the Table II suite, and prints the same
+// rows/series the paper reports (plus the paper's reference values as
+// comments, for EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/checked_system.h"
+#include "workloads/workloads.h"
+
+namespace paradet::bench {
+
+struct Options {
+  double scale = 1.0;          ///< workload scale factor (--scale=X).
+  std::string only;            ///< run a single benchmark (--benchmark=name).
+
+  static Options parse(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--scale=", 8) == 0) {
+        options.scale = std::atof(arg + 8);
+      } else if (std::strncmp(arg, "--benchmark=", 12) == 0) {
+        options.only = arg + 12;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf("usage: %s [--scale=X] [--benchmark=name]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return options;
+  }
+};
+
+/// The Table II suite at the requested scale, optionally filtered.
+inline std::vector<workloads::Workload> suite(const Options& options) {
+  std::vector<workloads::Workload> all =
+      workloads::standard_suite(workloads::Scale{options.scale});
+  if (options.only.empty()) return all;
+  std::vector<workloads::Workload> filtered;
+  for (auto& workload : all) {
+    if (workload.name == options.only) filtered.push_back(std::move(workload));
+  }
+  return filtered;
+}
+
+inline constexpr std::uint64_t kInstructionBudget = 4'000'000;
+
+struct SuiteRun {
+  std::string name;
+  sim::RunResult baseline;
+  sim::RunResult result;
+  double slowdown() const {
+    return static_cast<double>(result.main_done_cycle) /
+           static_cast<double>(baseline.main_done_cycle);
+  }
+};
+
+/// Runs every workload under `config`, normalised against the unchecked
+/// baseline (same core, detection off).
+inline std::vector<SuiteRun> run_suite(const Options& options,
+                                       const SystemConfig& config) {
+  std::vector<SuiteRun> runs;
+  SystemConfig baseline_config = config;
+  baseline_config.detection.enabled = false;
+  baseline_config.detection.simulate_checkers = false;
+  for (const auto& workload : suite(options)) {
+    const auto assembled = workloads::assemble_or_die(workload);
+    SuiteRun run;
+    run.name = workload.name;
+    run.baseline =
+        sim::run_program(baseline_config, assembled, kInstructionBudget);
+    run.result = sim::run_program(config, assembled, kInstructionBudget);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+/// Geometric-free arithmetic mean of slowdowns (matches the paper's
+/// "average slowdown is 1.75%" phrasing).
+inline double mean_slowdown(const std::vector<SuiteRun>& runs) {
+  double sum = 0;
+  for (const auto& run : runs) sum += run.slowdown();
+  return runs.empty() ? 0.0 : sum / static_cast<double>(runs.size());
+}
+
+inline void print_header(const char* figure, const char* paper_reference) {
+  std::printf("# %s\n", figure);
+  std::printf("# paper reference: %s\n", paper_reference);
+}
+
+}  // namespace paradet::bench

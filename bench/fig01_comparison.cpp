@@ -1,0 +1,60 @@
+// Figure 1(d): the qualitative comparison that motivates the paper --
+// lockstep (large area+energy, negligible perf cost), redundant
+// multithreading (small area, large energy+perf cost) and the desired
+// heterogeneous scheme (small on all three) -- quantified on the suite.
+#include <cstdio>
+
+#include "baseline/lockstep.h"
+#include "baseline/rmt.h"
+#include "bench_util.h"
+#include "model/area_power.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 1(d): lockstep vs RMT vs heterogeneous parallel checking",
+      "lockstep: area Large / energy Large / perf Negligible; RMT: Small/"
+      "Large/Large; desired: Small/Small/Negligible");
+
+  const SystemConfig config = SystemConfig::standard();
+  const SystemConfig unchecked = SystemConfig::baseline_unchecked();
+
+  double lockstep_slowdown = 0, rmt_slowdown = 0, paradet_slowdown = 0;
+  unsigned count = 0;
+  for (const auto& workload : bench::suite(options)) {
+    const auto assembled = workloads::assemble_or_die(workload);
+    const auto base =
+        sim::run_program(unchecked, assembled, bench::kInstructionBudget);
+    const auto lockstep = baseline::run_lockstep(config, assembled,
+                                                 bench::kInstructionBudget);
+    const auto rmt =
+        baseline::run_rmt(config, assembled, bench::kInstructionBudget);
+    const auto checked =
+        sim::run_program(config, assembled, bench::kInstructionBudget);
+    const double base_cycles = static_cast<double>(base.main_done_cycle);
+    lockstep_slowdown += lockstep.slowdown;
+    rmt_slowdown += static_cast<double>(rmt.cycles) / base_cycles;
+    paradet_slowdown +=
+        static_cast<double>(checked.main_done_cycle) / base_cycles;
+    ++count;
+    std::printf("%-14s lockstep %.3f   rmt %.3f   paradet %.3f\n",
+                workload.name.c_str(), lockstep.slowdown,
+                static_cast<double>(rmt.cycles) / base_cycles,
+                static_cast<double>(checked.main_done_cycle) / base_cycles);
+  }
+  if (count == 0) return 0;
+
+  const auto area = model::estimate_area(config);
+  const auto power = model::estimate_power(config);
+  std::printf("\n%-12s %10s %10s %12s\n", "scheme", "area_ovh", "power_ovh",
+              "slowdown");
+  std::printf("%-12s %9.0f%% %9.0f%% %12.3f\n", "lockstep", 100.0, 100.0,
+              lockstep_slowdown / count);
+  std::printf("%-12s %9.0f%% %9.0f%% %12.3f   (no hard-fault cover)\n",
+              "rmt", 5.0, 90.0, rmt_slowdown / count);
+  std::printf("%-12s %9.1f%% %9.1f%% %12.3f\n", "paradet",
+              100.0 * area.overhead_without_l2(), 100.0 * power.overhead(),
+              paradet_slowdown / count);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: normalised slowdown per benchmark at the Table I defaults.
+// Paper: average 1.75%, maximum 3.4%; overheads dominated by the register
+// checkpoint pauses at segment boundaries.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 7: normalised slowdown per benchmark (Table I defaults)",
+      "mean 1.0175, max 1.034; all benchmarks low single-digit %");
+
+  const auto runs = bench::run_suite(options, SystemConfig::standard());
+  std::printf("%-14s %15s %15s %9s %12s %11s\n", "benchmark",
+              "baseline_cycles", "checked_cycles", "slowdown", "checkpoints",
+              "log_stall_cy");
+  for (const auto& run : runs) {
+    std::printf("%-14s %15llu %15llu %9.4f %12llu %11llu\n",
+                run.name.c_str(),
+                static_cast<unsigned long long>(run.baseline.main_done_cycle),
+                static_cast<unsigned long long>(run.result.main_done_cycle),
+                run.slowdown(),
+                static_cast<unsigned long long>(run.result.checkpoints_taken),
+                static_cast<unsigned long long>(
+                    run.result.log_full_stall_cycles));
+  }
+  std::printf("mean slowdown: %.4f\n", bench::mean_slowdown(runs));
+  return 0;
+}

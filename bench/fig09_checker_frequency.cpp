@@ -1,0 +1,44 @@
+// Figure 9: normalised slowdown when varying the checker-core clock
+// frequency (125MHz..2GHz, 12 cores). Paper: memory-bound benchmarks
+// (randacc, stream) barely slow down even at 125MHz; compute-bound ones
+// (swaptions, bitcount) reach ~4-4.5x below 500MHz because the aggregate
+// checker throughput cannot keep up and the main core stalls on log-full.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 9: slowdown vs checker-core frequency (12 cores)",
+      "125MHz: up to ~4.5x for compute-bound, ~1x for memory-bound; "
+      "1GHz+: all ~1x");
+
+  const std::uint64_t freqs_mhz[] = {125, 250, 500, 1000, 2000};
+  std::printf("%-14s", "benchmark");
+  for (const auto freq : freqs_mhz) {
+    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
+  }
+  std::printf("\n");
+
+  // One suite sweep per frequency, transposed for printing.
+  std::vector<std::vector<bench::SuiteRun>> sweeps;
+  for (const auto freq : freqs_mhz) {
+    SystemConfig config = SystemConfig::standard();
+    config.checker.freq_mhz = freq;
+    sweeps.push_back(bench::run_suite(options, config));
+  }
+  if (sweeps.empty() || sweeps[0].empty()) return 0;
+  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
+    std::printf("%-14s", sweeps[0][b].name.c_str());
+    for (const auto& sweep : sweeps) std::printf(" %10.3f", sweep[b].slowdown());
+    std::printf("\n");
+  }
+  std::printf("%-14s", "mean");
+  for (const auto& sweep : sweeps) {
+    std::printf(" %10.3f", bench::mean_slowdown(sweep));
+  }
+  std::printf("\n");
+  return 0;
+}

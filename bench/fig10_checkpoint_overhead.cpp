@@ -1,0 +1,54 @@
+// Figure 10: slowdown from the checkpointing system alone (checker cores
+// modelled as infinitely fast), across log sizes and instruction
+// timeouts. Paper: the default 36KiB/5000 keeps overhead <= 2%; a 10x
+// smaller log/timeout costs up to 15%; a 10x larger one (or an infinite
+// timeout) is negligible.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 10: checkpoint-only slowdown vs log size / timeout",
+      "3.6KiB/500: up to ~1.15; 36KiB/5000: <= ~1.02; 360KiB/50000 and "
+      "360KiB/inf: ~1.00");
+
+  struct Point {
+    const char* label;
+    std::uint64_t log_bytes;
+    std::uint64_t timeout;
+  };
+  const Point points[] = {
+      {"3.6KiB/500", 36 * 1024 / 10, 500},
+      {"36KiB/5000", 36 * 1024, 5000},
+      {"360KiB/50000", 360 * 1024, 50000},
+      {"360KiB/inf", 360 * 1024, 0},
+  };
+
+  std::printf("%-14s", "benchmark");
+  for (const auto& point : points) std::printf(" %13s", point.label);
+  std::printf("\n");
+
+  std::vector<std::vector<bench::SuiteRun>> sweeps;
+  for (const auto& point : points) {
+    SystemConfig config = SystemConfig::standard();
+    config.detection.simulate_checkers = false;  // checkpointing cost only.
+    config.log.total_bytes = point.log_bytes;
+    config.log.instruction_timeout = point.timeout;
+    sweeps.push_back(bench::run_suite(options, config));
+  }
+  if (sweeps.empty() || sweeps[0].empty()) return 0;
+  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
+    std::printf("%-14s", sweeps[0][b].name.c_str());
+    for (const auto& sweep : sweeps) std::printf(" %13.4f", sweep[b].slowdown());
+    std::printf("\n");
+  }
+  std::printf("%-14s", "mean");
+  for (const auto& sweep : sweeps) {
+    std::printf(" %13.4f", bench::mean_slowdown(sweep));
+  }
+  std::printf("\n");
+  return 0;
+}

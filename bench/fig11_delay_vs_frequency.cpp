@@ -1,0 +1,54 @@
+// Figure 11: mean (a) and maximum (b) detection delay when varying the
+// checker-core frequency. Paper: mean delay roughly halves per frequency
+// doubling until the segment fill time (set by the main core) becomes the
+// limit; maxima are dictated by outliers (cache-miss bursts) and move
+// less deterministically.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 11: detection delay vs checker frequency (12 cores)",
+      "(a) mean ns halves per doubling, flattening at high freq; "
+      "(b) max us less deterministic");
+
+  const std::uint64_t freqs_mhz[] = {125, 250, 500, 1000, 2000};
+  std::vector<std::vector<bench::SuiteRun>> sweeps;
+  for (const auto freq : freqs_mhz) {
+    SystemConfig config = SystemConfig::standard();
+    config.checker.freq_mhz = freq;
+    sweeps.push_back(bench::run_suite(options, config));
+  }
+  if (sweeps.empty() || sweeps[0].empty()) return 0;
+
+  std::printf("(a) mean detection delay, ns\n%-14s", "benchmark");
+  for (const auto freq : freqs_mhz) {
+    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
+  }
+  std::printf("\n");
+  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
+    std::printf("%-14s", sweeps[0][b].name.c_str());
+    for (const auto& sweep : sweeps) {
+      std::printf(" %10.0f", sweep[b].result.delay_ns.summary().mean());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) maximum detection delay, us\n%-14s", "benchmark");
+  for (const auto freq : freqs_mhz) {
+    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
+  }
+  std::printf("\n");
+  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
+    std::printf("%-14s", sweeps[0][b].name.c_str());
+    for (const auto& sweep : sweeps) {
+      std::printf(" %10.1f",
+                  sweep[b].result.delay_ns.summary().max() / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

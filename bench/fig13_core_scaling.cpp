@@ -1,0 +1,55 @@
+// Figure 13: slowdown across checker-core counts and frequencies.
+// Paper: N cores at M MHz perform like 2N cores at M/2 (the parallelism
+// is fungible), and many slow cores slightly beat few fast ones because
+// with a one-to-one segment mapping only n-1 of n checkers can ever be
+// busy -- more segments mean better utilisation.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+  const auto options = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 13: slowdown vs checker core count x frequency",
+      "3@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
+      "ones at equal aggregate GHz (n-1 utilisation)");
+
+  struct Point {
+    const char* label;
+    unsigned cores;
+    std::uint64_t freq_mhz;
+  };
+  const Point points[] = {
+      {"3c@1GHz", 3, 1000},   {"12c@250MHz", 12, 250},
+      {"6c@1GHz", 6, 1000},   {"12c@500MHz", 12, 500},
+      {"12c@1GHz", 12, 1000},
+  };
+
+  std::printf("%-14s", "benchmark");
+  for (const auto& point : points) std::printf(" %12s", point.label);
+  std::printf("\n");
+
+  std::vector<std::vector<bench::SuiteRun>> sweeps;
+  for (const auto& point : points) {
+    SystemConfig config = SystemConfig::standard();
+    config.checker.num_cores = point.cores;
+    config.checker.freq_mhz = point.freq_mhz;
+    // One-to-one mapping: the log is partitioned per checker core; the
+    // total log SRAM stays fixed as in the paper's sweep.
+    config.log.segments = point.cores;
+    sweeps.push_back(bench::run_suite(options, config));
+  }
+  if (sweeps.empty() || sweeps[0].empty()) return 0;
+  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
+    std::printf("%-14s", sweeps[0][b].name.c_str());
+    for (const auto& sweep : sweeps) std::printf(" %12.3f", sweep[b].slowdown());
+    std::printf("\n");
+  }
+  std::printf("%-14s", "mean");
+  for (const auto& sweep : sweeps) {
+    std::printf(" %12.3f", bench::mean_slowdown(sweep));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Component microbenchmarks (google-benchmark): throughput of the
+// simulator's hot paths. Useful for keeping the figure harnesses fast and
+// for spotting regressions in the core data structures.
+#include <benchmark/benchmark.h>
+
+#include "arch/interpreter.h"
+#include "core/checker_engine.h"
+#include "core/checkpoint.h"
+#include "core/load_forwarding_unit.h"
+#include "core/load_store_log.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+#include "sim/checked_system.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace paradet;
+
+void BM_EncodeDecode(benchmark::State& state) {
+  isa::Inst inst;
+  inst.op = isa::Opcode::kAdd;
+  inst.rd = 1;
+  inst.rs1 = 2;
+  inst.rs2 = 3;
+  for (auto _ : state) {
+    const auto word = isa::encode(inst);
+    auto decoded = isa::decode(word);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_LogAppend(benchmark::State& state) {
+  LogConfig config;
+  config.total_bytes = 36 * 1024;
+  core::LoadStoreLog log(config);
+  core::RegisterCheckpoint ckpt;
+  log.open_next(ckpt, 0);
+  std::uint64_t appended = 0;
+  for (auto _ : state) {
+    if (log.free_entries_in_filling() == 0) {
+      log.seal_filling(core::SealReason::kFull, ckpt, 0);
+      log.begin_check(log.next_index() == 0 ? config.segments - 1
+                                            : log.next_index() - 1);
+      log.release(log.next_index());
+      log.open_next(ckpt, 0);
+    }
+    log.append(core::LogEntry{core::EntryKind::kLoad, 8, appended * 8,
+                              appended, 0, appended});
+    ++appended;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(appended));
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LfuCaptureDrain(benchmark::State& state) {
+  core::LoadForwardingUnit lfu(40);
+  UopSeq seq = 0;
+  for (auto _ : state) {
+    const unsigned rob_id = static_cast<unsigned>(seq % 40);
+    lfu.capture(rob_id, seq, seq * 8, seq, 8);
+    benchmark::DoNotOptimize(lfu.drain(rob_id, seq));
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(seq));
+}
+BENCHMARK(BM_LfuCaptureDrain);
+
+void BM_CheckpointTake(benchmark::State& state) {
+  core::CheckpointUnit unit(16);
+  arch::ArchState arch_state;
+  InstSeq seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.take(arch_state, seq++, seq));
+  }
+}
+BENCHMARK(BM_CheckpointTake);
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  const auto assembled = isa::assemble(R"(
+_start:
+  li t0, 1000000000
+loop:
+  addi t1, t1, 3
+  xor  t2, t2, t1
+  addi t0, t0, -1
+  bnez t0, loop
+  halt
+)");
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  std::uint64_t cycle = 0;
+  arch::MemoryDataPort port(memory, cycle);
+  arch::Machine machine(memory, port);
+  arch::ArchState arch_state;
+  arch_state.pc = assembled.entry;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    machine.run(arch_state, 10000, &executed);
+    benchmark::DoNotOptimize(arch_state);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+void BM_CheckedSystemEndToEnd(benchmark::State& state) {
+  const auto workload =
+      workloads::make_stream(workloads::Scale{.factor = 0.05});
+  const auto assembled = workloads::assemble_or_die(workload);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const auto result =
+        sim::run_program(SystemConfig::standard(), assembled, 100000);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.main_done_cycle);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+  state.SetLabel("simulated instructions/sec");
+}
+BENCHMARK(BM_CheckedSystemEndToEnd);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto workload = workloads::make_bitcount();
+  for (auto _ : state) {
+    auto assembled = isa::assemble(workload.source);
+    benchmark::DoNotOptimize(assembled);
+  }
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Section VI-B: area overhead estimate. Paper: twelve Rocket-class cores
+// ~0.42mm^2 at 20nm + ~80KiB of SRAM ~0.08mm^2, i.e. ~24% of a 2.05mm^2
+// A57-class core (no L2) and ~16% when a 1MiB L2 (~1mm^2) is included.
+#include <cstdio>
+
+#include "common/config.h"
+#include "model/area_power.h"
+
+int main() {
+  using namespace paradet;
+  const SystemConfig cfg = SystemConfig::standard();
+  const auto area = model::estimate_area(cfg);
+  std::printf("# Section VI-B: area overhead\n");
+  std::printf("# paper reference: ~24%% vs core w/o L2, ~16%% with L2\n");
+  std::printf("main core (A57-class @20nm)   : %6.3f mm^2\n",
+              area.main_core_mm2);
+  std::printf("1MiB L2                        : %6.3f mm^2\n", area.l2_mm2);
+  std::printf("%u checker cores (Rocket @20nm): %6.3f mm^2\n",
+              cfg.checker.num_cores, area.checker_cores_mm2);
+  std::printf("detection SRAM (%5.1f KiB)     : %6.3f mm^2\n",
+              static_cast<double>(area.sram_bytes) / 1024.0, area.sram_mm2);
+  std::printf("detection hardware total       : %6.3f mm^2\n",
+              area.detection_mm2());
+  std::printf("overhead vs core without L2   : %5.1f %%\n",
+              100.0 * area.overhead_without_l2());
+  std::printf("overhead vs core with L2      : %5.1f %%\n",
+              100.0 * area.overhead_with_l2());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Section VI-C: power overhead estimate. Paper: 12 x 1GHz x 34uW/MHz
+// (Rocket, 40nm -- an upper bound at 20nm) vs 3.2GHz x 800uW/MHz (A57)
+// gives ~16%.
+#include <cstdio>
+
+#include "common/config.h"
+#include "model/area_power.h"
+
+int main() {
+  using namespace paradet;
+  const SystemConfig cfg = SystemConfig::standard();
+  const auto power = model::estimate_power(cfg);
+  std::printf("# Section VI-C: power overhead\n");
+  std::printf("# paper reference: ~16%% upper bound\n");
+  std::printf("main core  (%4llu MHz x 800 uW/MHz): %7.1f mW\n",
+              static_cast<unsigned long long>(cfg.main_core.freq_mhz),
+              power.main_core_mw);
+  std::printf("checkers (%2ux %4llu MHz x 34 uW/MHz): %7.1f mW\n",
+              cfg.checker.num_cores,
+              static_cast<unsigned long long>(cfg.checker.freq_mhz),
+              power.checker_cores_mw);
+  std::printf("power overhead (upper bound)      : %5.1f %%\n",
+              100.0 * power.overhead());
+  // Sensitivity: halving the checker frequency halves the bound.
+  SystemConfig half = cfg;
+  half.checker.freq_mhz /= 2;
+  std::printf("at %llu MHz checkers              : %5.1f %%\n",
+              static_cast<unsigned long long>(half.checker.freq_mhz),
+              100.0 * model::estimate_power(half).overhead());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table I: the experimental configuration. Prints the modelled system so
+// every other harness's context is auditable.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/area_power.h"
+
+int main() {
+  using namespace paradet;
+  const SystemConfig cfg = SystemConfig::standard();
+  bench::print_header("Table I: core and memory experimental setup",
+                      "3-wide OoO @3.2GHz; 12x in-order checkers @1GHz; "
+                      "36KiB log, 5000-insn timeout");
+
+  std::printf("[Main Core]\n");
+  std::printf("  core            : %u-wide out-of-order, %.1f GHz\n",
+              cfg.main_core.fetch_width, cfg.main_core.freq_mhz / 1000.0);
+  std::printf("  pipeline        : %u-entry ROB, %u-entry IQ, %u-entry LQ, "
+              "%u-entry SQ\n",
+              cfg.main_core.rob_entries, cfg.main_core.iq_entries,
+              cfg.main_core.lq_entries, cfg.main_core.sq_entries);
+  std::printf("  phys regs       : %u Int / %u FP\n",
+              cfg.main_core.int_phys_regs, cfg.main_core.fp_phys_regs);
+  std::printf("  units           : %u Int ALUs, %u FP ALUs, %u Mult/Div\n",
+              cfg.main_core.int_alus, cfg.main_core.fp_alus,
+              cfg.main_core.muldiv_alus);
+  std::printf("  tournament pred : %u local, %u global, %u chooser, "
+              "%u BTB, %u RAS\n",
+              cfg.branch_predictor.local_entries,
+              cfg.branch_predictor.global_entries,
+              cfg.branch_predictor.chooser_entries,
+              cfg.branch_predictor.btb_entries,
+              cfg.branch_predictor.ras_entries);
+  std::printf("  reg checkpoint  : %u cycles latency\n",
+              cfg.main_core.checkpoint_latency_cycles);
+
+  std::printf("[Memory]\n");
+  const auto cache_line = [](const CacheConfig& c) {
+    std::printf("  %-4s            : %lluKiB, %u-way, %u-cycle hit, "
+                "%u MSHRs\n",
+                c.name.c_str(),
+                static_cast<unsigned long long>(c.size_bytes / 1024), c.assoc,
+                c.hit_latency, c.mshrs);
+  };
+  cache_line(cfg.l1i);
+  cache_line(cfg.l1d);
+  cache_line(cfg.l2);
+  std::printf("  L2 prefetcher   : stride, %s\n",
+              cfg.l2_stride_prefetcher ? "enabled" : "disabled");
+  std::printf("  DRAM            : DDR3-%llu %u-%u-%u-%u, %u banks\n",
+              static_cast<unsigned long long>(cfg.dram.bus_mhz * 2),
+              cfg.dram.tCAS, cfg.dram.tRCD, cfg.dram.tRP, cfg.dram.tRAS,
+              cfg.dram.banks);
+
+  std::printf("[Checker Cores]\n");
+  std::printf("  cores           : %ux in-order, %u-stage pipeline, "
+              "%llu MHz\n",
+              cfg.checker.num_cores, cfg.checker.pipeline_stages,
+              static_cast<unsigned long long>(cfg.checker.freq_mhz));
+  std::printf("  log             : %lluKiB total: %lluKiB (%llu entries) "
+              "per core, %llu-instruction timeout\n",
+              static_cast<unsigned long long>(cfg.log.total_bytes / 1024),
+              static_cast<unsigned long long>(cfg.log.segment_bytes() / 1024),
+              static_cast<unsigned long long>(cfg.log.entries_per_segment()),
+              static_cast<unsigned long long>(cfg.log.instruction_timeout));
+  std::printf("  icaches         : %lluKiB L0 per core, %lluKiB shared L1\n",
+              static_cast<unsigned long long>(cfg.checker.l0_icache_bytes /
+                                              1024),
+              static_cast<unsigned long long>(cfg.checker.l1_icache_bytes /
+                                              1024));
+  std::printf("  detection SRAM  : %.1f KiB total\n",
+              static_cast<double>(model::detection_sram_bytes(cfg)) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "arch/memory.h"
+
+#include <cstring>
+
+namespace paradet::arch {
+
+const std::uint8_t* SparseMemory::page_ptr(Addr addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.data();
+}
+
+std::uint8_t* SparseMemory::page_ptr_mut(Addr addr) {
+  auto& page = pages_[addr >> kPageBits];
+  if (page.empty()) page.resize(kPageBytes, 0);
+  return page.data();
+}
+
+std::uint64_t SparseMemory::read(Addr addr, unsigned size) const {
+  const std::size_t offset = addr & (kPageBytes - 1);
+  if (offset + size <= kPageBytes) {
+    const std::uint8_t* page = page_ptr(addr);
+    if (page == nullptr) return 0;
+    std::uint64_t value = 0;
+    std::memcpy(&value, page + offset, size);
+    return value;
+  }
+  // Page-crossing access: assemble byte by byte.
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    value |= read(addr + i, 1) << (8 * i);
+  }
+  return value;
+}
+
+void SparseMemory::write(Addr addr, std::uint64_t value, unsigned size) {
+  const std::size_t offset = addr & (kPageBytes - 1);
+  if (offset + size <= kPageBytes) {
+    std::memcpy(page_ptr_mut(addr) + offset, &value, size);
+    return;
+  }
+  for (unsigned i = 0; i < size; ++i) {
+    write(addr + i, (value >> (8 * i)) & 0xFF, 1);
+  }
+}
+
+void SparseMemory::write_block(Addr addr, std::span<const std::uint8_t> bytes) {
+  for (std::size_t done = 0; done < bytes.size();) {
+    const std::size_t offset = (addr + done) & (kPageBytes - 1);
+    const std::size_t room = kPageBytes - offset;
+    const std::size_t chunk = std::min(room, bytes.size() - done);
+    std::memcpy(page_ptr_mut(addr + done) + offset, bytes.data() + done,
+                chunk);
+    done += chunk;
+  }
+}
+
+void SparseMemory::read_block(Addr addr, std::span<std::uint8_t> out) const {
+  for (std::size_t done = 0; done < out.size();) {
+    const std::size_t offset = (addr + done) & (kPageBytes - 1);
+    const std::size_t room = kPageBytes - offset;
+    const std::size_t chunk = std::min(room, out.size() - done);
+    const std::uint8_t* page = page_ptr(addr + done);
+    if (page == nullptr) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, page + offset, chunk);
+    }
+    done += chunk;
+  }
+}
+
+}  // namespace paradet::arch

@@ -1,0 +1,48 @@
+// Sparse byte-addressable 64-bit memory, allocated in 4 KiB pages on first
+// touch. Unmapped memory reads as zero, matching a zero-initialised
+// simulated DRAM. This is the *functional* memory; timing is modelled
+// separately in src/mem.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paradet::arch {
+
+class SparseMemory {
+ public:
+  static constexpr unsigned kPageBits = 12;
+  static constexpr std::size_t kPageBytes = std::size_t{1} << kPageBits;
+
+  SparseMemory() = default;
+  SparseMemory(const SparseMemory&) = delete;
+  SparseMemory& operator=(const SparseMemory&) = delete;
+  SparseMemory(SparseMemory&&) = default;
+  SparseMemory& operator=(SparseMemory&&) = default;
+
+  /// Reads `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+  std::uint64_t read(Addr addr, unsigned size) const;
+
+  /// Writes the low `size` bytes of `value` little-endian.
+  void write(Addr addr, std::uint64_t value, unsigned size);
+
+  void write_block(Addr addr, std::span<const std::uint8_t> bytes);
+  void read_block(Addr addr, std::span<std::uint8_t> out) const;
+
+  std::size_t pages_allocated() const { return pages_.size(); }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  const std::uint8_t* page_ptr(Addr addr) const;
+  std::uint8_t* page_ptr_mut(Addr addr);
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace paradet::arch

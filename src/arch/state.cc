@@ -1,0 +1,15 @@
+#include "arch/state.h"
+
+namespace paradet::arch {
+
+int first_register_difference(const ArchState& a, const ArchState& b) {
+  for (unsigned r = 0; r < kNumIntRegs; ++r) {
+    if (a.x[r] != b.x[r]) return static_cast<int>(r);
+  }
+  for (unsigned r = 0; r < kNumFpRegs; ++r) {
+    if (a.f[r] != b.f[r]) return static_cast<int>(kNumIntRegs + r);
+  }
+  return -1;
+}
+
+}  // namespace paradet::arch

@@ -1,0 +1,36 @@
+// Architectural register state. This is exactly the state captured by a
+// register checkpoint (§IV-D): 32 integer registers, 32 fp registers
+// (stored as raw IEEE-754 bit patterns for exact comparison) and the pc.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace paradet::arch {
+
+struct ArchState {
+  std::array<std::uint64_t, kNumIntRegs> x{};
+  std::array<std::uint64_t, kNumFpRegs> f{};
+  Addr pc = 0;
+
+  std::uint64_t get_x(unsigned r) const { return r == 0 ? 0 : x[r]; }
+  void set_x(unsigned r, std::uint64_t v) {
+    if (r != 0) x[r] = v;
+  }
+  double get_f(unsigned r) const { return std::bit_cast<double>(f[r]); }
+  void set_f(unsigned r, double v) { f[r] = std::bit_cast<std::uint64_t>(v); }
+  std::uint64_t get_f_bits(unsigned r) const { return f[r]; }
+  void set_f_bits(unsigned r, std::uint64_t v) { f[r] = v; }
+
+  bool operator==(const ArchState&) const = default;
+};
+
+/// Index of the first register (in the unified [0,64) space) at which two
+/// states differ, or -1 if the register files are identical. The pc is not
+/// compared (checkpoint comparison compares pc separately).
+int first_register_difference(const ArchState& a, const ArchState& b);
+
+}  // namespace paradet::arch

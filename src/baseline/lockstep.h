@@ -1,0 +1,41 @@
+// Dual-core lockstep (DCLS) baseline (§II-B, §VII-A): the industry scheme
+// the paper positions itself against (e.g. Cortex-R). Both cores execute
+// the same program cycle-for-cycle (the trailing core a fixed number of
+// cycles behind to decorrelate transients) and a comparator checks retired
+// results. Performance cost is negligible; the price is a full duplicate
+// core in area and power, which is exactly what fig. 1(d) tabulates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "isa/assembler.h"
+#include "sim/checked_system.h"
+
+namespace paradet::baseline {
+
+struct LockstepConfig {
+  /// Cycles the trailing core lags (decorrelates transient strikes).
+  unsigned stagger_cycles = 2;
+  /// Comparator pipeline depth: detection latency beyond the stagger.
+  unsigned comparator_cycles = 2;
+};
+
+struct LockstepResult {
+  Cycle cycles = 0;             ///< program runtime (leading core).
+  double slowdown = 1.0;        ///< vs the unprotected core.
+  double detection_latency_ns = 0;  ///< stagger + comparator.
+  double area_overhead = 1.0;   ///< duplicate core.
+  double power_overhead = 1.0;  ///< duplicate core.
+  sim::RunResult run;           ///< the underlying simulation.
+};
+
+/// Simulates the program under dual-core lockstep. The leading core's
+/// timing is that of the unprotected machine; the comparator adds a fixed
+/// detection latency and the trailing core doubles area/power.
+LockstepResult run_lockstep(const SystemConfig& config,
+                            const isa::Assembled& assembled,
+                            std::uint64_t max_instructions,
+                            const LockstepConfig& lockstep = {});
+
+}  // namespace paradet::baseline

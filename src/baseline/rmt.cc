@@ -1,0 +1,162 @@
+#include "baseline/rmt.h"
+
+#include "arch/interpreter.h"
+#include "isa/crack.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/prefetcher.h"
+#include "sim/ooo_core.h"
+#include "sim/uop_info.h"
+
+namespace paradet::baseline {
+namespace {
+
+using sim::CtrlKind;
+using sim::UopDesc;
+
+/// Captures memory accesses of one macro-op, like the checked system's
+/// main port but without fault plumbing.
+class CapturePort final : public arch::DataPort {
+ public:
+  struct Access {
+    Addr addr;
+    std::uint8_t size;
+    bool is_store;
+  };
+
+  explicit CapturePort(arch::SparseMemory& memory) : memory_(memory) {}
+
+  void begin_macro() { accesses_.clear(); }
+
+  std::uint64_t load(Addr addr, unsigned size) override {
+    accesses_.push_back({addr, static_cast<std::uint8_t>(size), false});
+    return memory_.read(addr, size);
+  }
+  void store(Addr addr, std::uint64_t value, unsigned size) override {
+    accesses_.push_back({addr, static_cast<std::uint8_t>(size), true});
+    memory_.write(addr, value, size);
+  }
+  std::uint64_t read_cycle() override { return 0; }
+
+  const std::vector<Access>& accesses() const { return accesses_; }
+
+ private:
+  arch::SparseMemory& memory_;
+  std::vector<Access> accesses_;
+};
+
+CtrlKind control_kind(const isa::Inst& inst) {
+  if (isa::is_cond_branch(inst.op)) return CtrlKind::kCond;
+  if (inst.op == isa::Opcode::kJal) {
+    return inst.rd == 1 ? CtrlKind::kCall : CtrlKind::kJump;
+  }
+  if (inst.op == isa::Opcode::kJalr) {
+    return inst.rs1 == 1 && inst.rd == 0 ? CtrlKind::kRet
+                                         : CtrlKind::kIndirect;
+  }
+  return CtrlKind::kNone;
+}
+
+}  // namespace
+
+RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
+                  std::uint64_t max_instructions) {
+  sim::LoadedProgram program = sim::load_program(assembled);
+
+  mem::DramModel dram(config.dram, config.main_core.freq_mhz);
+  mem::DramLevel dram_level(dram);
+  mem::Cache l2(config.l2, dram_level);
+  mem::StridePrefetcher prefetcher;
+  if (config.l2_stride_prefetcher) l2.set_prefetcher(&prefetcher);
+  mem::Cache l1i(config.l1i, l2);
+  mem::Cache l1d(config.l1d, l2);
+  sim::OoOCore core(config, l1i, l1d);
+
+  arch::ArchState state;
+  state.pc = program.entry;
+  arch::DecodeCache decode(program.memory);
+  CapturePort port(program.memory);
+
+  Cycle last_commit = 0;
+  unsigned committed_in_cycle = 0;
+  const unsigned width = config.main_core.commit_width;
+  const auto commit = [&](Cycle earliest) {
+    Cycle cycle = earliest;
+    if (cycle < last_commit) cycle = last_commit;
+    if (cycle == last_commit && committed_in_cycle >= width) ++cycle;
+    if (cycle > last_commit) {
+      last_commit = cycle;
+      committed_in_cycle = 1;
+    } else {
+      ++committed_in_cycle;
+    }
+    return cycle;
+  };
+
+  RmtResult result;
+  UopSeq seq = 0;
+  while (result.instructions < max_instructions) {
+    const isa::Inst* inst = decode.decode_at(state.pc);
+    if (inst == nullptr) break;
+    const isa::CrackedInst cracked = isa::crack(*inst);
+    port.begin_macro();
+    const Addr pc = state.pc;
+    const arch::StepResult step = arch::execute(*inst, state, port);
+
+    std::size_t access_index = 0;
+    for (unsigned u = 0; u < cracked.count; ++u) {
+      const isa::Inst& uop_inst = cracked.uops[u].inst;
+      UopDesc leading;
+      leading.cls = isa::exec_class(uop_inst.op);
+      leading.regs = sim::uop_regs(uop_inst);
+      leading.pc = pc;
+      leading.seq = seq++;
+      leading.first_of_macro = u == 0;
+      leading.ctrl = control_kind(uop_inst);
+      leading.taken = step.branch_taken || isa::is_jump(uop_inst.op);
+      leading.target = step.next_pc;
+      leading.is_load = isa::is_load(uop_inst.op);
+      leading.is_store = isa::is_store(uop_inst.op);
+      if ((leading.is_load || leading.is_store) &&
+          access_index < port.accesses().size()) {
+        leading.mem_addr = port.accesses()[access_index].addr;
+        leading.mem_size = port.accesses()[access_index].size;
+        ++access_index;
+      }
+      const auto lead_timing = core.schedule(leading);
+      core.retire(commit(lead_timing.complete + 1));
+
+      // Trailing copy: same class and the same dependence structure in
+      // the trailing thread's own register context (indices offset by
+      // kNumArchRegs), so its serial chains contend realistically. Loads
+      // hit the Load Value Queue and stores become 1-cycle compares, so
+      // the trailing thread never touches the caches.
+      UopDesc trailing;
+      trailing.cls = leading.is_load || leading.is_store
+                         ? isa::ExecClass::kIntAlu
+                         : leading.cls;
+      trailing.regs = leading.regs;
+      for (unsigned s = 0; s < trailing.regs.n_srcs; ++s) {
+        trailing.regs.srcs[s] += kNumArchRegs;
+      }
+      if (trailing.regs.dest >= 0) trailing.regs.dest += kNumArchRegs;
+      trailing.pc = pc;
+      trailing.seq = seq++;
+      trailing.first_of_macro = u == 0;
+      const auto trail_timing = core.schedule(trailing);
+      core.retire(commit(trail_timing.complete + 1));
+    }
+
+    ++result.instructions;
+    if (step.trap != arch::Trap::kNone) break;
+  }
+
+  result.cycles = last_commit;
+  result.ipc = result.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(result.instructions) /
+                         static_cast<double>(result.cycles);
+  return result;
+}
+
+}  // namespace paradet::baseline

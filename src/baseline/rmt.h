@@ -1,0 +1,35 @@
+// Redundant multithreading (RMT) baseline (§II-B, §VII-B; AR-SMT [11],
+// CRT [12]). The same out-of-order core runs leading and trailing copies
+// of every instruction as simultaneous threads: the trailing thread reads
+// load values from a Load Value Queue filled by the leading thread
+// (1-cycle SRAM access, no cache misses) and its stores become compare
+// operations. Both copies contend for fetch, dispatch, functional-unit
+// and commit bandwidth, which is where RMT's characteristic ~30%
+// performance loss comes from [12]. Hard faults are NOT covered: both
+// copies use the same silicon (fig. 1(d) motivation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "isa/assembler.h"
+#include "sim/checked_system.h"
+
+namespace paradet::baseline {
+
+struct RmtResult {
+  Cycle cycles = 0;  ///< program runtime under RMT.
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  /// Approximate area cost of SMT duplication logic + load value queue.
+  double area_overhead = 0.05;
+  /// Energy: the core performs ~2x the dynamic work for the same program.
+  double power_overhead = 0.9;
+  bool covers_hard_faults = false;
+};
+
+/// Simulates the program under redundant multithreading on the main core.
+RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
+                  std::uint64_t max_instructions);
+
+}  // namespace paradet::baseline

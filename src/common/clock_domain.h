@@ -1,0 +1,55 @@
+// Conversion between clock domains. The global simulation clock is the main
+// core's clock (3.2 GHz by default); checker cores run in their own, slower
+// domain. All conversions use exact integer arithmetic on MHz ratios so
+// results are deterministic and monotonic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace paradet {
+
+/// Converts between a local clock domain (e.g. a 1 GHz checker core) and the
+/// global main-core clock domain.
+class ClockDomain {
+ public:
+  /// @param local_mhz   frequency of the local domain, in MHz.
+  /// @param global_mhz  frequency of the global (main core) domain, in MHz.
+  constexpr ClockDomain(std::uint64_t local_mhz, std::uint64_t global_mhz)
+      : local_mhz_(local_mhz), global_mhz_(global_mhz) {}
+
+  /// Number of global cycles spanned by @p local_cycles local cycles,
+  /// rounded up (a local tick is not complete until its last global cycle).
+  constexpr Cycle to_global(Cycle local_cycles) const {
+    // ceil(local * global_mhz / local_mhz)
+    return (local_cycles * global_mhz_ + local_mhz_ - 1) / local_mhz_;
+  }
+
+  /// Number of complete local cycles contained in @p global_cycles.
+  constexpr Cycle to_local(Cycle global_cycles) const {
+    return global_cycles * local_mhz_ / global_mhz_;
+  }
+
+  /// First global cycle at or after @p global at which a local clock edge
+  /// occurs (used to align work started mid-tick).
+  constexpr Cycle align_up(Cycle global) const {
+    const Cycle local = (global * local_mhz_ + global_mhz_ - 1) / global_mhz_;
+    return to_global(local);
+  }
+
+  constexpr std::uint64_t local_mhz() const { return local_mhz_; }
+  constexpr std::uint64_t global_mhz() const { return global_mhz_; }
+
+ private:
+  std::uint64_t local_mhz_;
+  std::uint64_t global_mhz_;
+};
+
+/// Converts global cycles to nanoseconds given the global frequency in MHz.
+constexpr double cycles_to_ns(Cycle cycles, std::uint64_t global_mhz) {
+  return static_cast<double>(cycles) * 1000.0 /
+         static_cast<double>(global_mhz);
+}
+
+}  // namespace paradet

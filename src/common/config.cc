@@ -1,0 +1,36 @@
+#include "common/config.h"
+
+namespace paradet {
+
+SystemConfig SystemConfig::standard() {
+  SystemConfig cfg;
+  cfg.l1i = CacheConfig{.name = "L1I",
+                        .size_bytes = 32 * 1024,
+                        .assoc = 2,
+                        .line_bytes = 64,
+                        .hit_latency = 2,
+                        .mshrs = 6};
+  cfg.l1d = CacheConfig{.name = "L1D",
+                        .size_bytes = 32 * 1024,
+                        .assoc = 2,
+                        .line_bytes = 64,
+                        .hit_latency = 2,
+                        .mshrs = 6};
+  cfg.l2 = CacheConfig{.name = "L2",
+                       .size_bytes = 1024 * 1024,
+                       .assoc = 16,
+                       .line_bytes = 64,
+                       .hit_latency = 12,
+                       .mshrs = 16};
+  return cfg;
+}
+
+SystemConfig SystemConfig::baseline_unchecked() {
+  SystemConfig cfg = standard();
+  cfg.detection.enabled = false;
+  cfg.detection.simulate_checkers = false;
+  cfg.detection.load_forwarding_unit = false;
+  return cfg;
+}
+
+}  // namespace paradet

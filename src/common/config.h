@@ -1,0 +1,163 @@
+// System configuration. Defaults reproduce Table I of the paper:
+// a 3-wide out-of-order main core at 3.2 GHz with a 40-entry ROB, paired
+// with twelve 1 GHz in-order checker cores sharing a 36 KiB partitioned
+// load-store log with a 5,000-instruction timeout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace paradet {
+
+/// Main out-of-order core parameters (Table I, "Main Core").
+struct MainCoreConfig {
+  std::uint64_t freq_mhz = 3200;  ///< 3.2 GHz.
+  unsigned fetch_width = 3;
+  unsigned commit_width = 3;
+  unsigned rob_entries = 40;
+  unsigned iq_entries = 32;
+  unsigned lq_entries = 16;
+  unsigned sq_entries = 16;
+  unsigned int_phys_regs = 128;
+  unsigned fp_phys_regs = 128;
+  unsigned int_alus = 3;
+  unsigned fp_alus = 2;
+  unsigned muldiv_alus = 1;
+  /// Commit pause while the architectural register file is checkpointed
+  /// (two-ported file copying 32 registers from each of the int/fp files).
+  unsigned checkpoint_latency_cycles = 16;
+  /// Front-end refill penalty after a branch misprediction redirect.
+  unsigned redirect_penalty_cycles = 3;
+  /// Decode-stage redirect bubble for a predicted-taken branch missing BTB.
+  unsigned btb_miss_penalty_cycles = 2;
+  /// Fetch-to-dispatch depth (fetch/decode/rename stages).
+  unsigned frontend_depth_cycles = 4;
+  /// Memory dependence handling. True models a trained store-set style
+  /// predictor (loads issue freely; exact-address store-to-load forwarding
+  /// still applies). False is the conservative scheme where loads wait for
+  /// all older store addresses -- an ablation that kills memory-level
+  /// parallelism on irregular workloads.
+  bool perfect_memory_disambiguation = true;
+};
+
+/// Tournament branch predictor parameters (Table I, "Tournament").
+struct BranchPredictorConfig {
+  unsigned local_entries = 2048;
+  unsigned local_history_bits = 11;
+  unsigned global_entries = 8192;
+  unsigned chooser_entries = 2048;
+  unsigned btb_entries = 2048;
+  unsigned ras_entries = 16;
+};
+
+/// One cache level. Defaults are overridden per level in SystemConfig.
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned assoc = 2;
+  unsigned line_bytes = 64;
+  unsigned hit_latency = 2;
+  unsigned mshrs = 6;
+};
+
+/// DDR3-1600 11-11-11-28 at an 800 MHz bus (Table I, "Memory").
+struct DramConfig {
+  std::uint64_t bus_mhz = 800;
+  unsigned tCAS = 11;   ///< column access strobe latency, bus cycles.
+  unsigned tRCD = 11;   ///< row-to-column delay.
+  unsigned tRP = 11;    ///< row precharge.
+  unsigned tRAS = 28;   ///< row active time.
+  unsigned banks = 8;
+  unsigned burst_cycles = 4;      ///< 64B line over a 64-bit DDR bus.
+  std::uint64_t row_bytes = 8192; ///< open-row granularity.
+};
+
+/// Checker-core complex parameters (Table I, "Checker Cores").
+struct CheckerConfig {
+  unsigned num_cores = 12;
+  std::uint64_t freq_mhz = 1000;  ///< 1 GHz.
+  unsigned pipeline_stages = 4;
+  /// Private per-core L0 instruction cache.
+  std::uint64_t l0_icache_bytes = 2 * 1024;
+  /// L1 instruction cache shared by all checker cores.
+  std::uint64_t l1_icache_bytes = 16 * 1024;
+  unsigned l0_hit_latency = 1;   ///< checker cycles.
+  unsigned l0_miss_penalty = 2;  ///< extra checker cycles to reach shared L1.
+  /// Cycles to validate the end-of-segment register checkpoint (64 regs,
+  /// two comparator ports).
+  unsigned checkpoint_validate_cycles = 32;
+  /// Wake-up latency from sleep to first fetch, checker cycles.
+  unsigned wakeup_cycles = 4;
+  /// Taken-branch bubble in the 4-stage in-order pipeline.
+  unsigned taken_branch_bubble = 2;
+};
+
+/// Partitioned load-store log parameters (Table I, "Log Size").
+struct LogConfig {
+  /// Total SRAM capacity across all segments: 36 KiB default.
+  std::uint64_t total_bytes = 36 * 1024;
+  /// One segment per checker core (one-to-one mapping, §IV-D).
+  unsigned segments = 12;
+  /// Bytes of SRAM consumed per log entry (8B value + 6B physical address
+  /// + kind/size metadata, packed).
+  unsigned entry_bytes = 16;
+  /// Maximum committed instructions per segment before an early seal
+  /// (§IV-J). Zero means no timeout (the paper's "infinite" setting).
+  std::uint64_t instruction_timeout = 5000;
+
+  std::uint64_t segment_bytes() const { return total_bytes / segments; }
+  std::uint64_t entries_per_segment() const {
+    return segment_bytes() / entry_bytes;
+  }
+};
+
+/// Timer-interrupt modelling (§IV-G): interrupts force an early register
+/// checkpoint at the next commit boundary so the checker cores observe the
+/// same instruction stream split as the main core.
+struct InterruptConfig {
+  bool enabled = false;
+  /// Interval between timer interrupts, in main-core cycles.
+  Cycle interval_cycles = 1'000'000;
+};
+
+/// What the detection hardware does; used to build ablations.
+struct DetectionConfig {
+  /// Master switch. When false the machine is an unchecked core: no log,
+  /// no checkpoints, no checker cores. This is the normalisation baseline
+  /// for every slowdown figure.
+  bool enabled = true;
+  /// When false, the scheme runs checkpoint/log bookkeeping but models the
+  /// checker cores as infinitely fast (segments free instantly). This is
+  /// the configuration of Figure 10.
+  bool simulate_checkers = true;
+  /// When false, loads are forwarded to the log at commit directly from the
+  /// (possibly corrupted) physical register instead of being duplicated at
+  /// access time by the load forwarding unit. Ablation for §IV-C.
+  bool load_forwarding_unit = true;
+};
+
+/// Full system configuration.
+struct SystemConfig {
+  MainCoreConfig main_core;
+  BranchPredictorConfig branch_predictor;
+  CacheConfig l1i;
+  CacheConfig l1d;
+  CacheConfig l2;
+  DramConfig dram;
+  bool l2_stride_prefetcher = true;
+  CheckerConfig checker;
+  LogConfig log;
+  InterruptConfig interrupts;
+  DetectionConfig detection;
+
+  /// Table I defaults.
+  static SystemConfig standard();
+
+  /// Convenience: standard config with detection entirely disabled (used
+  /// as the normalisation baseline for all slowdown figures).
+  static SystemConfig baseline_unchecked();
+};
+
+}  // namespace paradet

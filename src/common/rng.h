@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for workload data and
+// fault-injection campaigns. We avoid <random> engines so that values are
+// reproducible across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace paradet {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator. Used to seed and
+/// to generate workload data deterministically.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Not perfectly unbiased for huge bounds; fine for
+  /// workload generation.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace paradet

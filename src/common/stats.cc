@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+namespace paradet {
+
+void Counters::inc(const std::string& name, std::uint64_t by) {
+  for (auto& [key, value] : entries_) {
+    if (key == name) {
+      value += by;
+      return;
+    }
+  }
+  entries_.emplace_back(name, by);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::sorted() const {
+  auto copy = entries_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+}  // namespace paradet

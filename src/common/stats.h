@@ -1,0 +1,109 @@
+// Lightweight statistics primitives used by the simulator and the
+// benchmark harnesses: running summaries, fixed-bin histograms, and a
+// quantile sketch good enough for "99.9% of delays < X" style claims.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace paradet {
+
+/// Running summary of a stream of samples: count / sum / min / max / mean.
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void merge(const Summary& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bin histogram over [0, bin_width * bins). Samples beyond the
+/// last bin are clamped into an overflow bucket but still counted in the
+/// summary, so means and maxima remain exact.
+class Histogram {
+ public:
+  Histogram() : Histogram(1.0, 1) {}
+  Histogram(double bin_width, std::size_t bins)
+      : bin_width_(bin_width), counts_(bins, 0) {}
+
+  void add(double x) {
+    summary_.add(x);
+    if (x < 0) x = 0;
+    const auto bin = static_cast<std::size_t>(x / bin_width_);
+    if (bin >= counts_.size()) {
+      ++overflow_;
+    } else {
+      ++counts_[bin];
+    }
+  }
+
+  const Summary& summary() const { return summary_; }
+  double bin_width() const { return bin_width_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Probability density of bin i (counts normalised so the histogram
+  /// integrates to ~1 over the covered range).
+  double density(std::size_t i) const {
+    const auto n = summary_.count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           (static_cast<double>(n) * bin_width_);
+  }
+
+  /// Fraction of samples strictly inside the covered range below x.
+  double fraction_below(double x) const {
+    const auto n = summary_.count();
+    if (n == 0) return 0.0;
+    std::uint64_t acc = 0;
+    const auto limit_bin = static_cast<std::size_t>(x / bin_width_);
+    for (std::size_t i = 0; i < counts_.size() && i < limit_bin; ++i) {
+      acc += counts_[i];
+    }
+    return static_cast<double>(acc) / static_cast<double>(n);
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  Summary summary_;
+};
+
+/// A named counter bag, for simulator component statistics.
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1);
+  std::uint64_t get(const std::string& name) const;
+  std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+}  // namespace paradet

@@ -1,0 +1,33 @@
+// Fundamental scalar types shared across the paradet library.
+#pragma once
+
+#include <cstdint>
+
+namespace paradet {
+
+/// Byte address in the simulated 64-bit physical address space.
+using Addr = std::uint64_t;
+
+/// Time in main-core clock cycles. The main core's clock is the global
+/// simulation clock; checker-core cycles are converted via ClockDomain.
+using Cycle = std::uint64_t;
+
+/// Monotonic index of a dynamic instruction (macro-op) on the main core.
+using InstSeq = std::uint64_t;
+
+/// Monotonic index of a dynamic micro-op on the main core.
+using UopSeq = std::uint64_t;
+
+/// Architectural register index. Integer registers occupy [0, 32) and
+/// floating-point registers [32, 64) in the unified space used by the
+/// dependence tracker; the ISA-facing index is always [0, 32).
+using RegIndex = std::uint8_t;
+
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+inline constexpr unsigned kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kCycleNever = ~Cycle{0};
+
+}  // namespace paradet

@@ -1,0 +1,67 @@
+// Functional re-execution engine for checker cores (§IV-B).
+//
+// A checker core starts from a segment's start checkpoint and re-executes
+// the original instruction stream (fetched from the same read-only program
+// memory as the main core). Loads are redirected to the load-store log
+// segment: the hardware pops the next entry, verifies that it is a load at
+// the same address, and supplies the logged value. Stores pop the next
+// entry and verify kind, address *and* data. RDCYCLE pops a forwarded
+// non-deterministic entry. Execution stops after exactly the number of
+// instructions the main core committed into the segment; the register file
+// and pc are then validated against the end checkpoint.
+//
+// The engine is purely functional; the in-order pipeline timing is computed
+// by sim::CheckerTiming over the trace this engine produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/interpreter.h"
+#include "arch/memory.h"
+#include "core/detection.h"
+#include "core/load_store_log.h"
+
+namespace paradet::core {
+
+/// Per-instruction record of the checker's execution, consumed by the
+/// timing model and by the delay-statistics attribution.
+struct CheckerInstRecord {
+  isa::Inst inst;
+  Addr pc = 0;
+  bool branch_taken = false;
+  /// Number of log entries this instruction consumed (0, 1 or 2).
+  std::uint8_t entries_consumed = 0;
+  /// Index of the first consumed entry within the segment.
+  std::uint32_t first_entry = 0;
+};
+
+/// Hook for injecting faults into the checker core itself (§IV-I
+/// over-detection experiments).
+class CheckerFaultHook {
+ public:
+  virtual ~CheckerFaultHook() = default;
+  /// Called before each instruction with the checker's architectural state.
+  virtual void before_instruction(std::uint64_t local_index,
+                                  arch::ArchState& state) = 0;
+};
+
+class CheckerEngine {
+ public:
+  /// @param program read-only instruction memory shared with the main core.
+  explicit CheckerEngine(const arch::SparseMemory& program)
+      : decode_(program) {}
+
+  struct Result {
+    CheckOutcome outcome;
+    std::vector<CheckerInstRecord> trace;
+  };
+
+  /// Re-executes and checks one sealed segment. `fault_hook` may be null.
+  Result check(const Segment& segment, CheckerFaultHook* fault_hook = nullptr);
+
+ private:
+  arch::DecodeCache decode_;
+};
+
+}  // namespace paradet::core

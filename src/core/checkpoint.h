@@ -1,0 +1,55 @@
+// Register checkpoints (§IV-D, §IV-E). The main core copies its
+// architectural register file (32 int + 32 fp) and pc whenever a load-store
+// log segment seals; each checkpoint is simultaneously the *end* checkpoint
+// validated by one checker core and the *start* checkpoint another checker
+// core executes from. Taking a checkpoint pauses commit for
+// MainCoreConfig::checkpoint_latency_cycles (16 by default: a two-ported
+// register file copying 32 registers from each file).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/state.h"
+#include "common/types.h"
+
+namespace paradet::core {
+
+struct RegisterCheckpoint {
+  arch::ArchState state;
+  /// Dynamic instruction (macro-op) index at which the checkpoint was taken;
+  /// the checkpoint captures state *before* instruction `seq` executes.
+  InstSeq seq = 0;
+  /// Main-core cycle at which the copy completed.
+  Cycle taken_at = 0;
+
+  bool operator==(const RegisterCheckpoint&) const = default;
+};
+
+/// Bookkeeping for checkpoint costs. The timing behaviour (a commit pause)
+/// is applied by the main-core model; this unit tracks counts and the SRAM
+/// footprint for the area model.
+class CheckpointUnit {
+ public:
+  explicit CheckpointUnit(unsigned latency_cycles)
+      : latency_cycles_(latency_cycles) {}
+
+  RegisterCheckpoint take(const arch::ArchState& state, InstSeq seq,
+                          Cycle now) {
+    ++taken_;
+    return RegisterCheckpoint{state, seq, now + latency_cycles_};
+  }
+
+  unsigned latency_cycles() const { return latency_cycles_; }
+  std::uint64_t checkpoints_taken() const { return taken_; }
+
+  /// Architectural bytes copied per checkpoint (for the area/power model).
+  static constexpr std::uint64_t bytes_per_checkpoint() {
+    return (kNumIntRegs + kNumFpRegs) * 8 + 8;  // registers + pc.
+  }
+
+ private:
+  unsigned latency_cycles_;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace paradet::core

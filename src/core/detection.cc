@@ -1,0 +1,35 @@
+#include "core/detection.h"
+
+#include <sstream>
+
+namespace paradet::core {
+
+std::string_view detection_kind_name(DetectionKind kind) {
+  switch (kind) {
+    case DetectionKind::kNone: return "none";
+    case DetectionKind::kLoadAddressMismatch: return "load-address-mismatch";
+    case DetectionKind::kStoreAddressMismatch: return "store-address-mismatch";
+    case DetectionKind::kStoreValueMismatch: return "store-value-mismatch";
+    case DetectionKind::kEntryKindMismatch: return "entry-kind-mismatch";
+    case DetectionKind::kAccessSizeMismatch: return "access-size-mismatch";
+    case DetectionKind::kLogOverrun: return "log-overrun";
+    case DetectionKind::kRegisterMismatch: return "register-mismatch";
+    case DetectionKind::kPcMismatch: return "pc-mismatch";
+    case DetectionKind::kTrapMismatch: return "trap-mismatch";
+    case DetectionKind::kCheckerTimeout: return "checker-timeout";
+  }
+  return "unknown";
+}
+
+std::string DetectionEvent::describe() const {
+  std::ostringstream out;
+  out << detection_kind_name(kind) << " in segment #" << segment_ordinal
+      << " (core " << segment_index << ") near uop " << around_seq
+      << " pc=0x" << std::hex << pc << std::dec;
+  if (reg >= 0) out << " reg=" << reg;
+  out << " expected=0x" << std::hex << expected << " actual=0x" << actual
+      << std::dec;
+  return out.str();
+}
+
+}  // namespace paradet::core

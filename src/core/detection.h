@@ -1,0 +1,126 @@
+// Detection events and the detection controller.
+//
+// The controller implements the strong-induction bookkeeping of §IV: each
+// segment's check assumes its start checkpoint is correct, so an individual
+// check failure only becomes the *first error* once every earlier segment
+// has validated. Until then the failure is held as provisional; if an
+// earlier segment subsequently fails, that earlier failure supersedes it.
+// The controller also owns the detection-delay statistics used by
+// Figures 8, 11 and 12: the delay between a load/store committing on the
+// main core and the moment a checker core validates it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock_domain.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/load_store_log.h"
+
+namespace paradet::core {
+
+enum class DetectionKind : std::uint8_t {
+  kNone = 0,
+  kLoadAddressMismatch,   ///< checker's load address != logged address.
+  kStoreAddressMismatch,  ///< checker's store address != logged address.
+  kStoreValueMismatch,    ///< checker's store data != logged data (§IV-B).
+  kEntryKindMismatch,     ///< checker expected a load, log holds a store, …
+  kAccessSizeMismatch,    ///< same address, different width.
+  kLogOverrun,  ///< checker needed more entries than the segment holds.
+  kRegisterMismatch,  ///< end-of-segment register checkpoint differs.
+  kPcMismatch,        ///< end-of-segment pc differs.
+  kTrapMismatch,      ///< checker trapped where the main core did not (or
+                      ///< vice versa), e.g. diverged into illegal code.
+  kCheckerTimeout,    ///< the checker committed as many instructions as the
+                      ///< main core without consuming the whole log segment:
+                      ///< execution diverged (§IV-J).
+};
+
+std::string_view detection_kind_name(DetectionKind kind);
+
+struct DetectionEvent {
+  DetectionKind kind = DetectionKind::kNone;
+  /// Ordinal of the segment whose check failed (main-core fill order).
+  std::uint64_t segment_ordinal = 0;
+  /// Physical segment / checker-core index.
+  unsigned segment_index = 0;
+  /// Micro-op sequence (for log mismatches) or checkpoint seq (for register
+  /// mismatches) closest to the failure.
+  UopSeq around_seq = 0;
+  /// Checker pc at the failure.
+  Addr pc = 0;
+  std::uint64_t expected = 0;  ///< logged / checkpointed value.
+  std::uint64_t actual = 0;    ///< checker-computed value.
+  /// Register index (unified space) for register mismatches.
+  int reg = -1;
+  /// Global cycle at which the failing check executed.
+  Cycle detected_at = 0;
+
+  std::string describe() const;
+};
+
+/// Outcome of checking one segment.
+struct CheckOutcome {
+  bool passed = true;
+  DetectionEvent event;  ///< valid when !passed.
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t entries_consumed = 0;
+};
+
+/// Aggregates check outcomes in segment order and owns delay statistics.
+class DetectionController {
+ public:
+  /// @param global_mhz main-core frequency, to convert delays to ns.
+  /// @param delay_bins histogram reach: [0, delay_bin_ns * delay_bins).
+  DetectionController(std::uint64_t global_mhz, double delay_bin_ns = 50.0,
+                      std::size_t delay_bins = 100)
+      : global_mhz_(global_mhz), delays_ns_(delay_bin_ns, delay_bins) {}
+
+  /// Records the check of a single log entry (store or load) completing at
+  /// `checked_at`; the entry committed on the main core at `committed_at`.
+  void record_entry_checked(Cycle committed_at, Cycle checked_at) {
+    delays_ns_.add(cycles_to_ns(checked_at - committed_at, global_mhz_));
+  }
+
+  /// Reports the outcome of one segment's check. Segments may report out
+  /// of order (checks run in parallel); the controller keeps the failure
+  /// with the lowest ordinal, which is the error the strong-induction
+  /// argument identifies as first (§IV).
+  void report(const CheckOutcome& outcome, std::uint64_t segment_ordinal) {
+    ++segments_reported_;
+    if (outcome.passed) return;
+    ++failures_;
+    if (!first_error_.has_value() ||
+        segment_ordinal < first_error_->segment_ordinal) {
+      first_error_ = outcome.event;
+      first_error_->segment_ordinal = segment_ordinal;
+    }
+  }
+
+  /// All segments up to and including ordinal `n` have been reported when
+  /// segments_reported() > n (reports are one per ordinal).
+  std::uint64_t segments_reported() const { return segments_reported_; }
+  std::uint64_t failures() const { return failures_; }
+  bool error_detected() const { return first_error_.has_value(); }
+
+  /// The earliest failing check, once all prior segments have reported.
+  /// (All call sites query this after the simulation fully drains, at which
+  /// point the strong-induction chain is complete.)
+  const std::optional<DetectionEvent>& first_error() const {
+    return first_error_;
+  }
+
+  const Histogram& delay_histogram_ns() const { return delays_ns_; }
+
+ private:
+  std::uint64_t global_mhz_;
+  Histogram delays_ns_;
+  std::uint64_t segments_reported_ = 0;
+  std::uint64_t failures_ = 0;
+  std::optional<DetectionEvent> first_error_;
+};
+
+}  // namespace paradet::core

@@ -1,0 +1,116 @@
+#include "core/fault_injection.h"
+
+namespace paradet::core {
+
+std::string_view fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMainArchReg: return "main-arch-reg";
+    case FaultSite::kMainLoadValuePostLfu: return "main-load-post-lfu";
+    case FaultSite::kMainLoadValuePreLfu: return "main-load-pre-lfu";
+    case FaultSite::kMainStoreValue: return "main-store-value";
+    case FaultSite::kMainStoreAddr: return "main-store-addr";
+    case FaultSite::kCheckpointReg: return "checkpoint-reg";
+    case FaultSite::kCheckerArchReg: return "checker-arch-reg";
+    case FaultSite::kMainAluStuckAt: return "main-alu-stuck-at";
+  }
+  return "unknown";
+}
+
+const FaultSpec* FaultInjector::at(FaultSite site, UopSeq seq) const {
+  for (const auto& spec : specs_) {
+    if (spec.site == site && spec.at_seq == seq) return &spec;
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultInjector::arm(FaultSite site, UopSeq seq) {
+  for (auto& spec : specs_) {
+    if (spec.site == site && !spec.fired && spec.at_seq <= seq) {
+      spec.fired = true;
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultInjector::checkpoint_fault(std::uint64_t index) const {
+  for (const auto& spec : specs_) {
+    if (spec.site == FaultSite::kCheckpointReg &&
+        spec.checkpoint_index == index) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+const FaultSpec* FaultInjector::alu_stuck_at(UopSeq seq) const {
+  for (const auto& spec : specs_) {
+    if (spec.site == FaultSite::kMainAluStuckAt && spec.at_seq <= seq) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::targets_checker(std::uint64_t ordinal) const {
+  for (const auto& spec : specs_) {
+    if (spec.site == FaultSite::kCheckerArchReg &&
+        spec.segment_ordinal == ordinal) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+class RegFlipHook final : public CheckerFaultHook {
+ public:
+  RegFlipHook(std::vector<FaultSpec> specs) : specs_(std::move(specs)) {}
+
+  void before_instruction(std::uint64_t local_index,
+                          arch::ArchState& state) override {
+    for (const auto& spec : specs_) {
+      if (spec.checker_local_index == local_index) {
+        FaultInjector::flip_register(state, spec.reg, spec.bit);
+      }
+    }
+  }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace
+
+std::unique_ptr<CheckerFaultHook> FaultInjector::checker_hook(
+    std::uint64_t ordinal) const {
+  std::vector<FaultSpec> matching;
+  for (const auto& spec : specs_) {
+    if (spec.site == FaultSite::kCheckerArchReg &&
+        spec.segment_ordinal == ordinal) {
+      matching.push_back(spec);
+    }
+  }
+  if (matching.empty()) return nullptr;
+  return std::make_unique<RegFlipHook>(std::move(matching));
+}
+
+void FaultInjector::flip_register(arch::ArchState& state, unsigned unified_reg,
+                                  unsigned bit) {
+  const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+  if (unified_reg < kNumIntRegs) {
+    if (unified_reg == 0) return;  // x0 is hardwired; a strike is masked.
+    state.x[unified_reg] ^= mask;
+  } else if (unified_reg < kNumArchRegs) {
+    state.f[unified_reg - kNumIntRegs] ^= mask;
+  }
+}
+
+std::uint64_t FaultInjector::apply_stuck_bit(std::uint64_t value, unsigned bit,
+                                             bool stuck_value) {
+  const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+  return stuck_value ? (value | mask) : (value & ~mask);
+}
+
+}  // namespace paradet::core

@@ -1,0 +1,120 @@
+// Fault injection for coverage validation and the §IV-I over-detection
+// experiments. Faults are *modelled* at the microarchitectural sites the
+// paper reasons about:
+//
+//   kMainArchReg          transient bit flip in the main core's register
+//                         file; reaches visible state through stores or the
+//                         next checkpoint -> detected.
+//   kMainLoadValuePostLfu the loaded value is corrupted in the main core
+//                         *after* the load forwarding unit duplicated it
+//                         (§IV-C window of vulnerability). The log keeps
+//                         the good copy, so the checker detects any
+//                         visible consequence. With the LFU disabled
+//                         (ablation) both sides see the bad value and the
+//                         fault escapes -- exactly the window the LFU
+//                         closes.
+//   kMainLoadValuePreLfu  corruption on the fill path before duplication;
+//                         both copies inherit it. This is the ECC domain
+//                         (caches/DRAM), explicitly outside the scheme's
+//                         sphere of coverage (§IV-A).
+//   kMainStoreValue/Addr  corruption of store data/address at commit; the
+//                         bad value escapes to memory (allowed, §IV-F) and
+//                         into the log, while the checker recomputes the
+//                         good one -> store check fails.
+//   kCheckpointReg        corruption of a register inside a checkpoint
+//                         after capture. Detected as a register mismatch
+//                         when the previous segment validates -- even if
+//                         the register is dead (over-detection, §IV-I).
+//   kCheckerArchReg       corruption inside a checker core. The main
+//                         computation is fine, but the system cannot tell
+//                         which side erred, so it must still report
+//                         (over-detection, §IV-I).
+//   kMainAluStuckAt       hard fault: one of the main core's integer ALUs
+//                         produces a stuck bit from a given micro-op
+//                         onwards. Exercises repeated detection and the
+//                         heterogeneity argument (checker cores use
+//                         different silicon).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/state.h"
+#include "common/types.h"
+#include "core/checker_engine.h"
+
+namespace paradet::core {
+
+enum class FaultSite : std::uint8_t {
+  kMainArchReg,
+  kMainLoadValuePostLfu,
+  kMainLoadValuePreLfu,
+  kMainStoreValue,
+  kMainStoreAddr,
+  kCheckpointReg,
+  kCheckerArchReg,
+  kMainAluStuckAt,
+};
+
+std::string_view fault_site_name(FaultSite site);
+
+struct FaultSpec {
+  FaultSite site = FaultSite::kMainArchReg;
+  /// Trigger: dynamic micro-op index on the main core (reg/load/store/ALU
+  /// sites). For kMainAluStuckAt the fault is permanent from this index on.
+  UopSeq at_seq = 0;
+  /// Unified register index [0,64) for register sites.
+  unsigned reg = 1;
+  /// Bit to flip (transient) or to stick (hard).
+  unsigned bit = 0;
+  /// For kCheckpointReg: which checkpoint (0-based capture order).
+  std::uint64_t checkpoint_index = 0;
+  /// For kCheckerArchReg: which segment's check, and the instruction index
+  /// within that check, to corrupt.
+  std::uint64_t segment_ordinal = 0;
+  std::uint64_t checker_local_index = 0;
+  /// For kMainAluStuckAt: which integer ALU, and the stuck polarity.
+  unsigned alu_index = 0;
+  bool stuck_value = true;
+  /// Internal: arm-and-fire bookkeeping (see FaultInjector::arm).
+  bool fired = false;
+};
+
+class FaultInjector {
+ public:
+  void add(const FaultSpec& spec) { specs_.push_back(spec); }
+  bool empty() const { return specs_.empty(); }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// First spec with the given site triggering exactly at `seq`, else null.
+  const FaultSpec* at(FaultSite site, UopSeq seq) const;
+  /// Arm-and-fire lookup for datapath sites (loads/stores): a strike at
+  /// time `at_seq` corrupts the *next* value through the unit, i.e. the
+  /// first matching micro-op with sequence >= at_seq. Each spec fires once.
+  const FaultSpec* arm(FaultSite site, UopSeq seq);
+  /// Clears arm-and-fire state so the injector can drive a fresh run.
+  void reset_fired() {
+    for (auto& spec : specs_) spec.fired = false;
+  }
+  /// First kCheckpointReg spec for checkpoint `index`, else null.
+  const FaultSpec* checkpoint_fault(std::uint64_t index) const;
+  /// First kMainAluStuckAt spec active at `seq` (at_seq <= seq), else null.
+  const FaultSpec* alu_stuck_at(UopSeq seq) const;
+  /// True if any kCheckerArchReg spec targets segment `ordinal`.
+  bool targets_checker(std::uint64_t ordinal) const;
+
+  /// Builds the hook the checker engine calls for segment `ordinal`
+  /// (returns a no-op-free null when no spec targets it).
+  std::unique_ptr<CheckerFaultHook> checker_hook(std::uint64_t ordinal) const;
+
+  static void flip_register(arch::ArchState& state, unsigned unified_reg,
+                            unsigned bit);
+  static std::uint64_t apply_stuck_bit(std::uint64_t value, unsigned bit,
+                                       bool stuck_value);
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace paradet::core

@@ -1,0 +1,7 @@
+#include "core/load_forwarding_unit.h"
+
+namespace paradet::core {
+
+// Header-only; anchor translation unit.
+
+}  // namespace paradet::core

@@ -1,0 +1,80 @@
+// The load forwarding unit (§IV-C, fig. 5). Loads are duplicated into this
+// ROB-ID-tagged SRAM table *immediately* when the cache (or the store
+// queue) supplies the value — while the value is still protected by ECC —
+// and drained into the load-store log when the load commits. This closes
+// the window of vulnerability in which an error striking the loaded value
+// inside the main core (e.g. in a physical register) would otherwise be
+// forwarded to the checker cores and mask itself.
+//
+// The table has one slot per ROB entry. Mis-speculated loads are never
+// drained and need no flush: their slots are simply overwritten when the
+// ROB entry is reallocated (fig. 5, yellow entries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paradet::core {
+
+class LoadForwardingUnit {
+ public:
+  struct Entry {
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    std::uint8_t size = 0;
+    /// Tag: which dynamic micro-op captured this slot. Guards against
+    /// draining a stale value after a squash reallocated the ROB entry.
+    UopSeq seq = 0;
+    bool valid = false;
+  };
+
+  explicit LoadForwardingUnit(unsigned rob_entries)
+      : slots_(rob_entries) {}
+
+  unsigned capacity() const { return static_cast<unsigned>(slots_.size()); }
+
+  /// Captures a load's value at cache-access time (speculative: the load
+  /// may later squash). `rob_id` is the load's ROB slot.
+  void capture(unsigned rob_id, UopSeq seq, Addr addr, std::uint64_t value,
+               std::uint8_t size) {
+    Entry& slot = slots_.at(rob_id);
+    slot = Entry{addr, value, size, seq, true};
+    ++captures_;
+  }
+
+  /// Drains the captured copy at commit. The tag must match: a mismatch
+  /// means the caller is committing a load whose slot was never captured,
+  /// which is a simulator invariant violation (not a modelled fault).
+  Entry drain(unsigned rob_id, UopSeq seq) {
+    Entry& slot = slots_.at(rob_id);
+    Entry out = slot;
+    out.valid = slot.valid && slot.seq == seq;
+    slot.valid = false;
+    ++drains_;
+    return out;
+  }
+
+  /// Fault-injection hook: corrupts the *captured copy* (models an error
+  /// striking the LFU SRAM itself, or — in the pre-LFU site — an error on
+  /// the fill path that both copies inherit).
+  void corrupt(unsigned rob_id, unsigned bit) {
+    Entry& slot = slots_.at(rob_id);
+    slot.value ^= std::uint64_t{1} << (bit & 63);
+  }
+
+  std::uint64_t captures() const { return captures_; }
+  std::uint64_t drains() const { return drains_; }
+
+  /// SRAM bytes for the area model: addr + value + size/valid metadata per
+  /// ROB entry.
+  std::uint64_t sram_bytes() const { return slots_.size() * 18; }
+
+ private:
+  std::vector<Entry> slots_;
+  std::uint64_t captures_ = 0;
+  std::uint64_t drains_ = 0;
+};
+
+}  // namespace paradet::core

@@ -1,0 +1,12 @@
+// LoadStoreLog is header-only (hot path, inlined into the commit loop);
+// this translation unit exists to anchor the header's symbols and to catch
+// ODR issues early.
+#include "core/load_store_log.h"
+
+namespace paradet::core {
+
+static_assert(sizeof(LogEntry) <= 48,
+              "LogEntry is a modelling structure; the modelled SRAM cost is "
+              "LogConfig::entry_bytes, not sizeof(LogEntry)");
+
+}  // namespace paradet::core

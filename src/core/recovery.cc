@@ -1,0 +1,39 @@
+#include "core/recovery.h"
+
+namespace paradet::core {
+
+std::uint64_t UndoLog::rollback(arch::SparseMemory& memory,
+                                std::uint64_t from_ordinal) const {
+  std::uint64_t undone = 0;
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->segment_ordinal < from_ordinal) continue;
+    memory.write(it->addr, it->old_value, it->size);
+    ++undone;
+  }
+  return undone;
+}
+
+RecoveryOutcome recover_and_replay(arch::SparseMemory& memory,
+                                   const UndoLog& undo_log,
+                                   std::uint64_t from_ordinal,
+                                   const RegisterCheckpoint& restore_point,
+                                   std::uint64_t max_instructions) {
+  RecoveryOutcome outcome;
+  outcome.stores_rolled_back = undo_log.rollback(memory, from_ordinal);
+
+  // Re-execute from the proven-correct checkpoint. The replay runs on the
+  // golden functional model: in hardware this is simply the main core
+  // resuming from the restored architectural state, with checking
+  // restarting alongside.
+  arch::ArchState state = restore_point.state;
+  std::uint64_t cycle = 0;
+  arch::MemoryDataPort port(memory, cycle);
+  arch::Machine machine(memory, port);
+  outcome.replay_trap =
+      machine.run(state, max_instructions, &outcome.instructions_replayed);
+  outcome.final_state = state;
+  outcome.recovered = outcome.replay_trap == arch::Trap::kHalt;
+  return outcome;
+}
+
+}  // namespace paradet::core

@@ -1,0 +1,84 @@
+// Error *correction* on top of the paper's detection scheme -- the §VIII
+// future-work direction, built with the write-ahead-logging recovery the
+// paper cites in §IV-F.
+//
+// Detection deliberately lets potentially-faulty stores escape to memory
+// (§IV-F): holding them back would serialise checking. To add correction,
+// the commit stage additionally records each store's *old* value in an
+// undo log, tagged with the segment ordinal it belongs to. Once a
+// segment's check validates, its undo records are dead and can be
+// discarded (strong induction: everything before it is known-good). When
+// a check fails, every store belonging to segments at or after the first
+// failing ordinal is rolled back newest-first, the register file is
+// restored from the failing segment's start checkpoint -- which the
+// induction argument has just proven correct -- and execution re-runs
+// from there. A transient fault does not recur, so re-execution completes
+// cleanly; a hard fault would be re-detected and escalated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/interpreter.h"
+#include "arch/memory.h"
+#include "common/types.h"
+#include "core/checkpoint.h"
+
+namespace paradet::core {
+
+/// One write-ahead undo record: enough to reverse a committed store.
+struct UndoRecord {
+  std::uint64_t segment_ordinal = 0;
+  Addr addr = 0;
+  std::uint64_t old_value = 0;
+  std::uint8_t size = 0;
+};
+
+/// Commit-order undo log. Records are appended as stores commit; rollback
+/// walks them newest-first so overlapping stores reverse correctly.
+class UndoLog {
+ public:
+  void record(std::uint64_t segment_ordinal, Addr addr,
+              std::uint64_t old_value, std::uint8_t size) {
+    records_.push_back(UndoRecord{segment_ordinal, addr, old_value, size});
+  }
+
+  /// Discards records for segments proven correct (ordinal < `validated`).
+  /// In hardware this is a head-pointer advance; here we compact.
+  void discard_below(std::uint64_t validated) {
+    std::erase_if(records_, [validated](const UndoRecord& r) {
+      return r.segment_ordinal < validated;
+    });
+  }
+
+  /// Reverses every store belonging to segments >= `from_ordinal`,
+  /// newest-first. Returns the number of stores undone.
+  std::uint64_t rollback(arch::SparseMemory& memory,
+                         std::uint64_t from_ordinal) const;
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<UndoRecord>& records() const { return records_; }
+
+ private:
+  std::vector<UndoRecord> records_;
+};
+
+/// Outcome of a rollback + re-execution attempt.
+struct RecoveryOutcome {
+  bool recovered = false;
+  std::uint64_t stores_rolled_back = 0;
+  std::uint64_t instructions_replayed = 0;
+  arch::Trap replay_trap = arch::Trap::kNone;
+  arch::ArchState final_state;
+};
+
+/// Rolls `memory` back to the start of `restore_point`'s segment and
+/// functionally re-executes until HALT/FAULT or `max_instructions`.
+/// `from_ordinal` is the first failing segment (DetectionEvent ordinal).
+RecoveryOutcome recover_and_replay(arch::SparseMemory& memory,
+                                   const UndoLog& undo_log,
+                                   std::uint64_t from_ordinal,
+                                   const RegisterCheckpoint& restore_point,
+                                   std::uint64_t max_instructions);
+
+}  // namespace paradet::core

@@ -1,0 +1,737 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <optional>
+
+#include "isa/encoding.h"
+
+namespace paradet::isa {
+namespace {
+
+/// Reserved assembler temporary for multi-instruction expansions.
+constexpr RegIndex kAsmTemp = 31;  // x31 / t6
+
+struct IntAlias {
+  std::string_view name;
+  RegIndex index;
+};
+
+constexpr IntAlias kIntAliases[] = {
+    {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},
+    {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},   {"fp", 8},
+    {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12},  {"a3", 13},
+    {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17},  {"s2", 18},
+    {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22},  {"s7", 23},
+    {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+    {"t4", 29},  {"t5", 30}, {"t6", 31},
+};
+
+constexpr IntAlias kFpAliases[] = {
+    {"ft0", 0},   {"ft1", 1},   {"ft2", 2},  {"ft3", 3},  {"ft4", 4},
+    {"ft5", 5},   {"ft6", 6},   {"ft7", 7},  {"fs0", 8},  {"fs1", 9},
+    {"fa0", 10},  {"fa1", 11},  {"fa2", 12}, {"fa3", 13}, {"fa4", 14},
+    {"fa5", 15},  {"fa6", 16},  {"fa7", 17}, {"fs2", 18}, {"fs3", 19},
+    {"fs4", 20},  {"fs5", 21},  {"fs6", 22}, {"fs7", 23}, {"fs8", 24},
+    {"fs9", 25},  {"fs10", 26}, {"fs11", 27},{"ft8", 28}, {"ft9", 29},
+    {"ft10", 30}, {"ft11", 31},
+};
+
+bool parse_plain_reg(std::string_view name, char prefix, RegIndex& out) {
+  if (name.size() < 2 || name.size() > 3 || name[0] != prefix) return false;
+  unsigned value = 0;
+  const auto* begin = name.data() + 1;
+  const auto* end = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value >= 32) return false;
+  out = static_cast<RegIndex>(value);
+  return true;
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+/// Splits on commas at top level (not inside parentheses).
+std::vector<std::string_view> split_operands(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t depth = 0, start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')' && depth > 0) --depth;
+    if (s[i] == ',' && depth == 0) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  const auto last = trim(s.substr(start));
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+bool parse_int(std::string_view text, std::int64_t& out) {
+  text = trim(text);
+  if (text.empty()) return false;
+  bool negate = false;
+  if (text.front() == '-') {
+    negate = true;
+    text.remove_prefix(1);
+  } else if (text.front() == '+') {
+    text.remove_prefix(1);
+  }
+  int base = 10;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  std::uint64_t magnitude = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), magnitude, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  out = negate ? -static_cast<std::int64_t>(magnitude)
+               : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+/// A single parsed statement: either a directive or an instruction, kept as
+/// raw operand text until pass 2 (when symbols are known).
+struct Statement {
+  int line = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  Addr address = 0;   ///< location counter at this statement (pass 1).
+  unsigned size = 0;  ///< bytes emitted.
+};
+
+class Assembler {
+ public:
+  Assembled run(std::string_view source) {
+    parse_lines(source);
+    if (result_.errors.empty()) layout();
+    if (result_.errors.empty()) emit();
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  // ---- Pass 0: split into statements and record label positions lazily.
+  void parse_lines(std::string_view source) {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const auto nl = source.find('\n', pos);
+      std::string_view line = source.substr(
+          pos, nl == std::string_view::npos ? source.size() - pos : nl - pos);
+      pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+      ++line_no;
+
+      if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+        line = line.substr(0, hash);
+      }
+      if (const auto semi = line.find(';'); semi != std::string_view::npos) {
+        line = line.substr(0, semi);
+      }
+      line = trim(line);
+
+      // Peel off leading labels.
+      while (!line.empty()) {
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        const auto candidate = trim(line.substr(0, colon));
+        if (candidate.empty() || !is_symbol(candidate)) break;
+        Statement label_stmt;
+        label_stmt.line = line_no;
+        label_stmt.mnemonic = ":label";
+        label_stmt.operands.push_back(std::string(candidate));
+        statements_.push_back(std::move(label_stmt));
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      Statement stmt;
+      stmt.line = line_no;
+      const auto space = line.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        stmt.mnemonic = std::string(line);
+      } else {
+        stmt.mnemonic = std::string(line.substr(0, space));
+        for (const auto op : split_operands(trim(line.substr(space + 1)))) {
+          stmt.operands.emplace_back(op);
+        }
+      }
+      statements_.push_back(std::move(stmt));
+    }
+  }
+
+  static bool is_symbol(std::string_view s) {
+    if (s.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' ||
+          s[0] == '.')) {
+      return false;
+    }
+    for (const char c : s) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.')) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- Pass 1: assign addresses, record symbols.
+  void layout() {
+    Addr lc = kDefaultBase;
+    for (auto& stmt : statements_) {
+      stmt.address = lc;
+      if (stmt.mnemonic == ":label") {
+        define_symbol(stmt, stmt.operands[0], lc);
+        continue;
+      }
+      if (stmt.mnemonic[0] == '.') {
+        stmt.size = directive_size(stmt, lc);
+        lc = stmt.mnemonic == ".org" ? stmt.address : lc + stmt.size;
+        continue;
+      }
+      stmt.size = instruction_size(stmt);
+      lc += stmt.size;
+    }
+  }
+
+  void define_symbol(const Statement& stmt, const std::string& name, Addr a) {
+    if (result_.symbols.contains(name)) {
+      error(stmt, "duplicate label '" + name + "'");
+      return;
+    }
+    result_.symbols.emplace(name, a);
+  }
+
+  /// Computes a directive's size and, for .org/.align, updates the
+  /// statement's address in place.
+  unsigned directive_size(Statement& stmt, Addr lc) {
+    const auto& d = stmt.mnemonic;
+    if (d == ".org") {
+      std::int64_t target = 0;
+      if (stmt.operands.size() != 1 || !parse_int(stmt.operands[0], target)) {
+        error(stmt, ".org requires one numeric operand");
+        return 0;
+      }
+      stmt.address = static_cast<Addr>(target);
+      return 0;
+    }
+    if (d == ".align") {
+      std::int64_t alignment = 0;
+      if (stmt.operands.size() != 1 || !parse_int(stmt.operands[0], alignment) ||
+          alignment <= 0 || (alignment & (alignment - 1)) != 0) {
+        error(stmt, ".align requires one power-of-two operand");
+        return 0;
+      }
+      const Addr mask = static_cast<Addr>(alignment) - 1;
+      return static_cast<unsigned>(((lc + mask) & ~mask) - lc);
+    }
+    if (d == ".byte") return stmt.operands.size() * 1;
+    if (d == ".half") return stmt.operands.size() * 2;
+    if (d == ".word") return stmt.operands.size() * 4;
+    if (d == ".quad") return stmt.operands.size() * 8;
+    if (d == ".double") return stmt.operands.size() * 8;
+    if (d == ".zero" || d == ".space") {
+      std::int64_t n = 0;
+      if (stmt.operands.size() != 1 || !parse_int(stmt.operands[0], n) ||
+          n < 0) {
+        error(stmt, d + " requires one non-negative operand");
+        return 0;
+      }
+      return static_cast<unsigned>(n);
+    }
+    error(stmt, "unknown directive '" + d + "'");
+    return 0;
+  }
+
+  /// Size of an instruction or pseudo-instruction in bytes. Expansions are
+  /// sized here (pass 1) and must emit exactly this in pass 2.
+  unsigned instruction_size(const Statement& stmt) {
+    const auto& m = stmt.mnemonic;
+    if (m == "li") {
+      std::int64_t value = 0;
+      if (stmt.operands.size() == 2 && parse_int(stmt.operands[1], value)) {
+        return li_length(value) * 4;
+      }
+      error(stmt, "li requires a register and a numeric constant");
+      return 4;
+    }
+    if (m == "la") return 2 * 4;  // always lui+ori: forward labels allowed.
+    return 4;  // everything else, including 1:1 pseudos.
+  }
+
+  static unsigned li_length(std::int64_t value) {
+    if (value >= kImm14Min && value <= kImm14Max) return 1;
+    if (value >= INT32_MIN && value <= INT32_MAX) return 2;
+    return 8;
+  }
+
+  // ---- Pass 2: emit bytes.
+  void emit() {
+    for (const auto& stmt : statements_) {
+      if (stmt.mnemonic == ":label") continue;
+      if (stmt.mnemonic[0] == '.') {
+        emit_directive(stmt);
+        continue;
+      }
+      emit_instruction(stmt);
+    }
+  }
+
+  void emit_directive(const Statement& stmt) {
+    const auto& d = stmt.mnemonic;
+    if (d == ".org") return;
+    if (d == ".align") {
+      for (unsigned i = 0; i < stmt.size; ++i) put_byte(stmt.address + i, 0);
+      return;
+    }
+    if (d == ".zero" || d == ".space") {
+      for (unsigned i = 0; i < stmt.size; ++i) put_byte(stmt.address + i, 0);
+      return;
+    }
+    if (d == ".double") {
+      Addr a = stmt.address;
+      for (const auto& operand : stmt.operands) {
+        char* end = nullptr;
+        const double v = std::strtod(operand.c_str(), &end);
+        if (end != operand.c_str() + operand.size()) {
+          error(stmt, "bad double literal '" + operand + "'");
+          return;
+        }
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        put_scalar(a, bits, 8);
+        a += 8;
+      }
+      return;
+    }
+    unsigned width = 0;
+    if (d == ".byte") width = 1;
+    if (d == ".half") width = 2;
+    if (d == ".word") width = 4;
+    if (d == ".quad") width = 8;
+    if (width == 0) return;  // already diagnosed in pass 1.
+    Addr a = stmt.address;
+    for (const auto& operand : stmt.operands) {
+      std::int64_t v = 0;
+      if (!eval(stmt, operand, v)) return;
+      put_scalar(a, static_cast<std::uint64_t>(v), width);
+      a += width;
+    }
+  }
+
+  /// Evaluates an immediate expression: integer, symbol, or symbol±offset.
+  bool eval(const Statement& stmt, std::string_view text, std::int64_t& out) {
+    text = trim(text);
+    if (parse_int(text, out)) return true;
+    // symbol, symbol+imm, symbol-imm
+    std::size_t split = text.npos;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+      if (text[i] == '+' || text[i] == '-') {
+        split = i;
+        break;
+      }
+    }
+    const auto sym = std::string(trim(text.substr(0, split)));
+    const auto it = result_.symbols.find(sym);
+    if (it == result_.symbols.end()) {
+      error(stmt, "undefined symbol '" + sym + "'");
+      return false;
+    }
+    std::int64_t offset = 0;
+    if (split != text.npos && !parse_int(text.substr(split), offset)) {
+      error(stmt, "bad offset in '" + std::string(text) + "'");
+      return false;
+    }
+    out = static_cast<std::int64_t>(it->second) + offset;
+    return true;
+  }
+
+  bool reg_operand(const Statement& stmt, std::string_view text, bool want_fp,
+                   RegIndex& out) {
+    bool is_fp = false;
+    if (!parse_register(trim(text), out, is_fp)) {
+      error(stmt, "bad register '" + std::string(text) + "'");
+      return false;
+    }
+    if (is_fp != want_fp) {
+      error(stmt, std::string(want_fp ? "expected fp" : "expected int") +
+                      " register, got '" + std::string(text) + "'");
+      return false;
+    }
+    return true;
+  }
+
+  /// Parses "imm(reg)" into displacement + base register.
+  bool mem_operand(const Statement& stmt, std::string_view text,
+                   std::int64_t& disp, RegIndex& base) {
+    text = trim(text);
+    const auto open = text.find('(');
+    const auto close = text.rfind(')');
+    if (open == text.npos || close == text.npos || close < open) {
+      error(stmt, "expected imm(reg), got '" + std::string(text) + "'");
+      return false;
+    }
+    const auto disp_text = trim(text.substr(0, open));
+    disp = 0;
+    if (!disp_text.empty() && !eval(stmt, disp_text, disp)) return false;
+    return reg_operand(stmt, text.substr(open + 1, close - open - 1),
+                       /*want_fp=*/false, base);
+  }
+
+  void emit_inst_word(const Statement& stmt, Addr at, const Inst& inst) {
+    if (!immediate_fits(inst)) {
+      error(stmt, "immediate out of range");
+      return;
+    }
+    put_scalar(at, encode(inst), 4);
+  }
+
+  void emit_instruction(const Statement& stmt) {
+    const auto& m = stmt.mnemonic;
+    const auto& ops = stmt.operands;
+    const Addr pc = stmt.address;
+
+    const auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        error(stmt, m + " expects " + std::to_string(n) + " operands, got " +
+                        std::to_string(ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    // -- Pseudo-instructions -------------------------------------------
+    if (m == "nop") {
+      if (expect(0)) emit_inst_word(stmt, pc, Inst{Opcode::kAddi, 0, 0, 0, 0, 0});
+      return;
+    }
+    if (m == "mv") {
+      RegIndex rd = 0, rs = 0;
+      if (expect(2) && reg_operand(stmt, ops[0], false, rd) &&
+          reg_operand(stmt, ops[1], false, rs)) {
+        emit_inst_word(stmt, pc, Inst{Opcode::kAddi, rd, rs, 0, 0, 0});
+      }
+      return;
+    }
+    if (m == "fmv") {
+      RegIndex rd = 0, rs = 0;
+      if (expect(2) && reg_operand(stmt, ops[0], true, rd) &&
+          reg_operand(stmt, ops[1], true, rs)) {
+        emit_inst_word(stmt, pc, Inst{Opcode::kFabs, rd, rs, 0, 0, 0});
+      }
+      return;
+    }
+    if (m == "not") {
+      RegIndex rd = 0, rs = 0;
+      if (expect(2) && reg_operand(stmt, ops[0], false, rd) &&
+          reg_operand(stmt, ops[1], false, rs)) {
+        emit_inst_word(stmt, pc, Inst{Opcode::kXori, rd, rs, 0, 0, -1});
+      }
+      return;
+    }
+    if (m == "neg") {
+      RegIndex rd = 0, rs = 0;
+      if (expect(2) && reg_operand(stmt, ops[0], false, rd) &&
+          reg_operand(stmt, ops[1], false, rs)) {
+        emit_inst_word(stmt, pc, Inst{Opcode::kSub, rd, 0, rs, 0, 0});
+      }
+      return;
+    }
+    if (m == "li") {
+      RegIndex rd = 0;
+      std::int64_t value = 0;
+      if (!expect(2) || !reg_operand(stmt, ops[0], false, rd)) return;
+      if (!parse_int(ops[1], value)) {
+        error(stmt, "li requires a numeric constant");
+        return;
+      }
+      emit_li(stmt, pc, rd, value);
+      return;
+    }
+    if (m == "la") {
+      RegIndex rd = 0;
+      std::int64_t value = 0;
+      if (!expect(2) || !reg_operand(stmt, ops[0], false, rd)) return;
+      if (!eval(stmt, ops[1], value)) return;
+      if (value < 0 || value > INT32_MAX) {
+        error(stmt, "la target outside 31-bit address space");
+        return;
+      }
+      emit_lui_ori(stmt, pc, rd, static_cast<std::int32_t>(value));
+      return;
+    }
+    if (m == "j") {
+      std::int64_t target = 0;
+      if (expect(1) && eval(stmt, ops[0], target)) {
+        emit_inst_word(stmt, pc,
+                       Inst{Opcode::kJal, 0, 0, 0, 0, target - (std::int64_t)pc});
+      }
+      return;
+    }
+    if (m == "call") {
+      std::int64_t target = 0;
+      if (expect(1) && eval(stmt, ops[0], target)) {
+        emit_inst_word(stmt, pc,
+                       Inst{Opcode::kJal, 1, 0, 0, 0, target - (std::int64_t)pc});
+      }
+      return;
+    }
+    if (m == "ret") {
+      if (expect(0)) emit_inst_word(stmt, pc, Inst{Opcode::kJalr, 0, 1, 0, 0, 0});
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      RegIndex rs = 0;
+      std::int64_t target = 0;
+      if (expect(2) && reg_operand(stmt, ops[0], false, rs) &&
+          eval(stmt, ops[1], target)) {
+        const auto op = m == "beqz" ? Opcode::kBeq : Opcode::kBne;
+        emit_inst_word(stmt, pc,
+                       Inst{op, 0, rs, 0, 0, target - (std::int64_t)pc});
+      }
+      return;
+    }
+    if (m == "bgt" || m == "ble") {
+      RegIndex rs1 = 0, rs2 = 0;
+      std::int64_t target = 0;
+      if (expect(3) && reg_operand(stmt, ops[0], false, rs1) &&
+          reg_operand(stmt, ops[1], false, rs2) && eval(stmt, ops[2], target)) {
+        const auto op = m == "bgt" ? Opcode::kBlt : Opcode::kBge;
+        // Swap operands: bgt a,b == blt b,a.
+        emit_inst_word(stmt, pc,
+                       Inst{op, 0, rs2, rs1, 0, target - (std::int64_t)pc});
+      }
+      return;
+    }
+
+    // -- Real opcodes ---------------------------------------------------
+    Opcode op;
+    if (!opcode_from_mnemonic(m, op)) {
+      error(stmt, "unknown mnemonic '" + m + "'");
+      return;
+    }
+    Inst inst;
+    inst.op = op;
+    const bool fp_rd = writes_fp_reg(op) || store_data_is_fp(op);
+    switch (format_of(op)) {
+      case Format::kR: {
+        if (!expect(3)) return;
+        if (!reg_operand(stmt, ops[0], fp_rd, inst.rd)) return;
+        if (!reg_operand(stmt, ops[1], reads_fp_rs1(op), inst.rs1)) return;
+        if (!reg_operand(stmt, ops[2], reads_fp_rs2(op), inst.rs2)) return;
+        break;
+      }
+      case Format::kR1: {
+        if (!expect(2)) return;
+        if (!reg_operand(stmt, ops[0], fp_rd, inst.rd)) return;
+        if (!reg_operand(stmt, ops[1], reads_fp_rs1(op), inst.rs1)) return;
+        break;
+      }
+      case Format::kR4: {
+        if (!expect(4)) return;
+        if (!reg_operand(stmt, ops[0], fp_rd, inst.rd)) return;
+        if (!reg_operand(stmt, ops[1], true, inst.rs1)) return;
+        if (!reg_operand(stmt, ops[2], true, inst.rs2)) return;
+        if (!reg_operand(stmt, ops[3], true, inst.rs3)) return;
+        break;
+      }
+      case Format::kI: {
+        if (is_load(op) || op == Opcode::kJalr) {
+          if (op == Opcode::kJalr && ops.size() == 3) {
+            // jalr rd, rs1, imm form.
+            if (!reg_operand(stmt, ops[0], false, inst.rd)) return;
+            if (!reg_operand(stmt, ops[1], false, inst.rs1)) return;
+            if (!eval(stmt, ops[2], inst.imm)) return;
+            break;
+          }
+          if (!expect(2)) return;
+          if (!reg_operand(stmt, ops[0], fp_rd, inst.rd)) return;
+          if (!mem_operand(stmt, ops[1], inst.imm, inst.rs1)) return;
+          break;
+        }
+        if (!expect(3)) return;
+        if (!reg_operand(stmt, ops[0], false, inst.rd)) return;
+        if (!reg_operand(stmt, ops[1], false, inst.rs1)) return;
+        if (!eval(stmt, ops[2], inst.imm)) return;
+        break;
+      }
+      case Format::kS: {
+        if (!expect(2)) return;
+        if (!reg_operand(stmt, ops[0], store_data_is_fp(op), inst.rd)) return;
+        if (!mem_operand(stmt, ops[1], inst.imm, inst.rs1)) return;
+        if (is_macro(op) && inst.rd >= 31) {
+          error(stmt, "ldp/stp register pair must be below x31");
+          return;
+        }
+        break;
+      }
+      case Format::kB: {
+        if (!expect(3)) return;
+        if (!reg_operand(stmt, ops[0], false, inst.rs1)) return;
+        if (!reg_operand(stmt, ops[1], false, inst.rs2)) return;
+        std::int64_t target = 0;
+        if (!eval(stmt, ops[2], target)) return;
+        inst.imm = target - static_cast<std::int64_t>(pc);
+        break;
+      }
+      case Format::kJ: {
+        if (!expect(2)) return;
+        if (!reg_operand(stmt, ops[0], false, inst.rd)) return;
+        std::int64_t target = 0;
+        if (!eval(stmt, ops[1], target)) return;
+        inst.imm = target - static_cast<std::int64_t>(pc);
+        break;
+      }
+      case Format::kU: {
+        if (!expect(2)) return;
+        if (!reg_operand(stmt, ops[0], false, inst.rd)) return;
+        if (!eval(stmt, ops[1], inst.imm)) return;
+        break;
+      }
+      case Format::kSys: {
+        if (op == Opcode::kRdcycle) {
+          if (!expect(1) || !reg_operand(stmt, ops[0], false, inst.rd)) return;
+        } else if (!expect(0)) {
+          return;
+        }
+        break;
+      }
+    }
+    emit_inst_word(stmt, pc, inst);
+  }
+
+  void emit_lui_ori(const Statement& stmt, Addr at, RegIndex rd,
+                    std::int32_t value) {
+    const std::int64_t hi = value >> 13;          // arithmetic shift.
+    const std::int64_t lo = value & 0x1FFF;       // positive 13-bit.
+    emit_inst_word(stmt, at, Inst{Opcode::kLui, rd, 0, 0, 0, hi});
+    emit_inst_word(stmt, at + 4, Inst{Opcode::kOri, rd, rd, 0, 0, lo});
+  }
+
+  void emit_li(const Statement& stmt, Addr at, RegIndex rd,
+               std::int64_t value) {
+    const unsigned len = li_length(value);
+    if (len == 1) {
+      emit_inst_word(stmt, at, Inst{Opcode::kAddi, rd, 0, 0, 0, value});
+      return;
+    }
+    if (len == 2) {
+      emit_lui_ori(stmt, at, rd, static_cast<std::int32_t>(value));
+      return;
+    }
+    // 64-bit constant: build high 32 in rd, shift, build zero-extended low
+    // 32 in the assembler temp, then OR. 8 instructions.
+    if (rd == kAsmTemp) {
+      error(stmt, "li of a 64-bit constant cannot target x31 (asm temp)");
+      return;
+    }
+    const auto hi32 = static_cast<std::int32_t>(value >> 32);
+    const auto lo32 = static_cast<std::int32_t>(value & 0xFFFFFFFF);
+    emit_lui_ori(stmt, at, rd, hi32);
+    emit_inst_word(stmt, at + 8, Inst{Opcode::kSlli, rd, rd, 0, 0, 32});
+    emit_lui_ori(stmt, at + 12, kAsmTemp, lo32);
+    emit_inst_word(stmt, at + 20,
+                   Inst{Opcode::kSlli, kAsmTemp, kAsmTemp, 0, 0, 32});
+    emit_inst_word(stmt, at + 24,
+                   Inst{Opcode::kSrli, kAsmTemp, kAsmTemp, 0, 0, 32});
+    emit_inst_word(stmt, at + 28, Inst{Opcode::kOr, rd, rd, kAsmTemp, 0, 0});
+  }
+
+  // ---- Output image ---------------------------------------------------
+  void put_byte(Addr a, std::uint8_t b) { image_.emplace_back(a, b); }
+
+  void put_scalar(Addr a, std::uint64_t v, unsigned width) {
+    for (unsigned i = 0; i < width; ++i) {
+      put_byte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void finish() {
+    if (!result_.errors.empty()) {
+      result_.ok = false;
+      return;
+    }
+    // Coalesce the byte list into contiguous chunks.
+    std::sort(image_.begin(), image_.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [addr, byte] : image_) {
+      if (!result_.chunks.empty()) {
+        auto& back = result_.chunks.back();
+        const Addr next = back.base + back.bytes.size();
+        if (addr == next) {
+          back.bytes.push_back(byte);
+          continue;
+        }
+        if (addr < next) {
+          result_.ok = false;
+          result_.errors.push_back("overlapping emission at address " +
+                                   std::to_string(addr));
+          return;
+        }
+      }
+      result_.chunks.push_back({addr, {byte}});
+    }
+    if (const auto it = result_.symbols.find("_start");
+        it != result_.symbols.end()) {
+      result_.entry = it->second;
+    } else if (!result_.chunks.empty()) {
+      result_.entry = result_.chunks.front().base;
+    }
+    result_.ok = true;
+  }
+
+  void error(const Statement& stmt, std::string message) {
+    result_.errors.push_back("line " + std::to_string(stmt.line) + ": " +
+                             std::move(message));
+  }
+
+  static constexpr Addr kDefaultBase = 0x1000;
+
+  std::vector<Statement> statements_;
+  std::vector<std::pair<Addr, std::uint8_t>> image_;
+  Assembled result_;
+};
+
+}  // namespace
+
+bool parse_register(std::string_view name, RegIndex& out, bool& is_fp) {
+  if (parse_plain_reg(name, 'x', out)) {
+    is_fp = false;
+    return true;
+  }
+  if (parse_plain_reg(name, 'f', out)) {
+    is_fp = true;
+    return true;
+  }
+  for (const auto& alias : kIntAliases) {
+    if (alias.name == name) {
+      out = alias.index;
+      is_fp = false;
+      return true;
+    }
+  }
+  for (const auto& alias : kFpAliases) {
+    if (alias.name == name) {
+      out = alias.index;
+      is_fp = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+Assembled assemble(std::string_view source) {
+  return Assembler{}.run(source);
+}
+
+}  // namespace paradet::isa

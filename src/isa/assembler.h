@@ -1,0 +1,59 @@
+// Two-pass SRV64 assembler. Workloads (src/workloads) are written as
+// assembly text and assembled into sparse memory images at library build
+// time (no external toolchain).
+//
+// Syntax summary:
+//   label:                     ; labels, one or more per line
+//   add  rd, rs1, rs2          ; R-type
+//   addi rd, rs1, imm          ; I-type
+//   ld   rd, imm(rs1)          ; loads (also ldp rd, imm(rs1))
+//   sd   rs, imm(rs1)          ; stores (also stp rs, imm(rs1))
+//   beq  rs1, rs2, target      ; branches take labels or immediates
+//   jal  rd, target / j target / call target / ret
+//   lui  rd, imm19
+//   halt / fault / ebreak / rdcycle rd
+// Pseudo-instructions: nop, mv, li (multi-instruction expansion; may use
+// the reserved assembler temporary x31/t6 for 64-bit constants), la,
+// not, neg, beqz, bnez, bgt, ble, fmv.
+// Directives: .org, .align, .byte, .half, .word, .quad, .double,
+// .zero/.space.
+// Comments: '#' or ';' to end of line. Integer registers accept x0..x31
+// and RISC-V-style ABI aliases; fp registers accept f0..f31 and ft/fa/fs
+// aliases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace paradet::isa {
+
+/// Result of assembling a source file: a sparse set of byte chunks plus the
+/// symbol table. On failure `ok` is false and `errors` lists diagnostics
+/// ("line N: message").
+struct Assembled {
+  struct Chunk {
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Chunk> chunks;
+  std::unordered_map<std::string, Addr> symbols;
+  /// Entry point: the `_start` symbol if defined, else the lowest chunk.
+  Addr entry = 0;
+  bool ok = false;
+  std::vector<std::string> errors;
+};
+
+/// Assembles SRV64 source text. Never throws; diagnostics are returned.
+Assembled assemble(std::string_view source);
+
+/// Parses a register name ("x7", "t0", "a3", "f4", "fa1"...). Returns false
+/// if unknown. `is_fp` reports the register file the name belongs to.
+bool parse_register(std::string_view name, RegIndex& out, bool& is_fp);
+
+}  // namespace paradet::isa

@@ -1,0 +1,36 @@
+#include "isa/crack.h"
+
+namespace paradet::isa {
+
+CrackedInst crack(const Inst& inst) {
+  CrackedInst out;
+  if (inst.op == Opcode::kLdp) {
+    Inst lo = inst;
+    lo.op = Opcode::kLd;
+    Inst hi = inst;
+    hi.op = Opcode::kLd;
+    hi.rd = static_cast<RegIndex>(inst.rd + 1);
+    hi.imm = inst.imm + 8;
+    out.uops[0] = Uop{lo, 0, 2};
+    out.uops[1] = Uop{hi, 1, 2};
+    out.count = 2;
+    return out;
+  }
+  if (inst.op == Opcode::kStp) {
+    Inst lo = inst;
+    lo.op = Opcode::kSd;
+    Inst hi = inst;
+    hi.op = Opcode::kSd;
+    hi.rd = static_cast<RegIndex>(inst.rd + 1);
+    hi.imm = inst.imm + 8;
+    out.uops[0] = Uop{lo, 0, 2};
+    out.uops[1] = Uop{hi, 1, 2};
+    out.count = 2;
+    return out;
+  }
+  out.uops[0] = Uop{inst, 0, 1};
+  out.count = 1;
+  return out;
+}
+
+}  // namespace paradet::isa

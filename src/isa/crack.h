@@ -1,0 +1,39 @@
+// Macro-op cracking. The main core's decoder splits macro-ops (LDP, STP)
+// into micro-ops; the load-store log and the checker cores operate at
+// micro-op granularity, while register checkpoints must land on macro-op
+// boundaries (§IV-D).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace paradet::isa {
+
+/// One micro-op produced by cracking a macro-op (or the identity micro-op
+/// of a simple instruction). Micro-ops reuse the Inst encoding with
+/// adjusted register/immediate fields.
+struct Uop {
+  Inst inst;
+  /// Index of this micro-op within its parent macro-op (0-based).
+  std::uint8_t index = 0;
+  /// Total number of micro-ops in the parent macro-op.
+  std::uint8_t count = 1;
+
+  bool first() const { return index == 0; }
+  bool last() const { return index + 1 == count; }
+};
+
+/// Fixed-capacity result buffer; no SRV64 instruction cracks into more than
+/// kMaxUops micro-ops.
+inline constexpr unsigned kMaxUops = 2;
+
+struct CrackedInst {
+  Uop uops[kMaxUops];
+  unsigned count = 0;
+};
+
+/// Cracks an instruction into micro-ops.
+CrackedInst crack(const Inst& inst);
+
+}  // namespace paradet::isa

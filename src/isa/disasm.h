@@ -1,0 +1,15 @@
+// SRV64 disassembly, for debugging, error reports and round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace paradet::isa {
+
+/// Renders a decoded instruction in assembler syntax, e.g.
+/// "add x3, x4, x5" or "ld x7, 16(x2)". Immediates are decimal. Branch and
+/// jump targets are rendered as relative offsets ("beq x1, x2, .+16").
+std::string disassemble(const Inst& inst);
+
+}  // namespace paradet::isa

@@ -1,0 +1,119 @@
+#include "isa/encoding.h"
+
+#include <cassert>
+
+namespace paradet::isa {
+namespace {
+
+constexpr std::uint32_t field_a(std::uint32_t r) { return (r & 0x1F) << 19; }
+constexpr std::uint32_t field_b(std::uint32_t r) { return (r & 0x1F) << 14; }
+constexpr std::uint32_t field_c(std::uint32_t r) { return (r & 0x1F) << 9; }
+
+constexpr std::int64_t sext(std::uint32_t value, unsigned bits) {
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  const std::uint64_t v = value & mask;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+}  // namespace
+
+bool immediate_fits(const Inst& inst) {
+  switch (format_of(inst.op)) {
+    case Format::kI:
+    case Format::kS:
+    case Format::kB:
+      return inst.imm >= kImm14Min && inst.imm <= kImm14Max;
+    case Format::kJ:
+    case Format::kU:
+      return inst.imm >= kImm19Min && inst.imm <= kImm19Max;
+    default:
+      return true;
+  }
+}
+
+std::uint32_t encode(const Inst& inst) {
+  assert(immediate_fits(inst));
+  std::uint32_t word = static_cast<std::uint32_t>(inst.op) << 24;
+  switch (format_of(inst.op)) {
+    case Format::kR:
+      word |= field_a(inst.rd) | field_b(inst.rs1) | field_c(inst.rs2);
+      break;
+    case Format::kR1:
+      word |= field_a(inst.rd) | field_b(inst.rs1);
+      break;
+    case Format::kR4:
+      word |= field_a(inst.rd) | field_b(inst.rs1) | field_c(inst.rs2) |
+              ((inst.rs3 & 0x1F) << 4);
+      break;
+    case Format::kI:
+    case Format::kS:
+      word |= field_a(inst.rd) | field_b(inst.rs1) |
+              (static_cast<std::uint32_t>(inst.imm) & 0x3FFF);
+      break;
+    case Format::kB:
+      word |= field_a(inst.rs1) | field_b(inst.rs2) |
+              (static_cast<std::uint32_t>(inst.imm) & 0x3FFF);
+      break;
+    case Format::kJ:
+    case Format::kU:
+      word |= field_a(inst.rd) |
+              (static_cast<std::uint32_t>(inst.imm) & 0x7FFFF);
+      break;
+    case Format::kSys:
+      word |= field_a(inst.rd);
+      break;
+  }
+  return word;
+}
+
+std::optional<Inst> decode(std::uint32_t word) {
+  const auto op = static_cast<Opcode>(word >> 24);
+  // Validate via the mnemonic table: unknown opcodes map to "<bad>".
+  if (mnemonic(op) == "<bad>") return std::nullopt;
+
+  Inst inst;
+  inst.op = op;
+  const auto a = static_cast<RegIndex>((word >> 19) & 0x1F);
+  const auto b = static_cast<RegIndex>((word >> 14) & 0x1F);
+  const auto c = static_cast<RegIndex>((word >> 9) & 0x1F);
+  switch (format_of(op)) {
+    case Format::kR:
+      inst.rd = a;
+      inst.rs1 = b;
+      inst.rs2 = c;
+      break;
+    case Format::kR1:
+      inst.rd = a;
+      inst.rs1 = b;
+      break;
+    case Format::kR4:
+      inst.rd = a;
+      inst.rs1 = b;
+      inst.rs2 = c;
+      inst.rs3 = static_cast<RegIndex>((word >> 4) & 0x1F);
+      break;
+    case Format::kI:
+    case Format::kS:
+      inst.rd = a;
+      inst.rs1 = b;
+      inst.imm = sext(word, 14);
+      break;
+    case Format::kB:
+      inst.rs1 = a;
+      inst.rs2 = b;
+      inst.imm = sext(word, 14);
+      break;
+    case Format::kJ:
+    case Format::kU:
+      inst.rd = a;
+      inst.imm = sext(word, 19);
+      break;
+    case Format::kSys:
+      inst.rd = a;
+      break;
+  }
+  return inst;
+}
+
+}  // namespace paradet::isa

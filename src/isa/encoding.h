@@ -1,0 +1,33 @@
+// Binary encoding of SRV64 instructions.
+//
+// All instructions are 32-bit words laid out as:
+//   op[31:24]  a[23:19]  b[18:14]  c[13:9]  rest[8:0]
+// with format-specific interpretation (see Format in isa.h). Immediates are
+// stored in the low bits: imm14 = word[13:0], imm19 = word[18:0], both
+// sign-extended on decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.h"
+
+namespace paradet::isa {
+
+/// Range limits for immediates, used by the assembler for diagnostics.
+inline constexpr std::int64_t kImm14Min = -(1 << 13);
+inline constexpr std::int64_t kImm14Max = (1 << 13) - 1;
+inline constexpr std::int64_t kImm19Min = -(1 << 18);
+inline constexpr std::int64_t kImm19Max = (1 << 18) - 1;
+
+/// True if `inst`'s immediate fits its format's field.
+bool immediate_fits(const Inst& inst);
+
+/// Encodes a decoded instruction into its 32-bit word. The immediate must
+/// fit (checked by assert in debug builds; truncated otherwise).
+std::uint32_t encode(const Inst& inst);
+
+/// Decodes a 32-bit word. Returns nullopt for an unknown opcode byte.
+std::optional<Inst> decode(std::uint32_t word);
+
+}  // namespace paradet::isa

@@ -1,0 +1,291 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <utility>
+
+namespace paradet::isa {
+namespace {
+
+struct OpInfo {
+  Opcode op;
+  std::string_view name;
+  Format format;
+  ExecClass cls;
+};
+
+constexpr std::array kOpTable = {
+    OpInfo{Opcode::kAdd, "add", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSub, "sub", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kAnd, "and", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kOr, "or", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kXor, "xor", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSll, "sll", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSrl, "srl", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSra, "sra", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSlt, "slt", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSltu, "sltu", Format::kR, ExecClass::kIntAlu},
+    OpInfo{Opcode::kMul, "mul", Format::kR, ExecClass::kIntMul},
+    OpInfo{Opcode::kMulh, "mulh", Format::kR, ExecClass::kIntMul},
+    OpInfo{Opcode::kDiv, "div", Format::kR, ExecClass::kIntDiv},
+    OpInfo{Opcode::kDivu, "divu", Format::kR, ExecClass::kIntDiv},
+    OpInfo{Opcode::kRem, "rem", Format::kR, ExecClass::kIntDiv},
+    OpInfo{Opcode::kRemu, "remu", Format::kR, ExecClass::kIntDiv},
+    OpInfo{Opcode::kPopc, "popc", Format::kR1, ExecClass::kIntAlu},
+    OpInfo{Opcode::kClz, "clz", Format::kR1, ExecClass::kIntAlu},
+    OpInfo{Opcode::kCtz, "ctz", Format::kR1, ExecClass::kIntAlu},
+    OpInfo{Opcode::kAddi, "addi", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kAndi, "andi", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kOri, "ori", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kXori, "xori", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSlli, "slli", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSrli, "srli", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSrai, "srai", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kSlti, "slti", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kLui, "lui", Format::kU, ExecClass::kIntAlu},
+    OpInfo{Opcode::kFadd, "fadd", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFsub, "fsub", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFmul, "fmul", Format::kR, ExecClass::kFpMul},
+    OpInfo{Opcode::kFdiv, "fdiv", Format::kR, ExecClass::kFpDiv},
+    OpInfo{Opcode::kFmin, "fmin", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFmax, "fmax", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFsqrt, "fsqrt", Format::kR1, ExecClass::kFpSqrt},
+    OpInfo{Opcode::kFneg, "fneg", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFabs, "fabs", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFmadd, "fmadd", Format::kR4, ExecClass::kFpMul},
+    OpInfo{Opcode::kFmsub, "fmsub", Format::kR4, ExecClass::kFpMul},
+    OpInfo{Opcode::kFeq, "feq", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFlt, "flt", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFle, "fle", Format::kR, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFcvtDL, "fcvt.d.l", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFcvtLD, "fcvt.l.d", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFmvXD, "fmv.x.d", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kFmvDX, "fmv.d.x", Format::kR1, ExecClass::kFpAlu},
+    OpInfo{Opcode::kLb, "lb", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLbu, "lbu", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLh, "lh", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLhu, "lhu", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLw, "lw", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLwu, "lwu", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kLd, "ld", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kFld, "fld", Format::kI, ExecClass::kLoad},
+    OpInfo{Opcode::kSb, "sb", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kSh, "sh", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kSw, "sw", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kSd, "sd", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kFsd, "fsd", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kLdp, "ldp", Format::kS, ExecClass::kLoad},
+    OpInfo{Opcode::kStp, "stp", Format::kS, ExecClass::kStore},
+    OpInfo{Opcode::kBeq, "beq", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kBne, "bne", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kBlt, "blt", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kBge, "bge", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kBltu, "bltu", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kBgeu, "bgeu", Format::kB, ExecClass::kIntAlu},
+    OpInfo{Opcode::kJal, "jal", Format::kJ, ExecClass::kIntAlu},
+    OpInfo{Opcode::kJalr, "jalr", Format::kI, ExecClass::kIntAlu},
+    OpInfo{Opcode::kHalt, "halt", Format::kSys, ExecClass::kIntAlu},
+    OpInfo{Opcode::kRdcycle, "rdcycle", Format::kSys, ExecClass::kIntAlu},
+    OpInfo{Opcode::kFault, "fault", Format::kSys, ExecClass::kIntAlu},
+    OpInfo{Opcode::kEbreak, "ebreak", Format::kSys, ExecClass::kIntAlu},
+};
+
+const OpInfo* find(Opcode op) {
+  for (const auto& info : kOpTable) {
+    if (info.op == op) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Format format_of(Opcode op) {
+  const OpInfo* info = find(op);
+  return info != nullptr ? info->format : Format::kSys;
+}
+
+std::string_view mnemonic(Opcode op) {
+  const OpInfo* info = find(op);
+  return info != nullptr ? info->name : "<bad>";
+}
+
+bool opcode_from_mnemonic(std::string_view name, Opcode& out) {
+  for (const auto& info : kOpTable) {
+    if (info.name == name) {
+      out = info.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_load(Opcode op) {
+  return (op >= Opcode::kLb && op <= Opcode::kFld) || op == Opcode::kLdp;
+}
+
+bool is_store(Opcode op) {
+  return (op >= Opcode::kSb && op <= Opcode::kFsd) || op == Opcode::kStp;
+}
+
+bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
+
+bool is_macro(Opcode op) { return op == Opcode::kLdp || op == Opcode::kStp; }
+
+bool is_cond_branch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBgeu;
+}
+
+bool is_jump(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
+
+bool is_control(Opcode op) { return is_cond_branch(op) || is_jump(op); }
+
+bool is_fp(Opcode op) {
+  return (op >= Opcode::kFadd && op <= Opcode::kFmvDX) ||
+         op == Opcode::kFld || op == Opcode::kFsd;
+}
+
+unsigned mem_uop_count(Opcode op) {
+  if (is_macro(op)) return 2;
+  return is_mem(op) ? 1 : 0;
+}
+
+unsigned mem_access_bytes(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kSb:
+      return 1;
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kSh:
+      return 2;
+    case Opcode::kLw:
+    case Opcode::kLwu:
+    case Opcode::kSw:
+      return 4;
+    default:
+      return is_mem(op) ? 8 : 0;
+  }
+}
+
+bool load_is_signed(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLh:
+    case Opcode::kLw:
+    case Opcode::kLd:
+    case Opcode::kLdp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExecClass exec_class(Opcode op) {
+  const OpInfo* info = find(op);
+  return info != nullptr ? info->cls : ExecClass::kIntAlu;
+}
+
+unsigned exec_latency(ExecClass cls) {
+  switch (cls) {
+    case ExecClass::kIntAlu:
+      return 1;
+    case ExecClass::kIntMul:
+      return 3;
+    case ExecClass::kIntDiv:
+      return 20;
+    case ExecClass::kFpAlu:
+      return 3;
+    case ExecClass::kFpMul:
+      return 4;
+    case ExecClass::kFpDiv:
+      return 12;
+    case ExecClass::kFpSqrt:
+      return 20;
+    case ExecClass::kLoad:
+      return 1;  // address generation; memory latency is added separately.
+    case ExecClass::kStore:
+      return 1;
+  }
+  return 1;
+}
+
+bool exec_unpipelined(ExecClass cls) {
+  return cls == ExecClass::kIntDiv || cls == ExecClass::kFpDiv ||
+         cls == ExecClass::kFpSqrt;
+}
+
+bool writes_int_reg(Opcode op) {
+  if (is_store(op)) return false;
+  if (is_cond_branch(op)) return false;
+  switch (op) {
+    case Opcode::kHalt:
+    case Opcode::kFault:
+    case Opcode::kEbreak:
+      return false;
+    case Opcode::kFld:
+      return false;
+    default:
+      break;
+  }
+  if (is_fp(op)) {
+    // FP compares, fp->int convert and fp->int move write integer rd.
+    return op == Opcode::kFeq || op == Opcode::kFlt || op == Opcode::kFle ||
+           op == Opcode::kFcvtLD || op == Opcode::kFmvXD;
+  }
+  return true;
+}
+
+bool writes_fp_reg(Opcode op) {
+  if (op == Opcode::kFld) return true;
+  if (!is_fp(op)) return false;
+  if (op == Opcode::kFsd) return false;
+  return !(op == Opcode::kFeq || op == Opcode::kFlt || op == Opcode::kFle ||
+           op == Opcode::kFcvtLD || op == Opcode::kFmvXD);
+}
+
+bool reads_fp_rs1(Opcode op) {
+  switch (op) {
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+    case Opcode::kFsqrt:
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFmadd:
+    case Opcode::kFmsub:
+    case Opcode::kFeq:
+    case Opcode::kFlt:
+    case Opcode::kFle:
+    case Opcode::kFcvtLD:
+    case Opcode::kFmvXD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_fp_rs2(Opcode op) {
+  switch (op) {
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+    case Opcode::kFmadd:
+    case Opcode::kFmsub:
+    case Opcode::kFeq:
+    case Opcode::kFlt:
+    case Opcode::kFle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool store_data_is_fp(Opcode op) { return op == Opcode::kFsd; }
+
+}  // namespace paradet::isa

@@ -1,0 +1,199 @@
+// SRV64: the custom 64-bit RISC ISA shared by the main core and the checker
+// cores. The error-detection scheme of the paper is ISA-agnostic; SRV64
+// stands in for the paper's ARMv8 and deliberately includes:
+//   * macro-ops (LDP/STP) that crack into multiple micro-ops, to exercise
+//     the load-store-log segment-boundary rule of §IV-D;
+//   * a non-deterministic instruction (RDCYCLE) whose result must be
+//     forwarded through the log (§IV-D);
+//   * integer, bit-manipulation and floating-point operations spanning the
+//     latency classes that differentiate the Table II benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace paradet::isa {
+
+/// Every SRV64 mnemonic. Values are the binary opcode field and must not be
+/// reordered: encodings are stable artefacts.
+enum class Opcode : std::uint8_t {
+  // Integer register-register.
+  kAdd = 0x00,
+  kSub = 0x01,
+  kAnd = 0x02,
+  kOr = 0x03,
+  kXor = 0x04,
+  kSll = 0x05,
+  kSrl = 0x06,
+  kSra = 0x07,
+  kSlt = 0x08,
+  kSltu = 0x09,
+  kMul = 0x0A,
+  kMulh = 0x0B,
+  kDiv = 0x0C,
+  kDivu = 0x0D,
+  kRem = 0x0E,
+  kRemu = 0x0F,
+  // Integer unary (rs2 ignored).
+  kPopc = 0x10,
+  kClz = 0x11,
+  kCtz = 0x12,
+  // Integer register-immediate.
+  kAddi = 0x18,
+  kAndi = 0x19,
+  kOri = 0x1A,
+  kXori = 0x1B,
+  kSlli = 0x1C,
+  kSrli = 0x1D,
+  kSrai = 0x1E,
+  kSlti = 0x1F,
+  kLui = 0x20,  ///< rd = sign_extend(imm19) << 13.
+  // Floating point (double precision).
+  kFadd = 0x28,
+  kFsub = 0x29,
+  kFmul = 0x2A,
+  kFdiv = 0x2B,
+  kFmin = 0x2C,
+  kFmax = 0x2D,
+  kFsqrt = 0x2E,  ///< unary.
+  kFneg = 0x2F,   ///< unary.
+  kFabs = 0x30,   ///< unary.
+  kFmadd = 0x31,  ///< rd = rs1 * rs2 + rs3.
+  kFmsub = 0x32,  ///< rd = rs1 * rs2 - rs3.
+  // FP compare: integer rd.
+  kFeq = 0x38,
+  kFlt = 0x39,
+  kFle = 0x3A,
+  // FP conversions and moves.
+  kFcvtDL = 0x3C,  ///< fp rd = (double) int rs1.
+  kFcvtLD = 0x3D,  ///< int rd = (int64) fp rs1, truncating.
+  kFmvXD = 0x3E,   ///< int rd = bits(fp rs1).
+  kFmvDX = 0x3F,   ///< fp rd = bits(int rs1).
+  // Loads: rd = mem[rs1 + imm].
+  kLb = 0x40,
+  kLbu = 0x41,
+  kLh = 0x42,
+  kLhu = 0x43,
+  kLw = 0x44,
+  kLwu = 0x45,
+  kLd = 0x46,
+  kFld = 0x47,
+  // Stores: mem[rs1 + imm] = rd.  (rd is the *source* for stores.)
+  kSb = 0x48,
+  kSh = 0x49,
+  kSw = 0x4A,
+  kSd = 0x4B,
+  kFsd = 0x4C,
+  // Macro-ops: load/store pair; rd and rd+1 at [rs1+imm], [rs1+imm+8].
+  kLdp = 0x50,
+  kStp = 0x51,
+  // Conditional branches: pc += imm if cond(rs1, rs2).
+  kBeq = 0x58,
+  kBne = 0x59,
+  kBlt = 0x5A,
+  kBge = 0x5B,
+  kBltu = 0x5C,
+  kBgeu = 0x5D,
+  // Jumps.
+  kJal = 0x60,   ///< rd = pc + 4; pc += imm.
+  kJalr = 0x61,  ///< rd = pc + 4; pc = rs1 + imm.
+  // System.
+  kHalt = 0x70,     ///< normal program termination.
+  kRdcycle = 0x71,  ///< rd = cycle counter (non-deterministic).
+  kFault = 0x72,    ///< raises a system fault (models e.g. a segfault).
+  kEbreak = 0x73,   ///< debugger breakpoint trap.
+};
+
+/// Encoding formats. The 32-bit word is laid out as
+///   op[31:24]  a[23:19]  b[18:14]  c[13:9]  rest[8:0]
+/// and each format interprets the fields as documented below.
+enum class Format : std::uint8_t {
+  kR,     ///< rd=a, rs1=b, rs2=c.
+  kR1,    ///< rd=a, rs1=b (unary; rs2 ignored).
+  kR4,    ///< rd=a, rs1=b, rs2=c, rs3=rest[8:4].
+  kI,     ///< rd=a, rs1=b, imm14=[13:0] signed. Loads and ALU-immediate.
+  kS,     ///< rd=a (source), rs1=b, imm14. Stores and LDP/STP.
+  kB,     ///< rs1=a, rs2=b, imm14 byte offset.
+  kJ,     ///< rd=a, imm19 byte offset (JAL) .
+  kU,     ///< rd=a, imm19 (LUI).
+  kSys,   ///< rd=a where applicable (RDCYCLE); others ignore all fields.
+};
+
+/// Functional-unit / latency class of a micro-op.
+enum class ExecClass : std::uint8_t {
+  kIntAlu,   ///< 1-cycle integer ops, branches, jumps, system.
+  kIntMul,   ///< pipelined multiply.
+  kIntDiv,   ///< unpipelined divide.
+  kFpAlu,    ///< add/sub/min/max/compare/convert/move.
+  kFpMul,    ///< multiply and fused multiply-add.
+  kFpDiv,    ///< unpipelined divide.
+  kFpSqrt,   ///< unpipelined square root.
+  kLoad,
+  kStore,
+};
+
+/// A decoded instruction. For stores, `rd` names the *data source*
+/// register. `imm` is fully sign-extended.
+struct Inst {
+  Opcode op = Opcode::kHalt;
+  RegIndex rd = 0;
+  RegIndex rs1 = 0;
+  RegIndex rs2 = 0;
+  RegIndex rs3 = 0;
+  std::int64_t imm = 0;
+
+  bool operator==(const Inst&) const = default;
+};
+
+// --- Classification -------------------------------------------------------
+
+Format format_of(Opcode op);
+std::string_view mnemonic(Opcode op);
+/// Looks an opcode up by mnemonic; returns false if unknown.
+bool opcode_from_mnemonic(std::string_view name, Opcode& out);
+
+bool is_load(Opcode op);
+bool is_store(Opcode op);
+bool is_mem(Opcode op);
+/// Macro-ops crack into more than one micro-op (LDP, STP).
+bool is_macro(Opcode op);
+bool is_cond_branch(Opcode op);
+bool is_jump(Opcode op);
+bool is_control(Opcode op);
+bool is_fp(Opcode op);
+/// Number of memory micro-ops this instruction commits (0, 1 or 2).
+unsigned mem_uop_count(Opcode op);
+/// The largest mem_uop_count over the whole ISA; the load-store log seals a
+/// segment early when fewer free entries remain (§IV-D boundary rule).
+inline constexpr unsigned kMaxMemUopsPerMacroOp = 2;
+
+/// Access size in bytes for memory ops (8 for LDP/STP per micro-op).
+unsigned mem_access_bytes(Opcode op);
+/// Loads: true if the value is sign-extended.
+bool load_is_signed(Opcode op);
+
+ExecClass exec_class(Opcode op);
+/// Execution latency of the class on the main out-of-order core, cycles.
+unsigned exec_latency(ExecClass cls);
+/// True if the functional unit is occupied for the full latency
+/// (unpipelined divide / sqrt).
+bool exec_unpipelined(ExecClass cls);
+
+/// True if `op` writes an integer destination register.
+bool writes_int_reg(Opcode op);
+/// True if `op` writes a floating-point destination register.
+bool writes_fp_reg(Opcode op);
+/// True if rs1 names an fp register (fp compute/compare/cvt-from-fp/store).
+bool reads_fp_rs1(Opcode op);
+/// True if rs2 names an fp register.
+bool reads_fp_rs2(Opcode op);
+/// True if the data source of this store is an fp register.
+bool store_data_is_fp(Opcode op);
+
+/// Register indices in the unified [0, 64) dependence-tracking space.
+inline constexpr unsigned unified_int(RegIndex r) { return r; }
+inline constexpr unsigned unified_fp(RegIndex r) { return kNumIntRegs + r; }
+
+}  // namespace paradet::isa

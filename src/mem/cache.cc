@@ -1,0 +1,135 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "mem/dram.h"
+#include "mem/prefetcher.h"
+
+namespace paradet::mem {
+
+void MemoryLevel::prefetch_line(Addr, Cycle) {}
+
+Cycle DramLevel::access(Addr addr, bool, Cycle when, Addr) {
+  return dram_.access(addr, when);
+}
+
+Cache::Cache(const CacheConfig& config, MemoryLevel& next)
+    : config_(config), next_(next) {
+  assert(std::has_single_bit(config.size_bytes));
+  assert(std::has_single_bit(static_cast<std::uint64_t>(config.line_bytes)));
+  sets_ = config.size_bytes / (config.line_bytes * config.assoc);
+  assert(sets_ >= 1 && std::has_single_bit(sets_));
+  line_shift_ = static_cast<unsigned>(
+      std::countr_zero(static_cast<std::uint64_t>(config.line_bytes)));
+  line_mask_ = config.line_bytes - 1;
+  lines_.resize(sets_ * config.assoc);
+  mshrs_.resize(config.mshrs);
+}
+
+Cache::Line* Cache::find(Addr line_addr) {
+  const std::size_t set = set_of(line_addr);
+  const std::uint64_t tag = tag_of(line_addr);
+  for (unsigned way = 0; way < config_.assoc; ++way) {
+    Line& line = lines_[set * config_.assoc + way];
+    if (line.valid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+Cache::Line& Cache::victim(Addr line_addr, Cycle when) {
+  const std::size_t set = set_of(line_addr);
+  Line* choice = nullptr;
+  for (unsigned way = 0; way < config_.assoc; ++way) {
+    Line& line = lines_[set * config_.assoc + way];
+    if (!line.valid) return line;
+    if (choice == nullptr || line.lru < choice->lru) choice = &line;
+  }
+  if (choice->dirty) {
+    // Write-back consumes next-level bandwidth; the requester does not wait
+    // for it (handled by a write buffer), so the latency is discarded.
+    ++writebacks_;
+    (void)next_.access(choice->tag << line_shift_, /*write=*/true, when, 0);
+  }
+  return *choice;
+}
+
+Cycle Cache::allocate_mshr(Addr line_addr, Cycle when, Cycle* merged_fill) {
+  *merged_fill = kCycleNever;
+  // Merge with an in-flight fill of the same line.
+  for (Mshr& mshr : mshrs_) {
+    if (mshr.valid && mshr.line_addr == line_addr && mshr.fill_done > when) {
+      ++mshr_merges_;
+      *merged_fill = mshr.fill_done;
+      return when;
+    }
+  }
+  // Find a free MSHR at `when`; if all are busy, the request waits for the
+  // earliest one to retire (a structural stall of the memory pipeline).
+  Cycle earliest = kCycleNever;
+  for (Mshr& mshr : mshrs_) {
+    if (!mshr.valid || mshr.fill_done <= when) return when;
+    earliest = std::min(earliest, mshr.fill_done);
+  }
+  ++mshr_stalls_;
+  return earliest;
+}
+
+Cycle Cache::access(Addr addr, bool write, Cycle when, Addr pc) {
+  const Addr line_addr = line_of(addr);
+  if (prefetcher_ != nullptr && pc != 0) {
+    prefetcher_->train(*this, pc, line_addr, when);
+  }
+
+  if (Line* line = find(line_addr)) {
+    line->lru = ++lru_clock_;
+    if (write) line->dirty = true;
+    ++hits_;
+    // A hit on a still-filling line waits for the fill.
+    return std::max(line->fill_done, when) + config_.hit_latency;
+  }
+
+  ++misses_;
+  Cycle merged_fill;
+  const Cycle start = allocate_mshr(line_addr, when, &merged_fill);
+  Cycle fill_done;
+  if (merged_fill != kCycleNever) {
+    fill_done = merged_fill;
+  } else {
+    fill_done = next_.access(line_addr, write, start + config_.hit_latency, pc);
+    // Record the in-flight fill in an MSHR slot (reuse any retired slot).
+    for (Mshr& mshr : mshrs_) {
+      if (!mshr.valid || mshr.fill_done <= start) {
+        mshr = Mshr{line_addr, fill_done, true};
+        break;
+      }
+    }
+  }
+
+  Line& line = victim(line_addr, start);
+  line.tag = tag_of(line_addr);
+  line.valid = true;
+  line.dirty = write;
+  line.fill_done = fill_done;
+  line.lru = ++lru_clock_;
+  return fill_done + config_.hit_latency;
+}
+
+void Cache::prefetch_line(Addr addr, Cycle when) {
+  const Addr line_addr = line_of(addr);
+  if (find(line_addr) != nullptr) return;
+  // Prefetches do not consume MSHRs in this model (a dedicated prefetch
+  // queue) but do consume next-level bandwidth.
+  const Cycle fill_done =
+      next_.access(line_addr, /*write=*/false, when + config_.hit_latency, 0);
+  Line& line = victim(line_addr, when);
+  line.tag = tag_of(line_addr);
+  line.valid = true;
+  line.dirty = false;
+  line.fill_done = fill_done;
+  line.lru = ++lru_clock_;
+  ++prefetch_fills_;
+}
+
+}  // namespace paradet::mem

@@ -1,0 +1,115 @@
+// Timing caches (Table I). Set-associative, LRU, write-back/write-allocate,
+// with MSHR-limited non-blocking misses. Purely a timing model: functional
+// data lives in arch::SparseMemory.
+//
+// The model is "latency-resolving": an access at cycle `when` immediately
+// returns its data-ready cycle, computed from tag state, in-flight fills
+// and next-level latency. This matches the dependence-driven scheduling
+// style of sim::OoOCore (see DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace paradet::mem {
+
+/// Interface one cache level presents to the level above.
+class MemoryLevel {
+ public:
+  virtual ~MemoryLevel() = default;
+  /// Returns the cycle at which data for `addr` is available. `write`
+  /// distinguishes stores (write-allocate; the returned cycle is when the
+  /// line is owned). `pc` is the requesting instruction, used by
+  /// prefetcher training (0 if not applicable).
+  virtual Cycle access(Addr addr, bool write, Cycle when, Addr pc) = 0;
+  /// Hints a line fill without a demand requester. Default: ignored.
+  virtual void prefetch_line(Addr addr, Cycle when);
+};
+
+/// Terminal level wrapping the DRAM model.
+class DramModel;
+class DramLevel final : public MemoryLevel {
+ public:
+  explicit DramLevel(DramModel& dram) : dram_(dram) {}
+  Cycle access(Addr addr, bool write, Cycle when, Addr pc) override;
+
+ private:
+  DramModel& dram_;
+};
+
+class StridePrefetcher;
+
+class Cache final : public MemoryLevel {
+ public:
+  Cache(const CacheConfig& config, MemoryLevel& next);
+
+  Cycle access(Addr addr, bool write, Cycle when, Addr pc) override;
+  void prefetch_line(Addr addr, Cycle when) override;
+
+  /// Attaches a prefetcher trained on demand accesses to this cache
+  /// (issues fills into this same cache). Pass nullptr to detach.
+  void set_prefetcher(StridePrefetcher* prefetcher) {
+    prefetcher_ = prefetcher;
+  }
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t mshr_merges() const { return mshr_merges_; }
+  std::uint64_t mshr_stall_events() const { return mshr_stalls_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t prefetch_fills() const { return prefetch_fills_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    Cycle fill_done = 0;   ///< when the line's data arrived/arrives.
+    std::uint64_t lru = 0;  ///< last-touch stamp.
+  };
+
+  struct Mshr {
+    Addr line_addr = 0;
+    Cycle fill_done = 0;
+    bool valid = false;
+  };
+
+  Addr line_of(Addr addr) const { return addr & ~line_mask_; }
+  std::size_t set_of(Addr line) const {
+    return (line >> line_shift_) & (sets_ - 1);
+  }
+  std::uint64_t tag_of(Addr line) const {
+    return line >> line_shift_;
+  }
+
+  Line* find(Addr line_addr);
+  Line& victim(Addr line_addr, Cycle when);
+  /// Allocates (or merges into) an MSHR for a miss starting at `when`;
+  /// returns the miss start cycle after any MSHR-full delay.
+  Cycle allocate_mshr(Addr line_addr, Cycle when, Cycle* merged_fill);
+
+  CacheConfig config_;
+  MemoryLevel& next_;
+  StridePrefetcher* prefetcher_ = nullptr;
+
+  std::size_t sets_;
+  unsigned line_shift_;
+  Addr line_mask_;
+  std::vector<Line> lines_;  ///< sets_ x assoc, row-major.
+  std::vector<Mshr> mshrs_;
+  std::uint64_t lru_clock_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t mshr_merges_ = 0;
+  std::uint64_t mshr_stalls_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t prefetch_fills_ = 0;
+};
+
+}  // namespace paradet::mem

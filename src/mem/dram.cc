@@ -1,0 +1,51 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace paradet::mem {
+
+DramModel::DramModel(const DramConfig& config, std::uint64_t core_mhz)
+    : config_(config),
+      core_per_bus_(std::max<std::uint64_t>(1, core_mhz / config.bus_mhz)),
+      banks_(config.banks) {
+  assert(std::has_single_bit(config.row_bytes));
+  assert(std::has_single_bit(static_cast<std::uint64_t>(config.banks)));
+}
+
+Cycle DramModel::access(Addr line_addr, Cycle when) {
+  const unsigned row_shift = std::countr_zero(config_.row_bytes);
+  const unsigned bank = (line_addr >> row_shift) & (config_.banks - 1);
+  const std::uint64_t row =
+      line_addr >> (row_shift + std::countr_zero(
+                                    static_cast<std::uint64_t>(config_.banks)));
+
+  Bank& b = banks_[bank];
+  const Cycle start = std::max(when, b.ready_at);
+  Cycle column_issue = start;
+  if (b.open_row != row) {
+    // Close the old row (tRP) and activate the new one (tRCD). A fresh bank
+    // (no open row) still pays activation.
+    const unsigned penalty =
+        (b.open_row == ~std::uint64_t{0}) ? config_.tRCD
+                                          : config_.tRP + config_.tRCD;
+    column_issue = start + bus_cycles(penalty);
+    b.open_row = row;
+    ++row_misses_;
+  } else {
+    ++row_hits_;
+  }
+
+  // CAS latency, then the burst occupies the shared data bus.
+  const Cycle data_start =
+      std::max(column_issue + bus_cycles(config_.tCAS), bus_free_);
+  const Cycle done = data_start + bus_cycles(config_.burst_cycles);
+  bus_free_ = done;
+  // The bank can accept the next column command after the burst; enforce a
+  // minimum row-active window (tRAS) for row cycling accuracy.
+  b.ready_at = std::max(done, start + bus_cycles(config_.tRAS));
+  return done;
+}
+
+}  // namespace paradet::mem

@@ -1,0 +1,45 @@
+// DDR3 DRAM timing model (Table I: DDR3-1600 11-11-11-28, 800 MHz bus).
+// Models per-bank row buffers (open-page policy), activate/precharge/CAS
+// latencies and data-bus occupancy. Functional data lives in
+// arch::SparseMemory; this class computes timing only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace paradet::mem {
+
+class DramModel {
+ public:
+  /// @param core_mhz frequency of the requesting core-side clock; all
+  /// returned cycles are in that domain.
+  DramModel(const DramConfig& config, std::uint64_t core_mhz);
+
+  /// Completion (data-returned) cycle for a 64-byte line access requested
+  /// at `when`. Writes use the same path (write-backs share bus/banks).
+  Cycle access(Addr line_addr, Cycle when);
+
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
+  std::uint64_t accesses() const { return row_hits_ + row_misses_; }
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = ~std::uint64_t{0};
+    Cycle ready_at = 0;  ///< core cycles: bank can start a new column op.
+  };
+
+  Cycle bus_cycles(unsigned n) const { return n * core_per_bus_; }
+
+  DramConfig config_;
+  std::uint64_t core_per_bus_;
+  std::vector<Bank> banks_;
+  Cycle bus_free_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+};
+
+}  // namespace paradet::mem

@@ -1,0 +1,37 @@
+#include "mem/prefetcher.h"
+
+#include "mem/cache.h"
+
+namespace paradet::mem {
+
+void StridePrefetcher::train(Cache& cache, Addr pc, Addr line_addr,
+                             Cycle when) {
+  Entry& entry = table_[(pc >> 2) % table_.size()];
+  if (!entry.valid || entry.pc_tag != pc) {
+    entry = Entry{pc, line_addr, 0, 0, true};
+    return;
+  }
+  const std::int64_t stride = static_cast<std::int64_t>(line_addr) -
+                              static_cast<std::int64_t>(entry.last_addr);
+  if (stride == 0) return;  // same line; no information.
+  if (stride == entry.stride) {
+    if (entry.confidence < 3) ++entry.confidence;
+  } else {
+    entry.stride = stride;
+    entry.confidence = entry.confidence > 0 ? entry.confidence - 1 : 0;
+  }
+  entry.last_addr = line_addr;
+  if (entry.confidence >= 2) {
+    for (unsigned i = 0; i < config_.degree; ++i) {
+      const std::int64_t offset =
+          entry.stride *
+          static_cast<std::int64_t>(config_.distance + i);
+      const Addr target = static_cast<Addr>(
+          static_cast<std::int64_t>(line_addr) + offset);
+      cache.prefetch_line(target, when);
+      ++issued_;
+    }
+  }
+}
+
+}  // namespace paradet::mem

@@ -1,0 +1,47 @@
+// Reference-prediction-table stride prefetcher (Table I: the L2 has a
+// stride prefetcher). Trained on demand accesses by PC; after two
+// consecutive accesses with the same stride it issues prefetches `degree`
+// strides ahead into the attached cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace paradet::mem {
+
+class Cache;
+
+class StridePrefetcher {
+ public:
+  struct Config {
+    unsigned table_entries = 64;
+    unsigned degree = 2;        ///< prefetches issued per trigger.
+    unsigned distance = 2;      ///< how many strides ahead to start.
+  };
+
+  StridePrefetcher() : StridePrefetcher(Config{}) {}
+  explicit StridePrefetcher(const Config& config)
+      : config_(config), table_(config.table_entries) {}
+
+  /// Trains on a demand access and possibly issues prefetches into `cache`.
+  void train(Cache& cache, Addr pc, Addr line_addr, Cycle when);
+
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  struct Entry {
+    Addr pc_tag = 0;
+    Addr last_addr = 0;
+    std::int64_t stride = 0;
+    std::uint8_t confidence = 0;
+    bool valid = false;
+  };
+
+  Config config_;
+  std::vector<Entry> table_;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace paradet::mem

@@ -1,0 +1,52 @@
+#include "model/area_power.h"
+
+namespace paradet::model {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace
+
+std::uint64_t detection_sram_bytes(const SystemConfig& config) {
+  const std::uint64_t log = config.log.total_bytes;
+  // Load forwarding unit: one slot per ROB entry (addr 6B + data 8B +
+  // size/valid metadata ~4B).
+  const std::uint64_t lfu = config.main_core.rob_entries * 18;
+  const std::uint64_t l0s =
+      config.checker.num_cores * config.checker.l0_icache_bytes;
+  const std::uint64_t l1 = config.checker.l1_icache_bytes;
+  // Checkpoint buffers: consecutive segments share their boundary
+  // checkpoint (segment k's end is segment k+1's start), so N segments
+  // need N+1 buffers of 64 registers + pc.
+  const std::uint64_t checkpoints =
+      (config.log.segments + 1) * (kNumArchRegs * 8 + 8);
+  return log + lfu + l0s + l1 + checkpoints;
+}
+
+AreaBreakdown estimate_area(const SystemConfig& config,
+                            const TechnologyConstants& tech) {
+  AreaBreakdown area;
+  area.main_core_mm2 = tech.a57_mm2_at_20nm;
+  area.l2_mm2 = (static_cast<double>(config.l2.size_bytes) / kMiB) *
+                tech.l2_mm2_per_mib;
+  area.checker_cores_mm2 = config.checker.num_cores *
+                           tech.rocket_mm2_at_40nm *
+                           tech.rocket_area_scale_to_20nm;
+  area.sram_bytes = detection_sram_bytes(config);
+  area.sram_mm2 =
+      (static_cast<double>(area.sram_bytes) / kMiB) * tech.sram_mm2_per_mib;
+  return area;
+}
+
+PowerBreakdown estimate_power(const SystemConfig& config,
+                              const TechnologyConstants& tech) {
+  PowerBreakdown power;
+  power.main_core_mw = static_cast<double>(config.main_core.freq_mhz) *
+                       tech.a57_uw_per_mhz / 1000.0;
+  power.checker_cores_mw = config.checker.num_cores *
+                           static_cast<double>(config.checker.freq_mhz) *
+                           tech.rocket_uw_per_mhz / 1000.0;
+  return power;
+}
+
+}  // namespace paradet::model

@@ -1,0 +1,509 @@
+#include "sim/checked_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "core/checker_engine.h"
+#include "core/checkpoint.h"
+#include "core/load_forwarding_unit.h"
+#include "core/load_store_log.h"
+#include "isa/crack.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/prefetcher.h"
+#include "sim/checker_timing.h"
+#include "sim/ooo_core.h"
+
+namespace paradet::sim {
+namespace {
+
+using core::EntryKind;
+using core::FaultSite;
+using core::LogEntry;
+using isa::Opcode;
+
+/// DataPort for the main core's functional execution: reads/writes the real
+/// memory, captures every memory micro-op for the commit stage, and applies
+/// load/store fault injection at the modelled sites.
+class MainPort final : public arch::DataPort {
+ public:
+  struct Captured {
+    EntryKind kind = EntryKind::kLoad;
+    Addr addr = 0;
+    std::uint64_t arch_value = 0;  ///< value the main core's pipeline used.
+    std::uint64_t lfu_value = 0;   ///< value duplicated at access time.
+    std::uint64_t old_value = 0;   ///< stores: overwritten value (undo log).
+    std::uint8_t size = 0;
+  };
+
+  explicit MainPort(arch::SparseMemory& memory) : memory_(memory) {}
+
+  /// Arms the port for one macro-op. `uop_seq_base` is the sequence number
+  /// of the macro-op's first micro-op.
+  void begin_macro(UopSeq uop_seq_base, core::FaultInjector* faults,
+                   std::uint64_t rdcycle_value) {
+    captured_.clear();
+    uop_seq_base_ = uop_seq_base;
+    faults_ = faults;
+    rdcycle_value_ = rdcycle_value;
+  }
+
+  std::uint64_t load(Addr addr, unsigned size) override {
+    std::uint64_t value = memory_.read(addr, size);
+    std::uint64_t arch_value = value;
+    std::uint64_t lfu_value = value;
+    if (faults_ != nullptr) {
+      const UopSeq seq = uop_seq_base_ + captured_.size();
+      if (const auto* f = faults_->arm(FaultSite::kMainLoadValuePreLfu, seq)) {
+        // Corruption on the fill path, before duplication: both copies see
+        // it. This is the ECC domain (§IV-A) -- the scheme must NOT detect.
+        const std::uint64_t mask = std::uint64_t{1} << (f->bit & 63);
+        arch_value ^= mask;
+        lfu_value ^= mask;
+      }
+      if (const auto* f = faults_->arm(FaultSite::kMainLoadValuePostLfu, seq)) {
+        // Corruption after the LFU duplicated the value (§IV-C window).
+        arch_value ^= std::uint64_t{1} << (f->bit & 63);
+      }
+    }
+    captured_.push_back(Captured{EntryKind::kLoad, addr, arch_value,
+                                 lfu_value, 0,
+                                 static_cast<std::uint8_t>(size)});
+    return arch_value;
+  }
+
+  void store(Addr addr, std::uint64_t value, unsigned size) override {
+    if (faults_ != nullptr) {
+      const UopSeq seq = uop_seq_base_ + captured_.size();
+      if (const auto* f = faults_->arm(FaultSite::kMainStoreValue, seq)) {
+        value ^= std::uint64_t{1} << (f->bit & 63);
+      }
+      if (const auto* f = faults_->arm(FaultSite::kMainStoreAddr, seq)) {
+        // Faulty address escapes to memory and to the log (§IV-F): wild
+        // write. Keep the size alignment so the functional write is valid.
+        addr ^= std::uint64_t{size} << (f->bit % 8);
+      }
+    }
+    const std::uint64_t old_value = memory_.read(addr, size);
+    memory_.write(addr, value, size);
+    captured_.push_back(Captured{EntryKind::kStore, addr, value, value,
+                                 old_value,
+                                 static_cast<std::uint8_t>(size)});
+  }
+
+  std::uint64_t read_cycle() override {
+    captured_.push_back(Captured{EntryKind::kNondet, 0, rdcycle_value_,
+                                 rdcycle_value_, 0, 0});
+    return rdcycle_value_;
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  arch::SparseMemory& memory_;
+  std::vector<Captured> captured_;
+  UopSeq uop_seq_base_ = 0;
+  core::FaultInjector* faults_ = nullptr;
+  std::uint64_t rdcycle_value_ = 0;
+};
+
+CtrlKind control_kind(const isa::Inst& inst) {
+  if (isa::is_cond_branch(inst.op)) return CtrlKind::kCond;
+  if (inst.op == Opcode::kJal) {
+    return inst.rd == 1 ? CtrlKind::kCall : CtrlKind::kJump;
+  }
+  if (inst.op == Opcode::kJalr) {
+    return inst.rs1 == 1 && inst.rd == 0 ? CtrlKind::kRet : CtrlKind::kIndirect;
+  }
+  return CtrlKind::kNone;
+}
+
+/// Commit-bandwidth tracker: at most commit_width micro-ops per cycle, in
+/// order, never earlier than the block cycle (checkpoint pauses and
+/// log-full stalls).
+class CommitTracker {
+ public:
+  explicit CommitTracker(unsigned width) : width_(width) {}
+
+  Cycle commit(Cycle earliest, Cycle block) {
+    Cycle cycle = std::max(earliest, block);
+    if (cycle < last_) cycle = last_;
+    if (cycle == last_ && count_ >= width_) ++cycle;
+    if (cycle > last_) {
+      last_ = cycle;
+      count_ = 1;
+    } else {
+      ++count_;
+    }
+    return cycle;
+  }
+
+  Cycle last() const { return last_; }
+
+ private:
+  unsigned width_;
+  Cycle last_ = 0;
+  unsigned count_ = 0;
+};
+
+}  // namespace
+
+LoadedProgram load_program(const isa::Assembled& assembled) {
+  LoadedProgram program;
+  for (const auto& chunk : assembled.chunks) {
+    program.memory.write_block(chunk.base, chunk.bytes);
+  }
+  program.entry = assembled.entry;
+  return program;
+}
+
+RunResult CheckedSystem::run(LoadedProgram& program,
+                             std::uint64_t max_instructions,
+                             core::FaultInjector* faults,
+                             core::UndoLog* undo_log) {
+  RunResult result;
+  const bool detect = config_.detection.enabled;
+  const std::uint64_t main_mhz = config_.main_core.freq_mhz;
+  if (faults != nullptr) faults->reset_fired();
+
+  // ---- Build the machine -------------------------------------------------
+  mem::DramModel dram(config_.dram, main_mhz);
+  mem::DramLevel dram_level(dram);
+  mem::Cache l2(config_.l2, dram_level);
+  mem::StridePrefetcher prefetcher;
+  if (config_.l2_stride_prefetcher) l2.set_prefetcher(&prefetcher);
+  mem::Cache l1i(config_.l1i, l2);
+  mem::Cache l1d(config_.l1d, l2);
+  OoOCore main_core(config_, l1i, l1d);
+
+  core::LoadStoreLog log(config_.log);
+  core::LoadForwardingUnit lfu(config_.main_core.rob_entries);
+  core::CheckpointUnit checkpoint_unit(
+      config_.main_core.checkpoint_latency_cycles);
+  core::DetectionController controller(main_mhz);
+  core::CheckerEngine engine(program.memory);
+
+  const ClockDomain checker_domain(config_.checker.freq_mhz, main_mhz);
+  SharedCheckerIcache shared_icache(config_.checker.l1_icache_bytes);
+  // Checker-visible latency of a shared-L1I miss (served by the main L2).
+  const unsigned l2_checker_cycles = static_cast<unsigned>(
+      checker_domain.to_local(config_.l2.hit_latency) + 1);
+  std::vector<CheckerCoreTiming> checker_cores;
+  checker_cores.reserve(config_.checker.num_cores);
+  for (unsigned i = 0; i < config_.checker.num_cores; ++i) {
+    checker_cores.emplace_back(config_.checker, shared_icache,
+                               l2_checker_cycles);
+  }
+  assert(!detect || config_.checker.num_cores == config_.log.segments);
+
+  // ---- Execution state ---------------------------------------------------
+  arch::ArchState state;
+  state.pc = program.entry;
+  arch::DecodeCache decode(program.memory);
+  MainPort port(program.memory);
+  CommitTracker commit(config_.main_core.commit_width);
+
+  Cycle commit_block = 0;  ///< commits may not happen before this cycle.
+  std::uint64_t uop_seq = 0;
+  std::uint64_t checkpoint_index = 0;
+
+  // Detection-side state.
+  core::RegisterCheckpoint last_checkpoint =
+      checkpoint_unit.take(state, 0, 0);
+  if (faults != nullptr) {
+    if (const auto* f = faults->checkpoint_fault(checkpoint_index)) {
+      core::FaultInjector::flip_register(last_checkpoint.state, f->reg,
+                                         f->bit);
+    }
+  }
+  ++checkpoint_index;
+  std::vector<Cycle> segment_release(config_.log.segments, 0);
+  Cycle all_checked = 0;
+  Cycle next_interrupt = config_.interrupts.enabled
+                             ? config_.interrupts.interval_cycles
+                             : kCycleNever;
+
+  // Seals the filling segment, runs its check, and schedules the checker
+  // core's timing. Returns nothing; all effects go through captured state.
+  const auto seal_segment = [&](core::SealReason reason,
+                                arch::Trap end_trap) {
+    const unsigned index = log.filling_index();
+    // End-of-segment register checkpoint: pauses commit (§IV-E).
+    core::RegisterCheckpoint end =
+        checkpoint_unit.take(state, result.instructions, commit.last());
+    if (faults != nullptr) {
+      if (const auto* f = faults->checkpoint_fault(checkpoint_index)) {
+        core::FaultInjector::flip_register(end.state, f->reg, f->bit);
+      }
+    }
+    ++checkpoint_index;
+    const Cycle seal_cycle = commit.last();
+    commit_block =
+        std::max(commit_block,
+                 seal_cycle + config_.main_core.checkpoint_latency_cycles);
+    result.checkpoint_stall_cycles +=
+        config_.main_core.checkpoint_latency_cycles;
+
+    core::Segment& segment = log.seal_filling(reason, end, seal_cycle);
+    segment.end_trap = static_cast<std::uint8_t>(end_trap);
+    last_checkpoint = end;
+
+    // Run the check. The functional check always runs (it is the
+    // correctness contract); timing only when checkers are simulated.
+    std::unique_ptr<core::CheckerFaultHook> hook;
+    if (faults != nullptr) hook = faults->checker_hook(segment.ordinal);
+    core::CheckerEngine::Result check = engine.check(segment, hook.get());
+
+    Cycle completion;
+    if (config_.detection.simulate_checkers) {
+      CheckerCoreTiming& core_timing = checker_cores[index];
+      const auto walk =
+          core_timing.walk(check.trace, segment.entries.size());
+      const Cycle start =
+          std::max(segment_release[index],
+                   seal_cycle + config_.main_core.checkpoint_latency_cycles);
+      completion = start + checker_domain.to_global(walk.local_cycles);
+      for (std::size_t i = 0; i < walk.entry_check_cycles.size(); ++i) {
+        controller.record_entry_checked(
+            segment.entries[i].commit_cycle,
+            start + checker_domain.to_global(walk.entry_check_cycles[i]));
+      }
+      if (!check.outcome.passed) {
+        check.outcome.event.detected_at = completion;
+        check.outcome.event.segment_index = index;
+      }
+    } else {
+      completion = seal_cycle;
+    }
+    segment_release[index] = completion;
+    all_checked = std::max(all_checked, completion);
+    check.outcome.event.segment_ordinal = segment.ordinal;
+    controller.report(check.outcome, segment.ordinal);
+    if (undo_log != nullptr) {
+      if (check.outcome.passed && !controller.error_detected()) {
+        // Strong induction frontier: everything up to and including this
+        // segment is proven; its undo data is dead.
+        undo_log->discard_below(segment.ordinal + 1);
+      } else if (!check.outcome.passed &&
+                 controller.first_error().has_value() &&
+                 controller.first_error()->segment_ordinal ==
+                     segment.ordinal) {
+        result.recovery_checkpoint = segment.start;
+      }
+    }
+
+    // The physical buffer is reusable once the check completes; the timing
+    // gate is segment_release[index].
+    log.begin_check(index);
+    log.release(index);
+  };
+
+  const auto open_segment = [&]() {
+    const unsigned next = log.next_index();
+    if (segment_release[next] > commit.last()) {
+      // Main core must stall: its next commit cannot happen until the
+      // checker owning this segment finishes (§IV-D).
+      result.log_full_stall_cycles += segment_release[next] - commit.last();
+      commit_block = std::max(commit_block, segment_release[next]);
+    }
+    log.open_next(last_checkpoint, commit.last());
+  };
+
+  // ---- Main loop: one macro-op per iteration ------------------------------
+  arch::Trap exit_trap = arch::Trap::kNone;
+  while (result.instructions < max_instructions) {
+    // Transient register-file faults trigger by first-uop sequence number.
+    if (faults != nullptr) {
+      if (const auto* f = faults->at(FaultSite::kMainArchReg, uop_seq)) {
+        core::FaultInjector::flip_register(state, f->reg, f->bit);
+      }
+    }
+
+    const isa::Inst* inst = decode.decode_at(state.pc);
+    if (inst == nullptr) {
+      exit_trap = arch::Trap::kIllegal;
+      break;  // undecodable: nothing commits.
+    }
+    const isa::CrackedInst cracked = isa::crack(*inst);
+    const unsigned mem_uops = isa::mem_uop_count(inst->op);
+
+    // Segment management before this instruction commits (§IV-D): the
+    // macro-op boundary rule, then opening a fresh segment if needed.
+    if (detect) {
+      if (log.has_filling() && mem_uops > 0 &&
+          !log.fits_in_filling(mem_uops)) {
+        seal_segment(core::SealReason::kFull, arch::Trap::kNone);
+      }
+      if (!log.has_filling()) open_segment();
+    }
+
+    // Functional execution of the whole macro-op (correct path).
+    port.begin_macro(uop_seq, faults, commit.last());
+    const Addr pc = state.pc;
+    const arch::StepResult step = arch::execute(*inst, state, port);
+    assert(step.trap != arch::Trap::kCheckFailed);
+
+    // Timing + commit of each micro-op.
+    const auto& captured = port.captured();
+    std::size_t capture_index = 0;
+    for (unsigned u = 0; u < cracked.count; ++u) {
+      const isa::Inst& uop_inst = cracked.uops[u].inst;
+      UopDesc desc;
+      desc.cls = isa::exec_class(uop_inst.op);
+      desc.regs = uop_regs(uop_inst);
+      desc.pc = pc;
+      desc.seq = uop_seq;
+      desc.first_of_macro = u == 0;
+      desc.ctrl = control_kind(uop_inst);
+      desc.taken = step.branch_taken || isa::is_jump(uop_inst.op);
+      desc.target = step.next_pc;
+      desc.is_load = isa::is_load(uop_inst.op);
+      desc.is_store = isa::is_store(uop_inst.op);
+      // Memory micro-ops and RDCYCLE each consume one captured access, in
+      // execution order.
+      const bool consumes_capture =
+          desc.is_load || desc.is_store || uop_inst.op == Opcode::kRdcycle;
+      const MainPort::Captured* cap = nullptr;
+      if (consumes_capture && capture_index < captured.size()) {
+        cap = &captured[capture_index];
+        desc.mem_addr = cap->addr;
+        desc.mem_size = cap->size;
+      }
+
+      const UopTiming timing = main_core.schedule(desc);
+
+      // Hard fault: a stuck bit in one integer ALU corrupts every result
+      // it produces from the trigger onwards.
+      if (faults != nullptr && desc.cls == isa::ExecClass::kIntAlu &&
+          timing.int_alu_unit >= 0 && desc.regs.dest >= 0 &&
+          desc.regs.dest < static_cast<int>(kNumIntRegs)) {
+        if (const auto* f = faults->alu_stuck_at(uop_seq)) {
+          if (static_cast<int>(f->alu_index) == timing.int_alu_unit) {
+            state.x[desc.regs.dest] = core::FaultInjector::apply_stuck_bit(
+                state.x[desc.regs.dest], f->bit, f->stuck_value);
+          }
+        }
+      }
+
+      // LFU capture at access time (fig. 5): speculative slot tagged by
+      // ROB id.
+      const unsigned rob_id =
+          static_cast<unsigned>(uop_seq % config_.main_core.rob_entries);
+      if (detect && desc.is_load && cap != nullptr &&
+          config_.detection.load_forwarding_unit) {
+        lfu.capture(rob_id, uop_seq, cap->addr, cap->lfu_value, cap->size);
+      }
+
+      // In-order commit.
+      const Cycle commit_cycle = commit.commit(timing.complete + 1,
+                                               commit_block);
+      if (detect && cap != nullptr) {
+        LogEntry entry;
+        entry.kind = cap->kind;
+        entry.size = cap->size;
+        entry.addr = cap->addr;
+        entry.commit_cycle = commit_cycle;
+        entry.seq = uop_seq;
+        if (cap->kind == EntryKind::kLoad &&
+            config_.detection.load_forwarding_unit) {
+          const auto drained = lfu.drain(rob_id, uop_seq);
+          assert(drained.valid);
+          entry.value = drained.value;
+        } else {
+          // Stores and non-deterministic results forward the committed
+          // value; in the LFU-disabled ablation, loads forward the
+          // (possibly corrupted) pipeline value (§IV-C naive scheme).
+          entry.value = cap->arch_value;
+        }
+        log.append(entry);
+      }
+      // Stores write memory (timing-wise) at commit.
+      if (desc.is_store && cap != nullptr) {
+        (void)l1d.access(cap->addr, /*write=*/true, commit_cycle, pc);
+        if (undo_log != nullptr && detect && log.has_filling()) {
+          undo_log->record(log.filling().ordinal, cap->addr, cap->old_value,
+                           cap->size);
+        }
+      }
+      main_core.retire(commit_cycle);
+      if (cap != nullptr) ++capture_index;
+      ++uop_seq;
+      ++result.uops;
+    }
+
+    ++result.instructions;
+    if (detect) log.note_instruction();
+
+    if (step.trap != arch::Trap::kNone) {
+      exit_trap = step.trap;
+      break;
+    }
+
+    // End-of-instruction seal triggers (§IV-D, §IV-J, §IV-G).
+    if (detect && log.has_filling()) {
+      if (log.free_entries_in_filling() == 0) {
+        seal_segment(core::SealReason::kFull, arch::Trap::kNone);
+      } else if (log.timeout_reached()) {
+        seal_segment(core::SealReason::kTimeout, arch::Trap::kNone);
+      } else if (commit.last() >= next_interrupt) {
+        seal_segment(core::SealReason::kInterrupt, arch::Trap::kNone);
+        next_interrupt += config_.interrupts.interval_cycles;
+      }
+    }
+  }
+
+  // Final drain: the last (partial) segment is sealed and checked; for
+  // HALT/FAULT terminations the trap itself is validated by the checker
+  // (§IV-H: termination is held back until the checks complete).
+  if (detect && log.has_filling()) {
+    seal_segment(core::SealReason::kDrain, exit_trap);
+  }
+
+  // ---- Collect results ----------------------------------------------------
+  result.exit_trap = exit_trap;
+  result.final_state = state;
+  result.main_done_cycle = commit.last();
+  result.all_checked_cycle = std::max(all_checked, result.main_done_cycle);
+  result.ipc = result.main_done_cycle == 0
+                   ? 0.0
+                   : static_cast<double>(result.instructions) /
+                         static_cast<double>(result.main_done_cycle);
+  result.error_detected = controller.error_detected();
+  result.first_error = controller.first_error();
+  result.delay_ns = controller.delay_histogram_ns();
+  result.segments = log.segments_opened();
+  result.seals_full = log.seals(core::SealReason::kFull);
+  result.seals_timeout = log.seals(core::SealReason::kTimeout);
+  result.seals_interrupt = log.seals(core::SealReason::kInterrupt);
+  result.seals_drain = log.seals(core::SealReason::kDrain);
+  result.checkpoints_taken = checkpoint_unit.checkpoints_taken();
+
+  result.counters.inc("l1i.hits", l1i.hits());
+  result.counters.inc("l1i.misses", l1i.misses());
+  result.counters.inc("l1d.hits", l1d.hits());
+  result.counters.inc("l1d.misses", l1d.misses());
+  result.counters.inc("l2.hits", l2.hits());
+  result.counters.inc("l2.misses", l2.misses());
+  result.counters.inc("l2.prefetch_fills", l2.prefetch_fills());
+  result.counters.inc("dram.accesses", dram.accesses());
+  result.counters.inc("dram.row_hits", dram.row_hits());
+  result.counters.inc("branch.mispredicts", main_core.branch_mispredicts());
+  result.counters.inc("lfu.captures", lfu.captures());
+  result.counters.inc("log.entries", log.entries_appended());
+  result.counters.inc("checker.shared_l1i_hits", shared_icache.hits());
+  result.counters.inc("checker.shared_l1i_misses", shared_icache.misses());
+  return result;
+}
+
+RunResult run_program(const SystemConfig& config,
+                      const isa::Assembled& assembled,
+                      std::uint64_t max_instructions,
+                      core::FaultInjector* faults) {
+  LoadedProgram program = load_program(assembled);
+  CheckedSystem system(config);
+  return system.run(program, max_instructions, faults);
+}
+
+}  // namespace paradet::sim

@@ -1,0 +1,110 @@
+// CheckedSystem: the full system of fig. 3 — a main out-of-order core with
+// its cache hierarchy, coupled to N checker cores through the partitioned
+// load-store log, the load forwarding unit and the register checkpoint
+// unit. One run() call simulates a program to completion (or an
+// instruction budget), producing the performance, delay and detection
+// statistics that the paper's figures are built from.
+//
+// The same class also runs the *unchecked baseline* (detection disabled in
+// SystemConfig), which is the normalisation denominator for all slowdown
+// figures, and the checkpoint-only mode of Figure 10
+// (detection.simulate_checkers = false).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "arch/interpreter.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/detection.h"
+#include "core/fault_injection.h"
+#include "core/recovery.h"
+#include "isa/assembler.h"
+
+namespace paradet::sim {
+
+/// A program image ready to execute: functional memory plus entry point.
+struct LoadedProgram {
+  arch::SparseMemory memory;
+  Addr entry = 0;
+};
+
+/// Materialises an assembled image into simulator memory.
+LoadedProgram load_program(const isa::Assembled& assembled);
+
+/// Result of one simulation run.
+struct RunResult {
+  // Program outcome.
+  arch::Trap exit_trap = arch::Trap::kNone;
+  std::uint64_t instructions = 0;
+  std::uint64_t uops = 0;
+  /// Architectural state when the program stopped (for equivalence checks
+  /// against the golden interpreter).
+  arch::ArchState final_state;
+
+  // Main-core timing.
+  Cycle main_done_cycle = 0;  ///< commit cycle of the last instruction.
+  /// When the final outstanding check validated; termination of the
+  /// program is held until this point (§IV-H).
+  Cycle all_checked_cycle = 0;
+  double ipc = 0.0;  ///< instructions / main_done_cycle.
+
+  // Detection results.
+  bool error_detected = false;
+  std::optional<core::DetectionEvent> first_error;
+  /// Start checkpoint of the first failing segment: proven correct by the
+  /// strong-induction chain, it is the restore point for recovery
+  /// (core/recovery.h, the paper's §VIII extension).
+  std::optional<core::RegisterCheckpoint> recovery_checkpoint;
+  /// Per-entry detection delays, ns (Figures 8, 11, 12).
+  Histogram delay_ns;
+  std::uint64_t segments = 0;
+  std::uint64_t seals_full = 0;
+  std::uint64_t seals_timeout = 0;
+  std::uint64_t seals_interrupt = 0;
+  std::uint64_t seals_drain = 0;
+  std::uint64_t checkpoints_taken = 0;
+
+  // Stall accounting.
+  Cycle checkpoint_stall_cycles = 0;
+  Cycle log_full_stall_cycles = 0;
+
+  // Component statistics (cache hit rates, mispredicts, ...).
+  Counters counters;
+
+  /// Convenience: wall-clock nanoseconds of the main core's execution.
+  double runtime_ns(std::uint64_t main_mhz) const {
+    return cycles_to_ns(main_done_cycle, main_mhz);
+  }
+};
+
+class CheckedSystem {
+ public:
+  explicit CheckedSystem(const SystemConfig& config) : config_(config) {}
+
+  /// Simulates `program` until HALT/FAULT/trap or `max_instructions`.
+  /// `faults` may be null (fault-free run). The program memory is mutated
+  /// by stores; reload for repeated runs. If `undo_log` is non-null, the
+  /// commit stage records write-ahead undo data for every store, enabling
+  /// rollback recovery (core/recovery.h); records of validated segments
+  /// are discarded as their checks pass.
+  RunResult run(LoadedProgram& program, std::uint64_t max_instructions,
+                core::FaultInjector* faults = nullptr,
+                core::UndoLog* undo_log = nullptr);
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+};
+
+/// Runs `assembled` on a fresh system: convenience for tests/examples.
+RunResult run_program(const SystemConfig& config,
+                      const isa::Assembled& assembled,
+                      std::uint64_t max_instructions,
+                      core::FaultInjector* faults = nullptr);
+
+}  // namespace paradet::sim

@@ -1,0 +1,258 @@
+#include "sim/ooo_core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paradet::sim {
+
+OoOCore::OoOCore(const SystemConfig& config, mem::Cache& l1i, mem::Cache& l1d)
+    : config_(config.main_core),
+      l1i_(l1i),
+      l1d_(l1d),
+      predictor_(config.branch_predictor),
+      int_slots_(config.main_core.int_alus),
+      fp_slots_(config.main_core.fp_alus),
+      muldiv_slots_(config.main_core.muldiv_alus) {}
+
+void OoOCore::fetch_bubble(Cycle from, unsigned cycles) {
+  if (cycles == 0) return;
+  const Cycle resume = from + cycles;
+  if (resume > fetch_cycle_) {
+    fetch_cycle_ = resume;
+    fetched_in_cycle_ = 0;
+  }
+}
+
+Cycle OoOCore::apply_queue_limits(Cycle dispatch) const {
+  // Issue queue: micro-ops dispatched but not yet issued occupy IQ slots.
+  for (;;) {
+    unsigned occupied = 0;
+    Cycle earliest_issue = kCycleNever;
+    for (const InFlight& uop : window_) {
+      if (uop.issue > dispatch) {
+        ++occupied;
+        earliest_issue = std::min(earliest_issue, uop.issue);
+      }
+    }
+    if (occupied < config_.iq_entries) break;
+    dispatch = earliest_issue + 1;
+  }
+  // Load queue: loads occupy LQ from dispatch to commit.
+  for (;;) {
+    unsigned occupied = 0;
+    Cycle earliest_commit = kCycleNever;
+    for (const InFlight& uop : window_) {
+      if (uop.is_load && uop.commit > dispatch) {
+        ++occupied;
+        earliest_commit = std::min(earliest_commit, uop.commit);
+      }
+    }
+    if (occupied < config_.lq_entries) break;
+    dispatch = earliest_commit + 1;
+  }
+  // Store queue likewise.
+  for (;;) {
+    unsigned occupied = 0;
+    Cycle earliest_commit = kCycleNever;
+    for (const InFlight& uop : window_) {
+      if (uop.is_store && uop.commit > dispatch) {
+        ++occupied;
+        earliest_commit = std::min(earliest_commit, uop.commit);
+      }
+    }
+    if (occupied < config_.sq_entries) break;
+    dispatch = earliest_commit + 1;
+  }
+  return dispatch;
+}
+
+void OoOCore::resolve_control(const UopDesc& desc, const UopTiming& timing,
+                              UopTiming* out) {
+  switch (desc.ctrl) {
+    case CtrlKind::kNone:
+      return;
+    case CtrlKind::kCond: {
+      const BranchPrediction prediction = predictor_.predict_branch(desc.pc);
+      const bool wrong = prediction.taken != desc.taken;
+      if (wrong) {
+        out->mispredicted = true;
+        ++mispredicts_;
+        fetch_bubble(timing.complete, config_.redirect_penalty_cycles);
+        redirect_min_ =
+            std::max(redirect_min_,
+                     timing.complete + config_.redirect_penalty_cycles);
+      } else if (desc.taken && !prediction.btb_hit) {
+        // Direction right, but the target was only known at decode.
+        fetch_bubble(timing.fetch, config_.btb_miss_penalty_cycles);
+      }
+      predictor_.update_branch(desc.pc, desc.taken, desc.target, prediction);
+      return;
+    }
+    case CtrlKind::kJump:
+    case CtrlKind::kCall: {
+      const BranchPrediction prediction = predictor_.predict_jump(desc.pc);
+      if (!prediction.btb_hit) {
+        fetch_bubble(timing.fetch, config_.btb_miss_penalty_cycles);
+      }
+      predictor_.update_jump(desc.pc, desc.target);
+      if (desc.ctrl == CtrlKind::kCall) predictor_.push_return(desc.pc + 4);
+      return;
+    }
+    case CtrlKind::kRet:
+    case CtrlKind::kIndirect: {
+      const BranchPrediction prediction =
+          predictor_.predict_indirect(desc.pc, desc.ctrl == CtrlKind::kRet);
+      const bool wrong = !prediction.btb_hit || prediction.target != desc.target;
+      if (wrong) {
+        out->mispredicted = true;
+        ++mispredicts_;
+        predictor_.note_target_mispredict();
+        fetch_bubble(timing.complete, config_.redirect_penalty_cycles);
+        redirect_min_ =
+            std::max(redirect_min_,
+                     timing.complete + config_.redirect_penalty_cycles);
+      }
+      predictor_.update_jump(desc.pc, desc.target);
+      return;
+    }
+  }
+}
+
+UopTiming OoOCore::schedule(const UopDesc& desc) {
+  assert(!pending_valid_ && "retire() must follow every schedule()");
+  UopTiming timing;
+  ++scheduled_;
+
+  // ---- Fetch ------------------------------------------------------------
+  if (redirect_min_ > fetch_cycle_) {
+    fetch_cycle_ = redirect_min_;
+    fetched_in_cycle_ = 0;
+  }
+  if (desc.first_of_macro) {
+    const Addr line = desc.pc & ~Addr{63};
+    if (line != last_fetch_line_) {
+      const Cycle ready =
+          l1i_.access(line, /*write=*/false, fetch_cycle_, /*pc=*/0);
+      const Cycle pipelined_hit = fetch_cycle_ + l1i_.config().hit_latency;
+      if (ready > pipelined_hit) {
+        // An i-cache miss stalls fetch for the excess over the pipelined
+        // hit latency.
+        fetch_cycle_ += ready - pipelined_hit;
+        fetched_in_cycle_ = 0;
+      }
+      last_fetch_line_ = line;
+    }
+  }
+  timing.fetch = fetch_cycle_;
+  if (++fetched_in_cycle_ >= config_.fetch_width) {
+    ++fetch_cycle_;
+    fetched_in_cycle_ = 0;
+  }
+
+  // ---- Dispatch ----------------------------------------------------------
+  Cycle dispatch = timing.fetch + config_.frontend_depth_cycles;
+  if (dispatch < last_dispatch_cycle_) dispatch = last_dispatch_cycle_;
+  if (dispatch == last_dispatch_cycle_ &&
+      dispatched_in_cycle_ >= config_.commit_width) {
+    ++dispatch;
+  }
+  // ROB occupancy: the oldest in-flight micro-op must have committed for a
+  // new one to enter a full window.
+  if (window_.size() >= config_.rob_entries) {
+    dispatch = std::max(dispatch, window_.front().commit + 1);
+  }
+  dispatch = apply_queue_limits(dispatch);
+  if (dispatch != last_dispatch_cycle_) {
+    last_dispatch_cycle_ = dispatch;
+    dispatched_in_cycle_ = 1;
+  } else {
+    ++dispatched_in_cycle_;
+  }
+  timing.dispatch = dispatch;
+
+  // ---- Issue -------------------------------------------------------------
+  Cycle ready = dispatch + 1;
+  for (unsigned s = 0; s < desc.regs.n_srcs; ++s) {
+    ready = std::max(ready, reg_ready_[desc.regs.srcs[s]]);
+  }
+
+  const unsigned latency = isa::exec_latency(desc.cls);
+  const bool unpipelined = isa::exec_unpipelined(desc.cls);
+
+  Cycle issue;
+  int unit = -1;
+  switch (desc.cls) {
+    case isa::ExecClass::kFpAlu:
+    case isa::ExecClass::kFpMul:
+    case isa::ExecClass::kFpDiv:
+    case isa::ExecClass::kFpSqrt:
+      issue = fp_slots_.reserve(std::max(ready, fp_unpipelined_busy_));
+      if (unpipelined) fp_unpipelined_busy_ = issue + latency;
+      break;
+    case isa::ExecClass::kIntMul:
+    case isa::ExecClass::kIntDiv:
+      issue = muldiv_slots_.reserve(std::max(ready, muldiv_unpipelined_busy_));
+      if (unpipelined) muldiv_unpipelined_busy_ = issue + latency;
+      break;
+    default:
+      // Integer ALU pool also serves as AGU for loads/stores.
+      issue = int_slots_.reserve(ready, &unit);
+      if (desc.cls == isa::ExecClass::kIntAlu) timing.int_alu_unit = unit;
+      break;
+  }
+
+  // ---- Execute / memory ---------------------------------------------------
+  Cycle complete;
+  if (desc.is_load) {
+    if (!config_.perfect_memory_disambiguation) {
+      // Conservative disambiguation: wait for older store addresses.
+      issue = std::max(issue, last_store_agu_);
+    }
+    bool forwarded = false;
+    for (auto it = store_window_.rbegin(); it != store_window_.rend(); ++it) {
+      if (it->addr <= desc.mem_addr &&
+          desc.mem_addr + desc.mem_size <= it->addr + it->size) {
+        complete = std::max(issue + 1, it->data_ready);
+        forwarded = true;
+        break;
+      }
+      // Partial overlap: fall through to the cache; the store will have
+      // drained by commit order anyway (conservative).
+    }
+    if (!forwarded) {
+      complete = l1d_.access(desc.mem_addr, /*write=*/false, issue, desc.pc);
+    }
+    timing.store_forwarded = forwarded;
+  } else if (desc.is_store) {
+    // AGU + data into the store queue; the memory write happens at commit.
+    complete = issue + 1;
+    store_window_.push_back(
+        StoreWindowEntry{desc.mem_addr, desc.mem_size, complete, desc.seq});
+    if (store_window_.size() > config_.sq_entries) store_window_.pop_front();
+    last_store_agu_ = std::max(last_store_agu_, issue);
+  } else {
+    complete = issue + latency;
+  }
+
+  timing.issue = issue;
+  timing.complete = complete;
+
+  if (desc.regs.dest >= 0) reg_ready_[desc.regs.dest] = complete;
+
+  resolve_control(desc, timing, &timing);
+
+  pending_ = InFlight{issue, complete, kCycleNever, desc.is_load,
+                      desc.is_store};
+  pending_valid_ = true;
+  return timing;
+}
+
+void OoOCore::retire(Cycle commit_cycle) {
+  assert(pending_valid_);
+  pending_.commit = commit_cycle;
+  window_.push_back(pending_);
+  if (window_.size() > config_.rob_entries) window_.pop_front();
+  pending_valid_ = false;
+}
+
+}  // namespace paradet::sim

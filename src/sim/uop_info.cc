@@ -1,0 +1,65 @@
+#include "sim/uop_info.h"
+
+namespace paradet::sim {
+
+using isa::Format;
+using isa::Opcode;
+
+UopRegs uop_regs(const isa::Inst& inst) {
+  UopRegs regs;
+  const Opcode op = inst.op;
+
+  const auto add_src = [&regs](unsigned unified, bool skip_x0) {
+    if (skip_x0 && unified == 0) return;
+    regs.srcs[regs.n_srcs++] = unified;
+  };
+  const auto int_reg = [](RegIndex r) { return isa::unified_int(r); };
+  const auto fp_reg = [](RegIndex r) { return isa::unified_fp(r); };
+
+  switch (isa::format_of(op)) {
+    case Format::kR:
+      add_src(isa::reads_fp_rs1(op) ? fp_reg(inst.rs1) : int_reg(inst.rs1),
+              !isa::reads_fp_rs1(op));
+      add_src(isa::reads_fp_rs2(op) ? fp_reg(inst.rs2) : int_reg(inst.rs2),
+              !isa::reads_fp_rs2(op));
+      break;
+    case Format::kR1:
+      add_src(isa::reads_fp_rs1(op) ? fp_reg(inst.rs1) : int_reg(inst.rs1),
+              !isa::reads_fp_rs1(op));
+      break;
+    case Format::kR4:
+      add_src(fp_reg(inst.rs1), false);
+      add_src(fp_reg(inst.rs2), false);
+      add_src(fp_reg(inst.rs3), false);
+      break;
+    case Format::kI:
+      add_src(int_reg(inst.rs1), true);  // base register or ALU operand.
+      break;
+    case Format::kS:
+      // Stores read base (rs1) and data (rd field).
+      add_src(int_reg(inst.rs1), true);
+      if (isa::is_store(op)) {
+        add_src(isa::store_data_is_fp(op) ? fp_reg(inst.rd)
+                                          : int_reg(inst.rd),
+                !isa::store_data_is_fp(op));
+      }
+      break;
+    case Format::kB:
+      add_src(int_reg(inst.rs1), true);
+      add_src(int_reg(inst.rs2), true);
+      break;
+    case Format::kJ:
+    case Format::kU:
+    case Format::kSys:
+      break;
+  }
+
+  if (isa::writes_fp_reg(op)) {
+    regs.dest = static_cast<int>(fp_reg(inst.rd));
+  } else if (isa::writes_int_reg(op) && inst.rd != 0) {
+    regs.dest = static_cast<int>(int_reg(inst.rd));
+  }
+  return regs;
+}
+
+}  // namespace paradet::sim

@@ -1,0 +1,22 @@
+// Register-usage metadata for micro-ops, shared by the out-of-order
+// dependence tracker and the in-order checker pipeline model. Register
+// indices are in the unified [0, 64) space (int 0-31, fp 32-63); x0 never
+// appears (it is neither a dependency nor a destination).
+#pragma once
+
+#include "isa/isa.h"
+
+namespace paradet::sim {
+
+struct UopRegs {
+  unsigned srcs[3] = {0, 0, 0};
+  unsigned n_srcs = 0;
+  /// Unified destination register or -1.
+  int dest = -1;
+};
+
+/// Computes the register usage of a *simple* (non-macro) instruction or a
+/// cracked micro-op. Macro-ops must be cracked first.
+UopRegs uop_regs(const isa::Inst& inst);
+
+}  // namespace paradet::sim

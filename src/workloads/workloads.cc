@@ -1,0 +1,847 @@
+#include "workloads/workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paradet::workloads {
+namespace {
+
+/// Replaces every "{KEY}" in `text` with the decimal value of KEY.
+std::string subst(std::string text,
+                  std::initializer_list<std::pair<const char*, std::uint64_t>>
+                      values) {
+  for (const auto& [key, value] : values) {
+    const std::string needle = std::string("{") + key + "}";
+    const std::string replacement = std::to_string(value);
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      text.replace(pos, needle.size(), replacement);
+      pos += replacement.size();
+    }
+  }
+  return text;
+}
+
+constexpr const char* kEpilogue = R"(
+# -- shared data labels ----------------------------------------------------
+.org 0x100000
+result:
+)";
+
+}  // namespace
+
+Workload make_randacc(Scale scale) {
+  const std::uint64_t updates = scale.apply(26000);
+  Workload w;
+  w.name = "randacc";
+  w.description = "HPCC RandomAccess analogue: GUPS-style LCG-indexed "
+                  "read-modify-write over a 2 MiB table";
+  w.approx_instructions = updates * 11 + 40;
+  w.source = subst(R"(# randacc: irregular memory-bound RMW
+_start:
+  la   s1, table
+  li   t1, {UPDATES}
+  li   t2, 0x2545F4914F6CDD1D     # running LCG state
+  li   s2, 6364136223846793005    # LCG multiplier
+  li   s3, 1442695040888963407    # LCG increment
+  li   s4, 0                      # checksum
+loop:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli t3, t2, 46                 # 18-bit table index
+  slli t3, t3, 3
+  add  t3, t3, s1
+  ld   t4, 0(t3)
+  xor  t4, t4, t2
+  sd   t4, 0(t3)
+  add  s4, s4, t4
+  addi t1, t1, -1
+  bnez t1, loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x200000
+table:
+)",
+                   {{"UPDATES", updates}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_stream(Scale scale) {
+  const std::uint64_t n = scale.apply(16384);
+  Workload w;
+  w.name = "stream";
+  w.description = "HPCC STREAM analogue: init/scale/add/triad/copy over "
+                  "three 128 KiB double arrays (LDP/STP pairs in copy)";
+  w.approx_instructions = n * 33 + 60;
+  w.source = subst(R"(# stream: regular memory-bound fp
+_start:
+  li   a7, 3
+  fcvt.d.l fs0, a7                # scalar s = 3.0
+  # ---- init: b[i] = (double) i
+  la   t0, arr_b
+  li   t1, {N}
+  li   t2, 0
+init_loop:
+  fcvt.d.l ft0, t2
+  fsd  ft0, 0(t0)
+  addi t0, t0, 8
+  addi t2, t2, 1
+  addi t1, t1, -1
+  bnez t1, init_loop
+  # ---- scale: c[i] = s * b[i]
+  la   t0, arr_c
+  la   t1, arr_b
+  li   t2, {N}
+scale_loop:
+  fld  ft0, 0(t1)
+  fmul ft1, ft0, fs0
+  fsd  ft1, 0(t0)
+  addi t0, t0, 8
+  addi t1, t1, 8
+  addi t2, t2, -1
+  bnez t2, scale_loop
+  # ---- add: a[i] = b[i] + c[i]
+  la   t0, arr_a
+  la   t1, arr_b
+  la   t2, arr_c
+  li   t3, {N}
+add_loop:
+  fld  ft0, 0(t1)
+  fld  ft1, 0(t2)
+  fadd ft2, ft0, ft1
+  fsd  ft2, 0(t0)
+  addi t0, t0, 8
+  addi t1, t1, 8
+  addi t2, t2, 8
+  addi t3, t3, -1
+  bnez t3, add_loop
+  # ---- triad: b[i] = c[i] + s * a[i]
+  la   t0, arr_b
+  la   t1, arr_c
+  la   t2, arr_a
+  li   t3, {N}
+triad_loop:
+  fld  ft0, 0(t1)
+  fld  ft1, 0(t2)
+  fmadd ft2, ft1, fs0, ft0
+  fsd  ft2, 0(t0)
+  addi t0, t0, 8
+  addi t1, t1, 8
+  addi t2, t2, 8
+  addi t3, t3, -1
+  bnez t3, triad_loop
+  # ---- copy: c[i] = a[i], two elements per iteration via LDP/STP
+  la   t0, arr_c
+  la   t1, arr_a
+  li   t2, {NHALF}
+copy_loop:
+  ldp  a0, 0(t1)
+  stp  a0, 0(t0)
+  addi t0, t0, 16
+  addi t1, t1, 16
+  addi t2, t2, -1
+  bnez t2, copy_loop
+  # ---- checksum over b and c (bit patterns)
+  la   t0, arr_b
+  la   t1, arr_c
+  li   t2, {N}
+  li   s4, 0
+sum_loop:
+  ld   t3, 0(t0)
+  ld   t4, 0(t1)
+  add  s4, s4, t3
+  add  s4, s4, t4
+  addi t0, t0, 8
+  addi t1, t1, 8
+  addi t2, t2, -1
+  bnez t2, sum_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x400000
+arr_a:
+.org 0x440000
+arr_b:
+.org 0x480000
+arr_c:
+)",
+                   {{"N", n}, {"NHALF", n / 2}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_bitcount(Scale scale) {
+  const std::uint64_t passes = scale.apply(11);
+  const std::uint64_t words = 2048;
+  Workload w;
+  w.name = "bitcount";
+  w.description = "MiBench bitcount analogue: four bit-counting methods "
+                  "over LCG-generated register values (pure integer "
+                  "compute; almost no memory traffic, like the original)";
+  w.approx_instructions = passes * words * 27 + 60;
+  // MiBench bitcount iterates counting functions over values held in
+  // registers: the program's memory traffic is negligible. This is what
+  // makes it the paper's worst case for infinite log timeouts (fig. 12):
+  // with no loads or stores, a segment only ever seals via the
+  // instruction timeout.
+  w.source = subst(R"(# bitcount: compute-bound integer, register-resident
+_start:
+  li   s2, 0x9E3779B97F4A7C15     # value generator (golden-ratio LCG)
+  li   s5, 0x5555555555555555
+  li   s6, 0x3333333333333333
+  li   s7, 0x0F0F0F0F0F0F0F0F
+  li   s4, 0                      # checksum
+  li   s8, {PASSES}
+  la   s9, trace                  # one checksum spill per pass
+  li   s10, 0x13579BDF02468ACE    # seed
+pass_loop:
+  li   t1, {WORDS}
+word_loop:
+  mul  s10, s10, s2               # next test value, in-register
+  addi t3, s10, 1
+  beqz t3, next_word              # data-dependent skip (rare)
+  # method 1: hardware popcount
+  popc t4, t3
+  add  s4, s4, t4
+  # method 2: leading/trailing zero counts
+  clz  t4, t3
+  add  s4, s4, t4
+  ctz  t4, t3
+  add  s4, s4, t4
+  # method 3: shift-add reduction (SWAR)
+  srli t4, t3, 1
+  and  t4, t4, s5
+  sub  t4, t3, t4
+  srli t5, t4, 2
+  and  t5, t5, s6
+  and  t4, t4, s6
+  add  t4, t4, t5
+  srli t5, t4, 4
+  add  t4, t4, t5
+  and  t4, t4, s7
+  mul  t4, t4, s2                 # fold (mixes bits)
+  srli t4, t4, 56
+  add  s4, s4, t4
+  # method 4: Kernighan step (three iterations, branch-free)
+  addi t5, t3, -1
+  and  t5, t5, t3
+  addi t4, t5, -1
+  and  t4, t4, t5
+  addi t5, t4, -1
+  and  t5, t5, t4
+  popc t4, t5
+  add  s4, s4, t4
+next_word:
+  addi t1, t1, -1
+  bnez t1, word_loop
+  sd   s4, 0(s9)                  # per-pass checksum spill
+  addi s9, s9, 8
+  addi s8, s8, -1
+  bnez s8, pass_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x500000
+trace:
+)",
+                   {{"WORDS", words}, {"PASSES", passes}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_blackscholes(Scale scale) {
+  const std::uint64_t options = 2048;
+  const std::uint64_t passes = scale.apply(5);
+  Workload w;
+  w.name = "blackscholes";
+  w.description = "Parsec blackscholes analogue: closed-form option pricing "
+                  "with rational exp/CND approximations (fp compute, "
+                  "fdiv/fsqrt heavy)";
+  w.approx_instructions = passes * options * 52 + options * 20 + 60;
+  w.source = subst(R"(# blackscholes: fp compute-bound
+_start:
+  # ---- constants
+  li   a7, 1
+  fcvt.d.l fs1, a7                # 1.0
+  li   a7, 2
+  fcvt.d.l ft0, a7
+  fdiv fs2, fs1, ft0              # 0.5
+  li   a7, 16
+  fcvt.d.l ft0, a7
+  fdiv fs4, fs1, ft0              # 1/16
+  li   a7, -17
+  fcvt.d.l ft0, a7
+  li   a7, 10
+  fcvt.d.l ft1, a7
+  fdiv fs3, ft0, ft1              # -1.7
+  li   a7, 100
+  fcvt.d.l fs5, a7                # price scale
+  # ---- init options: 5 doubles each from an LCG
+  la   t0, options
+  li   t1, {OPTIONS}
+  li   t2, 0x123456789
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+opt_init:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli t3, t2, 58                 # 6-bit
+  addi t3, t3, 50
+  fcvt.d.l ft0, t3
+  fsd  ft0, 0(t0)                 # S in [50,113]
+  srli t3, t2, 40
+  andi t3, t3, 63
+  addi t3, t3, 50
+  fcvt.d.l ft0, t3
+  fsd  ft0, 8(t0)                 # K
+  srli t3, t2, 30
+  andi t3, t3, 7
+  addi t3, t3, 1
+  fcvt.d.l ft0, t3
+  fsd  ft0, 16(t0)                # T in [1,8] years
+  li   t3, 3
+  fcvt.d.l ft0, t3
+  fdiv ft0, ft0, fs5
+  fsd  ft0, 24(t0)                # r = 0.03
+  srli t3, t2, 20
+  andi t3, t3, 31
+  addi t3, t3, 10
+  fcvt.d.l ft0, t3
+  fdiv ft0, ft0, fs5
+  fsd  ft0, 32(t0)                # v in [0.10,0.41]
+  addi t0, t0, 40
+  addi t1, t1, -1
+  bnez t1, opt_init
+  # ---- pricing passes
+  li   s8, {PASSES}
+  li   s4, 0                      # checksum
+pass_loop:
+  la   t0, options
+  la   t1, prices
+  li   t2, {OPTIONS}
+price_loop:
+  fld  fa0, 0(t0)                 # S
+  fld  fa1, 8(t0)                 # K
+  fld  fa2, 16(t0)                # T
+  fld  fa3, 24(t0)                # r
+  fld  fa4, 32(t0)                # v
+  # d1 = (S/K - 1 + (r + v*v/2) T) / (v sqrt(T)); d2 = d1 - v sqrt(T)
+  fdiv ft0, fa0, fa1
+  fsub ft0, ft0, fs1
+  fmul ft1, fa4, fa4
+  fmul ft1, ft1, fs2
+  fadd ft1, ft1, fa3
+  fmadd ft0, ft1, fa2, ft0
+  fsqrt ft2, fa2
+  fmul ft2, ft2, fa4
+  fdiv ft3, ft0, ft2              # d1
+  fsub ft4, ft3, ft2              # d2
+  # CND(x) ~= 1 / (1 + exp16(-1.7 x)) with exp16(y) = (1 + y/16)^16
+  fmul ft5, ft3, fs3
+  fmul ft5, ft5, fs4
+  fadd ft5, ft5, fs1
+  fmul ft5, ft5, ft5
+  fmul ft5, ft5, ft5
+  fmul ft5, ft5, ft5
+  fmul ft5, ft5, ft5
+  fadd ft5, ft5, fs1
+  fdiv ft5, fs1, ft5              # CND(d1)
+  fmul ft6, ft4, fs3
+  fmul ft6, ft6, fs4
+  fadd ft6, ft6, fs1
+  fmul ft6, ft6, ft6
+  fmul ft6, ft6, ft6
+  fmul ft6, ft6, ft6
+  fmul ft6, ft6, ft6
+  fadd ft6, ft6, fs1
+  fdiv ft6, fs1, ft6              # CND(d2)
+  # disc = exp16(-r T)
+  fmul ft7, fa3, fa2
+  fneg ft7, ft7
+  fmul ft7, ft7, fs4
+  fadd ft7, ft7, fs1
+  fmul ft7, ft7, ft7
+  fmul ft7, ft7, ft7
+  fmul ft7, ft7, ft7
+  fmul ft7, ft7, ft7
+  # spill intermediates to the scratch frame (register pressure in the
+  # real compiled code produces equivalent stack traffic)
+  la   a6, scratch
+  fsd  ft3, 0(a6)                 # d1
+  fsd  ft4, 8(a6)                 # d2
+  fsd  ft5, 16(a6)                # CND(d1)
+  fsd  ft6, 24(a6)                # CND(d2)
+  fld  ft5, 16(a6)
+  fld  ft6, 24(a6)
+  # price = S CND(d1) - K disc CND(d2)
+  fmul ft8, fa0, ft5
+  fmul ft9, fa1, ft7
+  fmsub ft10, ft9, ft6, ft8
+  fneg ft10, ft10
+  fsd  ft10, 0(t1)
+  fmv.x.d t4, ft10
+  add  s4, s4, t4
+  addi t0, t0, 40
+  addi t1, t1, 8
+  addi t2, t2, -1
+  bnez t2, price_loop
+  addi s8, s8, -1
+  bnez s8, pass_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x600000
+options:
+.org 0x620000
+prices:
+.org 0x628000
+scratch:
+)",
+                   {{"OPTIONS", options}, {"PASSES", passes}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_fluidanimate(Scale scale) {
+  const std::uint64_t particles = 4096;
+  const std::uint64_t passes = scale.apply(6);
+  Workload w;
+  w.name = "fluidanimate";
+  w.description = "Parsec fluidanimate analogue: neighbour-indexed particle "
+                  "interactions (indirection + fp, LDP pairs)";
+  w.approx_instructions = passes * particles * 19 + particles * 14 + 60;
+  w.source = subst(R"(# fluidanimate: mixed memory/fp with indirection
+_start:
+  li   a7, 1
+  fcvt.d.l fs1, a7                # 1.0
+  li   a7, 1000
+  fcvt.d.l fs5, a7
+  # ---- init: positions from an LCG; neighbour index = hash of i
+  la   t0, pos
+  la   t1, nbr
+  li   t2, {PARTICLES}
+  li   t3, 0
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+  li   t4, 0xBEEF5EED
+init_loop:
+  mul  t4, t4, s2
+  add  t4, t4, s3
+  srli a0, t4, 50
+  fcvt.d.l ft0, a0
+  fdiv ft0, ft0, fs5              # x in [0,16)
+  fsd  ft0, 0(t0)
+  srli a0, t4, 36
+  andi a0, a0, 8191
+  fcvt.d.l ft0, a0
+  fdiv ft0, ft0, fs5
+  fsd  ft0, 8(t0)                 # y
+  srli a0, t4, 22
+  andi a0, a0, {PMASK}
+  sw   a0, 0(t1)                  # neighbour index
+  addi t0, t0, 16
+  addi t1, t1, 4
+  addi t3, t3, 1
+  addi t2, t2, -1
+  bnez t2, init_loop
+  # ---- interaction passes
+  li   s8, {PASSES}
+  li   s4, 0
+pass_loop:
+  la   t0, pos
+  la   t1, nbr
+  la   t2, vel
+  li   t3, {PARTICLES}
+part_loop:
+  lw   a0, 0(t1)                  # neighbour id
+  slli a1, a0, 4
+  la   a2, pos
+  add  a1, a1, a2
+  ldp  a4, 0(a1)                  # neighbour (x, y) bit patterns
+  fmv.d.x ft0, a4
+  fmv.d.x ft1, a5
+  fld  ft2, 0(t0)                 # own x
+  fld  ft3, 8(t0)                 # own y
+  fsub ft4, ft0, ft2              # dx
+  fsub ft5, ft1, ft3              # dy
+  fmul ft6, ft4, ft4
+  fmadd ft6, ft5, ft5, ft6        # dist^2
+  fadd ft6, ft6, fs1
+  fsqrt ft7, ft6
+  fdiv ft7, ft4, ft7              # normalised force x
+  fld  ft8, 0(t2)
+  fadd ft8, ft8, ft7
+  fsd  ft8, 0(t2)                 # vel x update
+  fmv.x.d a6, ft8
+  add  s4, s4, a6
+  addi t0, t0, 16
+  addi t1, t1, 4
+  addi t2, t2, 8
+  addi t3, t3, -1
+  bnez t3, part_loop
+  addi s8, s8, -1
+  bnez s8, pass_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x680000
+nbr:
+.org 0x6A0000
+pos:
+.org 0x6E0000
+vel:
+)",
+                   {{"PARTICLES", particles},
+                    {"PMASK", particles - 1},
+                    {"PASSES", passes}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_swaptions(Scale scale) {
+  const std::uint64_t paths = scale.apply(3600);
+  const std::uint64_t steps = 16;
+  Workload w;
+  w.name = "swaptions";
+  w.description = "Parsec swaptions analogue: Monte-Carlo HJM-style path "
+                  "simulation reading a forward-rate curve, integer LCG "
+                  "driving fp accumulation (compute-bound)";
+  w.approx_instructions = paths * (steps * 9 + 14) + 200;
+  w.source = subst(R"(# swaptions: fp compute-bound Monte Carlo
+_start:
+  li   a7, 1
+  fcvt.d.l fs1, a7                # 1.0
+  li   a7, 1024
+  fcvt.d.l fs5, a7                # normaliser
+  li   a7, 101
+  fcvt.d.l ft0, a7
+  li   a7, 100
+  fcvt.d.l ft1, a7
+  fdiv fs6, ft0, ft1              # drift 1.01
+  # ---- init forward-rate curve: rates[i] = i/1024
+  la   t0, rates
+  li   t1, {STEPS}
+  li   t4, 1
+rate_init:
+  fcvt.d.l ft0, t4
+  fdiv ft0, ft0, fs5
+  fsd  ft0, 0(t0)
+  addi t0, t0, 8
+  addi t4, t4, 1
+  addi t1, t1, -1
+  bnez t1, rate_init
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+  li   t2, 0xFEEDF00D
+  li   s8, {PATHS}
+  li   s4, 0
+  la   t5, payoffs
+  fsub fa7, fs1, fs1              # total = 0.0
+path_loop:
+  fsub ft2, fs1, fs1              # path value = 0.0
+  la   t4, rates
+  li   t3, {STEPS}
+step_loop:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli a0, t2, 54                 # 10-bit shock
+  fcvt.d.l ft0, a0
+  fdiv ft0, ft0, fs5              # shock in [0,1)
+  fld  ft1, 0(t4)                 # forward rate for this step
+  fadd ft0, ft0, ft1
+  fmadd ft2, ft2, fs6, ft0        # value = value*drift + rate + shock
+  fsd  ft2, 128(t4)               # record the evolved rate path (HJM row)
+  addi t4, t4, 8
+  addi t3, t3, -1
+  bnez t3, step_loop
+  fadd ft3, ft2, fs1
+  fdiv ft4, ft2, ft3              # payoff-ish squash
+  fadd fa7, fa7, ft4
+  fsd  ft4, 0(t5)                 # record path payoff
+  addi t5, t5, 8
+  fmv.x.d a6, ft4
+  add  s4, s4, a6
+  addi s8, s8, -1
+  bnez s8, path_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x7C0000
+rates:
+.org 0x7C8000
+payoffs:
+)",
+                   {{"PATHS", paths}, {"STEPS", steps}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_freqmine(Scale scale) {
+  const std::uint64_t transactions = scale.apply(7500);
+  const std::uint64_t items = 8;
+  Workload w;
+  w.name = "freqmine";
+  w.description = "Parsec freqmine analogue: hash-indexed itemset counting "
+                  "with data-dependent branches (irregular integer)";
+  w.approx_instructions = transactions * (items * 13 + 6) + 60;
+  w.source = subst(R"(# freqmine: irregular integer counting
+_start:
+  # ---- init transactions: {TRANS} x {ITEMS} 32-bit items from an LCG
+  la   t0, items
+  li   t1, {TOTAL_ITEMS}
+  li   t2, 0xACE0FBA5E
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+fill_loop:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli t3, t2, 44
+  sw   t3, 0(t0)
+  addi t0, t0, 4
+  addi t1, t1, -1
+  bnez t1, fill_loop
+  # ---- count itemsets
+  li   s6, 0x9E3779B9             # hash multiplier
+  la   s1, counts
+  li   s4, 0                      # checksum
+  li   s8, {TRANS}
+  la   t1, items
+trans_loop:
+  li   t2, {ITEMS}
+item_loop:
+  lw   a0, 0(t1)
+  mul  a1, a0, s6
+  srli a1, a1, 16
+  xor  a1, a1, a0
+  slli a1, a1, 48
+  srli a1, a1, 48                 # 16-bit bucket
+  slli a2, a1, 2
+  add  a2, a2, s1
+  lw   a3, 0(a2)
+  addi a3, a3, 1
+  sw   a3, 0(a2)
+  add  s4, s4, a1                 # fold every bucket id into the checksum
+  slti a4, a3, 3                  # frequent-item threshold
+  bnez a4, item_next
+  add  s4, s4, a3                 # frequent buckets contribute their count
+item_next:
+  addi t1, t1, 4
+  addi t2, t2, -1
+  bnez t2, item_loop
+  addi s8, s8, -1
+  bnez s8, trans_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x700000
+items:
+.org 0x740000
+counts:
+)",
+                   {{"TRANS", transactions},
+                    {"ITEMS", items},
+                    {"TOTAL_ITEMS", transactions * items}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_bodytrack(Scale scale) {
+  const std::uint64_t elems = 16384;
+  const std::uint64_t passes = scale.apply(4);
+  Workload w;
+  w.name = "bodytrack";
+  w.description = "Parsec bodytrack analogue: weighted-residual "
+                  "accumulation over an observation vector with periodic "
+                  "normalisation (mixed fp)";
+  w.approx_instructions = passes * elems * 8 + elems * 6 + 60;
+  w.source = subst(R"(# bodytrack: mixed fp accumulation
+_start:
+  li   a7, 1
+  fcvt.d.l fs1, a7
+  li   a7, 512
+  fcvt.d.l fs5, a7
+  li   a7, 37
+  fcvt.d.l fs6, a7                # model constant
+  # ---- init observations
+  la   t0, obs
+  li   t1, {ELEMS}
+  li   t2, 0xB0D77AC4
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+init_loop:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli a0, t2, 52
+  fcvt.d.l ft0, a0
+  fsd  ft0, 0(t0)
+  addi t0, t0, 8
+  addi t1, t1, -1
+  bnez t1, init_loop
+  # ---- residual passes
+  li   s8, {PASSES}
+  li   s4, 0
+pass_loop:
+  la   t0, obs
+  li   t1, {ELEMS}
+  li   t3, 0                      # element counter
+  fsub fa6, fs1, fs1              # acc = 0.0
+elem_loop:
+  fld  ft0, 0(t0)
+  fsub ft1, ft0, fs6
+  fmadd fa6, ft1, ft1, fa6        # acc += residual^2
+  fsd  ft1, 0(t0)                 # write the residual back (in-place pass)
+  andi a0, t3, 15
+  addi a1, a0, -15
+  bnez a1, elem_next
+  fdiv fa6, fa6, fs5              # periodic normalisation
+  fmv.x.d a6, fa6
+  add  s4, s4, a6
+elem_next:
+  addi t0, t0, 8
+  addi t3, t3, 1
+  addi t1, t1, -1
+  bnez t1, elem_loop
+  addi s8, s8, -1
+  bnez s8, pass_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x780000
+obs:
+)",
+                   {{"ELEMS", elems}, {"PASSES", passes}});
+  w.source += kEpilogue;
+  return w;
+}
+
+Workload make_facesim(Scale scale) {
+  const std::uint64_t dim = 64;
+  const std::uint64_t iters = scale.apply(10);
+  Workload w;
+  w.name = "facesim";
+  w.description = "Parsec facesim analogue: 5-point Jacobi stencil over a "
+                  "64x64 double grid (regular fp memory)";
+  w.approx_instructions = iters * (dim - 2) * (dim - 2) * 13 + dim * dim * 7;
+  w.source = subst(R"(# facesim: regular fp stencil
+_start:
+  li   a7, 5
+  fcvt.d.l ft0, a7
+  li   a7, 1
+  fcvt.d.l fs1, a7
+  fdiv fs2, fs1, ft0              # 0.2
+  # ---- init grid A
+  la   t0, grid_a
+  li   t1, {CELLS}
+  li   t2, 0xFACE51A1
+  li   s2, 6364136223846793005
+  li   s3, 1442695040888963407
+init_loop:
+  mul  t2, t2, s2
+  add  t2, t2, s3
+  srli a0, t2, 54
+  fcvt.d.l ft1, a0
+  fsd  ft1, 0(t0)
+  addi t0, t0, 8
+  addi t1, t1, -1
+  bnez t1, init_loop
+  # ---- Jacobi iterations, ping-ponging between grid_a and grid_b
+  la   s5, grid_a                 # src
+  la   s6, grid_b                 # dst
+  li   s8, {ITERS}
+iter_loop:
+  li   t1, 1                      # row
+row_loop:
+  li   t2, 1                      # col
+  # row base = src + row*{ROWBYTES}
+  li   a0, {ROWBYTES}
+  mul  a1, t1, a0
+  add  a2, s5, a1                 # src row base
+  add  a3, s6, a1                 # dst row base
+col_loop:
+  slli a4, t2, 3
+  add  a5, a2, a4                 # &src[row][col]
+  add  a6, a3, a4                 # &dst[row][col]
+  fld  ft1, 0(a5)                 # centre
+  fld  ft2, -8(a5)                # left
+  fld  ft3, 8(a5)                 # right
+  fld  ft4, -{ROWBYTES}(a5)       # up
+  fld  ft5, {ROWBYTES}(a5)        # down
+  fadd ft6, ft2, ft3
+  fadd ft7, ft4, ft5
+  fadd ft6, ft6, ft7
+  fadd ft6, ft6, ft1
+  fmul ft6, ft6, fs2
+  fsd  ft6, 0(a6)
+  addi t2, t2, 1
+  addi a4, t2, -{DIM1}
+  bnez a4, col_loop
+  addi t1, t1, 1
+  addi a4, t1, -{DIM1}
+  bnez a4, row_loop
+  mv   a0, s5                     # swap src/dst
+  mv   s5, s6
+  mv   s6, a0
+  addi s8, s8, -1
+  bnez s8, iter_loop
+  # ---- checksum over final src grid
+  mv   t0, s5
+  li   t1, {CELLS}
+  li   s4, 0
+sum_loop:
+  ld   t3, 0(t0)
+  add  s4, s4, t3
+  addi t0, t0, 8
+  addi t1, t1, -1
+  bnez t1, sum_loop
+  la   t5, result
+  sd   s4, 0(t5)
+  halt
+.org 0x800000
+grid_a:
+.org 0x810000
+grid_b:
+)",
+                   {{"CELLS", dim * dim},
+                    {"ITERS", iters},
+                    {"ROWBYTES", dim * 8},
+                    {"DIM1", dim - 1}});
+  w.source += kEpilogue;
+  return w;
+}
+
+std::vector<Workload> standard_suite(Scale scale) {
+  return {
+      make_blackscholes(scale), make_randacc(scale),
+      make_fluidanimate(scale), make_swaptions(scale),
+      make_freqmine(scale),     make_bodytrack(scale),
+      make_bitcount(scale),     make_facesim(scale),
+      make_stream(scale),
+  };
+}
+
+bool make_workload(const std::string& name, Scale scale, Workload& out) {
+  for (auto& workload : standard_suite(scale)) {
+    if (workload.name == name) {
+      out = std::move(workload);
+      return true;
+    }
+  }
+  return false;
+}
+
+isa::Assembled assemble_or_die(const Workload& workload) {
+  isa::Assembled assembled = isa::assemble(workload.source);
+  if (!assembled.ok) {
+    std::fprintf(stderr, "workload '%s' failed to assemble:\n",
+                 workload.name.c_str());
+    for (const auto& error : assembled.errors) {
+      std::fprintf(stderr, "  %s\n", error.c_str());
+    }
+    std::abort();
+  }
+  return assembled;
+}
+
+}  // namespace paradet::workloads

@@ -1,0 +1,201 @@
+// Oracle tests: every integer/fp ALU opcode checked against independent
+// C++ semantics over many random operand pairs (parameterized property
+// sweep). Guards the functional core both cores rely on: any semantic
+// drift here would silently skew *both* main and checker execution.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "arch/interpreter.h"
+#include "common/rng.h"
+
+namespace paradet::arch {
+namespace {
+
+using isa::Inst;
+using isa::Opcode;
+
+struct OracleCase {
+  Opcode op;
+  const char* name;
+  std::uint64_t (*expect)(std::uint64_t, std::uint64_t);
+};
+
+std::int64_t s(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+const OracleCase kIntCases[] = {
+    {Opcode::kAdd, "add", [](std::uint64_t a, std::uint64_t b) { return a + b; }},
+    {Opcode::kSub, "sub", [](std::uint64_t a, std::uint64_t b) { return a - b; }},
+    {Opcode::kAnd, "and", [](std::uint64_t a, std::uint64_t b) { return a & b; }},
+    {Opcode::kOr, "or", [](std::uint64_t a, std::uint64_t b) { return a | b; }},
+    {Opcode::kXor, "xor", [](std::uint64_t a, std::uint64_t b) { return a ^ b; }},
+    {Opcode::kSll, "sll",
+     [](std::uint64_t a, std::uint64_t b) { return a << (b & 63); }},
+    {Opcode::kSrl, "srl",
+     [](std::uint64_t a, std::uint64_t b) { return a >> (b & 63); }},
+    {Opcode::kSra, "sra",
+     [](std::uint64_t a, std::uint64_t b) { return u(s(a) >> (b & 63)); }},
+    {Opcode::kSlt, "slt",
+     [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+       return s(a) < s(b) ? 1 : 0;
+     }},
+    {Opcode::kSltu, "sltu",
+     [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+       return a < b ? 1 : 0;
+     }},
+    {Opcode::kMul, "mul",
+     [](std::uint64_t a, std::uint64_t b) { return a * b; }},
+    {Opcode::kMulh, "mulh",
+     [](std::uint64_t a, std::uint64_t b) {
+       return static_cast<std::uint64_t>(
+           (static_cast<__int128>(s(a)) * static_cast<__int128>(s(b))) >> 64);
+     }},
+    {Opcode::kDivu, "divu",
+     [](std::uint64_t a, std::uint64_t b) {
+       return b == 0 ? ~std::uint64_t{0} : a / b;
+     }},
+    {Opcode::kRemu, "remu",
+     [](std::uint64_t a, std::uint64_t b) { return b == 0 ? a : a % b; }},
+    {Opcode::kPopc, "popc",
+     [](std::uint64_t a, std::uint64_t) {
+       return static_cast<std::uint64_t>(std::popcount(a));
+     }},
+    {Opcode::kClz, "clz",
+     [](std::uint64_t a, std::uint64_t) {
+       return static_cast<std::uint64_t>(std::countl_zero(a));
+     }},
+    {Opcode::kCtz, "ctz",
+     [](std::uint64_t a, std::uint64_t) {
+       return static_cast<std::uint64_t>(std::countr_zero(a));
+     }},
+};
+
+class IntOracle : public ::testing::TestWithParam<OracleCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, IntOracle, ::testing::ValuesIn(kIntCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(IntOracle, MatchesOverRandomOperands) {
+  const OracleCase& oracle = GetParam();
+  SparseMemory memory;
+  std::uint64_t cycle = 0;
+  MemoryDataPort port(memory, cycle);
+  SplitMix64 rng(0xA11CE ^ static_cast<std::uint64_t>(oracle.op));
+
+  Inst inst;
+  inst.op = oracle.op;
+  inst.rd = 3;
+  inst.rs1 = 1;
+  inst.rs2 = 2;
+  for (int trial = 0; trial < 500; ++trial) {
+    ArchState state;
+    // Mix full-range and small/boundary operands.
+    const auto pick = [&]() -> std::uint64_t {
+      switch (rng.next_below(4)) {
+        case 0: return rng.next();
+        case 1: return rng.next_below(16);
+        case 2: return ~std::uint64_t{0} - rng.next_below(16);
+        default: return std::uint64_t{1} << rng.next_below(64);
+      }
+    };
+    const std::uint64_t a = pick();
+    const std::uint64_t b = pick();
+    state.x[1] = a;
+    state.x[2] = b;
+    ASSERT_EQ(execute(inst, state, port).trap, Trap::kNone);
+    EXPECT_EQ(state.x[3], oracle.expect(a, b))
+        << oracle.name << "(" << a << ", " << b << ")";
+  }
+}
+
+struct FpOracleCase {
+  Opcode op;
+  const char* name;
+  double (*expect)(double, double);
+};
+
+const FpOracleCase kFpCases[] = {
+    {Opcode::kFadd, "fadd", [](double a, double b) { return a + b; }},
+    {Opcode::kFsub, "fsub", [](double a, double b) { return a - b; }},
+    {Opcode::kFmul, "fmul", [](double a, double b) { return a * b; }},
+    {Opcode::kFdiv, "fdiv", [](double a, double b) { return a / b; }},
+    {Opcode::kFmin, "fmin", [](double a, double b) { return std::fmin(a, b); }},
+    {Opcode::kFmax, "fmax", [](double a, double b) { return std::fmax(a, b); }},
+};
+
+class FpOracle : public ::testing::TestWithParam<FpOracleCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, FpOracle, ::testing::ValuesIn(kFpCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST_P(FpOracle, MatchesOverRandomOperands) {
+  const FpOracleCase& oracle = GetParam();
+  SparseMemory memory;
+  std::uint64_t cycle = 0;
+  MemoryDataPort port(memory, cycle);
+  SplitMix64 rng(0xF10A7 ^ static_cast<std::uint64_t>(oracle.op));
+
+  Inst inst;
+  inst.op = oracle.op;
+  inst.rd = 3;
+  inst.rs1 = 1;
+  inst.rs2 = 2;
+  for (int trial = 0; trial < 500; ++trial) {
+    ArchState state;
+    const double a = (rng.next_double() - 0.5) * 1e6;
+    const double b = (rng.next_double() - 0.5) * 1e6;
+    state.set_f(1, a);
+    state.set_f(2, b);
+    ASSERT_EQ(execute(inst, state, port).trap, Trap::kNone);
+    const double expected = oracle.expect(a, b);
+    // Bit-exact: both sides are IEEE double operations.
+    EXPECT_EQ(state.get_f_bits(3), std::bit_cast<std::uint64_t>(expected))
+        << oracle.name << "(" << a << ", " << b << ")";
+  }
+}
+
+TEST(SignedDivOracle, MatchesRiscvSemantics) {
+  SparseMemory memory;
+  std::uint64_t cycle = 0;
+  MemoryDataPort port(memory, cycle);
+  SplitMix64 rng(0xD1C);
+  Inst div;
+  div.op = Opcode::kDiv;
+  div.rd = 3;
+  div.rs1 = 1;
+  div.rs2 = 2;
+  Inst rem = div;
+  rem.op = Opcode::kRem;
+  for (int trial = 0; trial < 1000; ++trial) {
+    ArchState state;
+    const std::int64_t a = s(rng.next());
+    const std::int64_t b = trial % 7 == 0 ? 0 : s(rng.next());
+    state.x[1] = u(a);
+    state.x[2] = u(b);
+    execute(div, state, port);
+    const std::uint64_t quotient = state.x[3];
+    execute(rem, state, port);
+    const std::uint64_t remainder = state.x[3];
+    if (b == 0) {
+      EXPECT_EQ(quotient, ~std::uint64_t{0});
+      EXPECT_EQ(remainder, u(a));
+    } else if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+      EXPECT_EQ(quotient, u(a));
+      EXPECT_EQ(remainder, 0u);
+    } else {
+      EXPECT_EQ(quotient, u(a / b));
+      EXPECT_EQ(remainder, u(a % b));
+      // Euclidean identity: a == q*b + r.
+      EXPECT_EQ(u(a), quotient * u(b) + remainder);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paradet::arch

@@ -1,0 +1,305 @@
+// Unit tests for the two-pass assembler: syntax, directives, labels,
+// pseudo-instruction expansion and error diagnostics.
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.h"
+#include "arch/memory.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+
+namespace paradet::isa {
+namespace {
+
+/// Assembles and returns the decoded instruction at `index` (entry-based).
+Inst inst_at(const Assembled& assembled, std::size_t index) {
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  const auto word =
+      static_cast<std::uint32_t>(memory.read(assembled.entry + 4 * index, 4));
+  const auto decoded = decode(word);
+  EXPECT_TRUE(decoded.has_value());
+  return decoded.value_or(Inst{});
+}
+
+TEST(Assembler, BasicRTypes) {
+  const auto assembled = assemble("add x3, x4, x5\nsub t0, t1, t2\n");
+  ASSERT_TRUE(assembled.ok);
+  const Inst add = inst_at(assembled, 0);
+  EXPECT_EQ(add.op, Opcode::kAdd);
+  EXPECT_EQ(add.rd, 3);
+  EXPECT_EQ(add.rs1, 4);
+  EXPECT_EQ(add.rs2, 5);
+  const Inst sub = inst_at(assembled, 1);
+  EXPECT_EQ(sub.op, Opcode::kSub);
+  EXPECT_EQ(sub.rd, 5);   // t0 = x5
+  EXPECT_EQ(sub.rs1, 6);  // t1 = x6
+  EXPECT_EQ(sub.rs2, 7);  // t2 = x7
+}
+
+TEST(Assembler, LoadsAndStores) {
+  const auto assembled = assemble(R"(
+    ld x3, 16(x2)
+    sd x4, -8(x2)
+    fld f5, 0(sp)
+    fsd f6, 24(sp)
+    ldp x10, 32(x2)
+    stp x12, 48(x2)
+  )");
+  ASSERT_TRUE(assembled.ok) << assembled.errors[0];
+  EXPECT_EQ(inst_at(assembled, 0).imm, 16);
+  EXPECT_EQ(inst_at(assembled, 1).imm, -8);
+  EXPECT_EQ(inst_at(assembled, 2).op, Opcode::kFld);
+  EXPECT_EQ(inst_at(assembled, 3).op, Opcode::kFsd);
+  EXPECT_EQ(inst_at(assembled, 4).op, Opcode::kLdp);
+  EXPECT_EQ(inst_at(assembled, 5).op, Opcode::kStp);
+}
+
+TEST(Assembler, BranchTargetsAreRelative) {
+  const auto assembled = assemble(R"(
+top:
+    addi x1, x1, 1
+    beq x1, x2, top
+    bne x1, x2, down
+down:
+    halt
+  )");
+  ASSERT_TRUE(assembled.ok);
+  const Inst beq = inst_at(assembled, 1);
+  EXPECT_EQ(beq.imm, -4);
+  const Inst bne = inst_at(assembled, 2);
+  EXPECT_EQ(bne.imm, 4);
+}
+
+TEST(Assembler, JumpAndCallAndRet) {
+  const auto assembled = assemble(R"(
+_start:
+    call func
+    j end
+func:
+    ret
+end:
+    halt
+  )");
+  ASSERT_TRUE(assembled.ok);
+  const Inst call = inst_at(assembled, 0);
+  EXPECT_EQ(call.op, Opcode::kJal);
+  EXPECT_EQ(call.rd, 1);  // ra
+  EXPECT_EQ(call.imm, 8);
+  const Inst j = inst_at(assembled, 1);
+  EXPECT_EQ(j.op, Opcode::kJal);
+  EXPECT_EQ(j.rd, 0);
+  const Inst ret = inst_at(assembled, 2);
+  EXPECT_EQ(ret.op, Opcode::kJalr);
+  EXPECT_EQ(ret.rs1, 1);
+}
+
+TEST(Assembler, LiSmallExpandsToAddi) {
+  const auto assembled = assemble("li x5, -42\n");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(assembled.chunks[0].bytes.size(), 4u);
+  const Inst li = inst_at(assembled, 0);
+  EXPECT_EQ(li.op, Opcode::kAddi);
+  EXPECT_EQ(li.imm, -42);
+}
+
+TEST(Assembler, Li32ExpandsToLuiOri) {
+  const auto assembled = assemble("li x5, 0x12345678\n");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(assembled.chunks[0].bytes.size(), 8u);
+  EXPECT_EQ(inst_at(assembled, 0).op, Opcode::kLui);
+  EXPECT_EQ(inst_at(assembled, 1).op, Opcode::kOri);
+}
+
+TEST(Assembler, Li64UsesEightInstructions) {
+  const auto assembled = assemble("li x5, 0x123456789ABCDEF0\n");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(assembled.chunks[0].bytes.size(), 32u);
+}
+
+TEST(Assembler, Li64CannotTargetAsmTemp) {
+  const auto assembled = assemble("li x31, 0x123456789ABCDEF0\n");
+  EXPECT_FALSE(assembled.ok);
+}
+
+/// Executes an assembled image on the interpreter and returns x5.
+std::uint64_t run_and_get_x5(const Assembled& assembled) {
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  std::uint64_t cycle = 0;
+  arch::MemoryDataPort port(memory, cycle);
+  arch::Machine machine(memory, port);
+  arch::ArchState state;
+  state.pc = assembled.entry;
+  EXPECT_EQ(machine.run(state, 1000), arch::Trap::kHalt);
+  return state.x[5];
+}
+
+class LiValues : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LiValues,
+    ::testing::Values(0, 1, -1, 42, -42, 8191, -8192, 8192, 65535, -65536,
+                      0x7FFFFFFFLL, -0x80000000LL, 0x100000000LL,
+                      0x123456789ABCDEF0LL, -0x123456789ABCDEF0LL,
+                      INT64_MAX, INT64_MIN + 1));
+
+TEST_P(LiValues, LiProducesExactValue) {
+  const std::int64_t value = GetParam();
+  const std::string source =
+      "li x5, " + std::to_string(value) + "\nhalt\n";
+  const auto assembled = assemble(source);
+  ASSERT_TRUE(assembled.ok) << assembled.errors[0];
+  EXPECT_EQ(run_and_get_x5(assembled), static_cast<std::uint64_t>(value));
+}
+
+TEST(Assembler, LaResolvesSymbols) {
+  const auto assembled = assemble(R"(
+    la x5, data
+    halt
+.org 0x20000
+data:
+  )");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(run_and_get_x5(assembled), 0x20000u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const auto assembled = assemble(R"(
+.org 0x2000
+    .byte 1, 2, 255
+    .half 0x1234
+    .align 8
+    .word 0xDEADBEEF
+    .quad 0x1122334455667788
+    .double 1.5
+    .zero 3
+  )");
+  ASSERT_TRUE(assembled.ok) << assembled.errors[0];
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  EXPECT_EQ(memory.read(0x2000, 1), 1u);
+  EXPECT_EQ(memory.read(0x2002, 1), 255u);
+  EXPECT_EQ(memory.read(0x2003, 2), 0x1234u);
+  EXPECT_EQ(memory.read(0x2008, 4), 0xDEADBEEFu);
+  EXPECT_EQ(memory.read(0x200C, 8), 0x1122334455667788u);
+  const double d = std::bit_cast<double>(memory.read(0x2014, 8));
+  EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+TEST(Assembler, QuadAcceptsSymbols) {
+  const auto assembled = assemble(R"(
+.org 0x3000
+ptr: .quad target+8
+.org 0x4000
+target:
+  )");
+  ASSERT_TRUE(assembled.ok) << assembled.errors[0];
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  EXPECT_EQ(memory.read(0x3000, 8), 0x4008u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto assembled = assemble(R"(
+  # full-line comment
+  nop        ; trailing comment
+  nop        # another
+  )");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(assembled.chunks[0].bytes.size(), 8u);
+}
+
+TEST(Assembler, MultipleLabelsPerLine) {
+  const auto assembled = assemble("a: b: c: halt\n");
+  ASSERT_TRUE(assembled.ok);
+  EXPECT_EQ(assembled.symbols.at("a"), assembled.symbols.at("b"));
+  EXPECT_EQ(assembled.symbols.at("b"), assembled.symbols.at("c"));
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  const auto assembled = assemble("frobnicate x1, x2\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_NE(assembled.errors[0].find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  const auto assembled = assemble("beq x1, x2, nowhere\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_NE(assembled.errors[0].find("undefined symbol"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  const auto assembled = assemble("x: nop\nx: nop\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_NE(assembled.errors[0].find("duplicate label"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  const auto assembled = assemble("addi x1, x2, 9000\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_NE(assembled.errors[0].find("out of range"), std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongRegisterFile) {
+  EXPECT_FALSE(assemble("fadd f1, x2, f3\n").ok);
+  EXPECT_FALSE(assemble("add x1, f2, x3\n").ok);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  const auto assembled = assemble("add x1, x2\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_NE(assembled.errors[0].find("expects"), std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegisterName) {
+  EXPECT_FALSE(assemble("add x1, x2, x32\n").ok);
+  EXPECT_FALSE(assemble("add x1, x2, y3\n").ok);
+}
+
+TEST(AssemblerErrors, LdpPairMustFitRegisterFile) {
+  EXPECT_FALSE(assemble("ldp x31, 0(x2)\n").ok);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers) {
+  const auto assembled = assemble("nop\nnop\nbogus x1\n");
+  ASSERT_FALSE(assembled.ok);
+  EXPECT_EQ(assembled.errors[0].find("line 3"), 0u);
+}
+
+TEST(Assembler, EntryPointDefaultsAndStart) {
+  const auto no_start = assemble("nop\n");
+  ASSERT_TRUE(no_start.ok);
+  EXPECT_EQ(no_start.entry, 0x1000u);
+  const auto with_start = assemble(".org 0x5000\n_start: nop\n");
+  ASSERT_TRUE(with_start.ok);
+  EXPECT_EQ(with_start.entry, 0x5000u);
+}
+
+TEST(RegisterParsing, AliasesMatchNumbers) {
+  RegIndex reg = 0;
+  bool is_fp = false;
+  ASSERT_TRUE(parse_register("sp", reg, is_fp));
+  EXPECT_EQ(reg, 2);
+  EXPECT_FALSE(is_fp);
+  ASSERT_TRUE(parse_register("a0", reg, is_fp));
+  EXPECT_EQ(reg, 10);
+  ASSERT_TRUE(parse_register("s11", reg, is_fp));
+  EXPECT_EQ(reg, 27);
+  ASSERT_TRUE(parse_register("fa7", reg, is_fp));
+  EXPECT_EQ(reg, 17);
+  EXPECT_TRUE(is_fp);
+  ASSERT_TRUE(parse_register("ft11", reg, is_fp));
+  EXPECT_EQ(reg, 31);
+  EXPECT_FALSE(parse_register("x99", reg, is_fp));
+}
+
+}  // namespace
+}  // namespace paradet::isa

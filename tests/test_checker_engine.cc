@@ -1,0 +1,388 @@
+// Tests for the checker engine (§IV-B): segment re-execution against the
+// load-store log, with every detection kind exercised by hand-corrupted
+// segments. The fixture builds "golden" segments exactly the way the main
+// core's commit stage does: run the interpreter, record memory micro-ops
+// in order, checkpoint registers at both ends.
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.h"
+#include "core/checker_engine.h"
+#include "core/fault_injection.h"
+#include "isa/assembler.h"
+
+namespace paradet::core {
+namespace {
+
+/// Records committed memory operations like the main core's commit stage.
+class RecordingPort final : public arch::DataPort {
+ public:
+  explicit RecordingPort(arch::SparseMemory& memory) : memory_(memory) {}
+
+  std::uint64_t load(Addr addr, unsigned size) override {
+    const std::uint64_t value = memory_.read(addr, size);
+    entries_.push_back(LogEntry{EntryKind::kLoad,
+                                static_cast<std::uint8_t>(size), addr, value,
+                                0, seq_++});
+    return value;
+  }
+  void store(Addr addr, std::uint64_t value, unsigned size) override {
+    memory_.write(addr, value, size);
+    entries_.push_back(LogEntry{EntryKind::kStore,
+                                static_cast<std::uint8_t>(size), addr, value,
+                                0, seq_++});
+  }
+  std::uint64_t read_cycle() override {
+    entries_.push_back(LogEntry{EntryKind::kNondet, 0, 0, 777, 0, seq_++});
+    return 777;
+  }
+
+  std::vector<LogEntry> entries_;
+
+ private:
+  arch::SparseMemory& memory_;
+  UopSeq seq_ = 0;
+};
+
+class CheckerEngineTest : public ::testing::Test {
+ protected:
+  /// Assembles `source`, skips `skip` instructions, then executes `count`
+  /// instructions on the golden model and packages the run as a sealed
+  /// segment (start checkpoint taken after the skipped prefix, exactly as
+  /// a mid-program segment would be).
+  Segment build_segment(const std::string& source, std::uint64_t count,
+                        arch::Trap expected_end_trap = arch::Trap::kNone,
+                        std::uint64_t skip = 0) {
+    auto assembled = isa::assemble(source);
+    EXPECT_TRUE(assembled.ok) << (assembled.errors.empty()
+                                      ? "?"
+                                      : assembled.errors[0]);
+    for (const auto& chunk : assembled.chunks) {
+      memory_.write_block(chunk.base, chunk.bytes);
+    }
+    RecordingPort port(memory_);
+    arch::Machine machine(memory_, port);
+    arch::ArchState state;
+    state.pc = assembled.entry;
+    for (std::uint64_t i = 0; i < skip; ++i) {
+      EXPECT_EQ(machine.step(state).trap, arch::Trap::kNone);
+    }
+    port.entries_.clear();
+
+    Segment segment;
+    segment.state = SegmentState::kSealed;
+    segment.start.state = state;
+    std::uint64_t executed = 0;
+    arch::Trap trap = arch::Trap::kNone;
+    while (executed < count) {
+      const arch::StepResult step = machine.step(state);
+      ++executed;
+      if (step.trap != arch::Trap::kNone) {
+        trap = step.trap;
+        break;
+      }
+    }
+    EXPECT_EQ(trap, expected_end_trap);
+    segment.entries = port.entries_;
+    segment.end.state = state;
+    segment.instruction_count = executed;
+    segment.end_trap = static_cast<std::uint8_t>(expected_end_trap);
+    return segment;
+  }
+
+  CheckOutcome check(const Segment& segment,
+                     CheckerFaultHook* hook = nullptr) {
+    CheckerEngine engine(memory_);
+    return engine.check(segment, hook).outcome;
+  }
+
+  arch::SparseMemory memory_;
+};
+
+constexpr const char* kLoopProgram = R"(
+_start:
+  li   t0, 8
+  la   t1, data
+loop:
+  ld   t2, 0(t1)
+  addi t2, t2, 3
+  sd   t2, 0(t1)
+  addi t1, t1, 8
+  addi t0, t0, -1
+  bnez t0, loop
+  halt
+.org 0x10000
+data: .quad 1, 2, 3, 4, 5, 6, 7, 8
+)";
+
+TEST_F(CheckerEngineTest, CleanSegmentPasses) {
+  const Segment segment = build_segment(kLoopProgram, 30);
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed) << outcome.event.describe();
+  EXPECT_EQ(outcome.instructions_executed, 30u);
+  EXPECT_EQ(outcome.entries_consumed, segment.entries.size());
+}
+
+TEST_F(CheckerEngineTest, FullProgramWithHaltPasses) {
+  const Segment segment = build_segment(kLoopProgram, 1000, arch::Trap::kHalt);
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed) << outcome.event.describe();
+}
+
+TEST_F(CheckerEngineTest, StoreValueMismatchDetected) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  for (auto& entry : segment.entries) {
+    if (entry.kind == EntryKind::kStore) {
+      entry.value ^= 1ull << 5;  // the main core stored a corrupt value.
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kStoreValueMismatch);
+}
+
+TEST_F(CheckerEngineTest, StoreAddressMismatchDetected) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  for (auto& entry : segment.entries) {
+    if (entry.kind == EntryKind::kStore) {
+      entry.addr += 8;
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kStoreAddressMismatch);
+}
+
+TEST_F(CheckerEngineTest, LoadAddressMismatchDetected) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  for (auto& entry : segment.entries) {
+    if (entry.kind == EntryKind::kLoad) {
+      entry.addr += 16;
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kLoadAddressMismatch);
+}
+
+TEST_F(CheckerEngineTest, CorruptLoadValuePropagatesToStoreCheck) {
+  // A corrupted *forwarded load value* makes the checker compute a
+  // different store value than the log: caught at the next store.
+  Segment segment = build_segment(kLoopProgram, 30);
+  for (auto& entry : segment.entries) {
+    if (entry.kind == EntryKind::kLoad) {
+      entry.value ^= 1;
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kStoreValueMismatch);
+}
+
+TEST_F(CheckerEngineTest, MissingEntryDetectedAsKindMismatch) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  // Delete the first load: the checker's load then sees the store entry.
+  for (std::size_t i = 0; i < segment.entries.size(); ++i) {
+    if (segment.entries[i].kind == EntryKind::kLoad) {
+      segment.entries.erase(segment.entries.begin() + i);
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kEntryKindMismatch);
+}
+
+TEST_F(CheckerEngineTest, TruncatedLogDetectedAsOverrun) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.entries.pop_back();
+  segment.entries.pop_back();
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kLogOverrun);
+}
+
+TEST_F(CheckerEngineTest, ExtraEntriesDetectedAsCheckerTimeout) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  // The main core logged more memory ops than the checker will execute:
+  // divergence, caught when the committed-instruction budget runs out
+  // (§IV-J).
+  segment.entries.push_back(segment.entries.back());
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kCheckerTimeout);
+}
+
+TEST_F(CheckerEngineTest, EndCheckpointRegisterMismatchDetected) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.end.state.x[7] ^= 1ull << 40;  // corrupt checkpointed t2.
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kRegisterMismatch);
+  EXPECT_EQ(outcome.event.reg, 7);
+}
+
+TEST_F(CheckerEngineTest, DeadRegisterCheckpointMismatchStillDetected) {
+  // §IV-I over-detection: a register nobody will read again still fails
+  // the checkpoint validation -- liveness is unknowable at check time.
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.end.state.x[29] ^= 1;  // t4: never used by the program.
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kRegisterMismatch);
+}
+
+TEST_F(CheckerEngineTest, EndCheckpointPcMismatchDetected) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.end.state.pc += 4;
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kPcMismatch);
+}
+
+TEST_F(CheckerEngineTest, CorruptStartCheckpointDetected) {
+  // Strong induction: the check *assumes* the start checkpoint; if a LIVE
+  // register in it is corrupt, the checker's execution diverges from the
+  // log and some check fails. Build a mid-loop segment so the address
+  // base t1 is live-in.
+  Segment segment = build_segment(kLoopProgram, 20, arch::Trap::kNone,
+                                  /*skip=*/10);
+  segment.start.state.x[6] ^= 1ull << 4;  // t1: live address base.
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  // The corrupted base shifts the next memory access, whichever it is.
+  EXPECT_TRUE(outcome.event.kind == DetectionKind::kLoadAddressMismatch ||
+              outcome.event.kind == DetectionKind::kStoreAddressMismatch)
+      << outcome.event.describe();
+}
+
+TEST_F(CheckerEngineTest, DeadStartCheckpointCorruptionIsMasked) {
+  // The complement of the test above: a corrupt start-checkpoint register
+  // that the segment overwrites before reading is architecturally dead --
+  // the check passes, and that is the correct (paper) semantics: such a
+  // fault cannot affect any visible state within this segment, and if it
+  // crosses the *end* checkpoint it is caught there instead.
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.start.state.x[5] ^= 1;  // t0 is overwritten by `li t0, 8`.
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed);
+}
+
+TEST_F(CheckerEngineTest, NondetForwardingReplaysExactValue) {
+  const char* source = R"(
+_start:
+  rdcycle t0
+  la  t1, out
+  sd  t0, 0(t1)
+  halt
+.org 0x20000
+out:
+)";
+  const Segment segment = build_segment(source, 100, arch::Trap::kHalt);
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed) << outcome.event.describe();
+}
+
+TEST_F(CheckerEngineTest, CorruptNondetValueDetectedDownstream) {
+  const char* source = R"(
+_start:
+  rdcycle t0
+  la  t1, out
+  sd  t0, 0(t1)
+  halt
+.org 0x20000
+out:
+)";
+  Segment segment = build_segment(source, 100, arch::Trap::kHalt);
+  for (auto& entry : segment.entries) {
+    if (entry.kind == EntryKind::kNondet) {
+      entry.value ^= 2;
+      break;
+    }
+  }
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kStoreValueMismatch);
+}
+
+TEST_F(CheckerEngineTest, MacroOpsReplayAsTwoEntries) {
+  const char* source = R"(
+_start:
+  la  t1, data
+  ldp t2, 0(t1)
+  add t2, t2, t3
+  stp t2, 16(t1)
+  halt
+.org 0x30000
+data: .quad 10, 20
+)";
+  const Segment segment = build_segment(source, 100, arch::Trap::kHalt);
+  // 2 loads + 2 stores logged.
+  EXPECT_EQ(segment.entries.size(), 4u);
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed) << outcome.event.describe();
+}
+
+TEST_F(CheckerEngineTest, TrapMismatchWhenMainTrappedButCheckerDoesNot) {
+  Segment segment = build_segment(kLoopProgram, 30);
+  segment.end_trap = static_cast<std::uint8_t>(arch::Trap::kHalt);
+  const CheckOutcome outcome = check(segment);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_EQ(outcome.event.kind, DetectionKind::kTrapMismatch);
+}
+
+TEST_F(CheckerEngineTest, SystemFaultSegmentValidates) {
+  // §IV-H: a program hitting FAULT has its termination held; the final
+  // segment's check must reproduce the same trap.
+  const char* source = R"(
+_start:
+  li t0, 1
+  fault
+)";
+  const Segment segment = build_segment(source, 100, arch::Trap::kSystemFault);
+  const CheckOutcome outcome = check(segment);
+  EXPECT_TRUE(outcome.passed) << outcome.event.describe();
+}
+
+TEST_F(CheckerEngineTest, CheckerSideFaultHookCausesOverDetection) {
+  // §IV-I: a fault in the *checker* is indistinguishable from a main-core
+  // fault and must be reported.
+  const Segment segment = build_segment(kLoopProgram, 30);
+  FaultInjector faults;
+  FaultSpec spec;
+  spec.site = FaultSite::kCheckerArchReg;
+  spec.segment_ordinal = 0;
+  spec.checker_local_index = 5;
+  spec.reg = 7;
+  spec.bit = 3;
+  faults.add(spec);
+  auto hook = faults.checker_hook(0);
+  ASSERT_NE(hook, nullptr);
+  const CheckOutcome outcome = check(segment, hook.get());
+  EXPECT_FALSE(outcome.passed);
+}
+
+TEST_F(CheckerEngineTest, TraceMatchesExecution) {
+  const Segment segment = build_segment(kLoopProgram, 13);
+  CheckerEngine engine(memory_);
+  const auto result = engine.check(segment);
+  ASSERT_TRUE(result.outcome.passed);
+  ASSERT_EQ(result.trace.size(), 13u);
+  // First two instructions are the li/la prologue at the entry point.
+  EXPECT_EQ(result.trace[0].pc, 0x1000u);
+  // Entry attribution: consumed entries are dense and ordered.
+  std::uint32_t next_entry = 0;
+  for (const auto& record : result.trace) {
+    if (record.entries_consumed > 0) {
+      EXPECT_EQ(record.first_entry, next_entry);
+      next_entry += record.entries_consumed;
+    }
+  }
+  EXPECT_EQ(next_entry, segment.entries.size());
+}
+
+}  // namespace
+}  // namespace paradet::core

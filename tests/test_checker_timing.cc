@@ -1,0 +1,164 @@
+// Tests for the in-order checker-core timing model (§IV-B, fig. 4).
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "sim/checker_timing.h"
+
+namespace paradet::sim {
+namespace {
+
+core::CheckerInstRecord record(isa::Opcode op, Addr pc,
+                               std::uint8_t entries = 0,
+                               std::uint32_t first_entry = 0,
+                               bool taken = false) {
+  core::CheckerInstRecord r;
+  r.inst.op = op;
+  r.inst.rd = 5;
+  r.inst.rs1 = 6;
+  r.inst.rs2 = 7;
+  r.pc = pc;
+  r.entries_consumed = entries;
+  r.first_entry = first_entry;
+  r.branch_taken = taken;
+  return r;
+}
+
+class CheckerTimingTest : public ::testing::Test {
+ protected:
+  CheckerTimingTest()
+      : shared_(16 * 1024),
+        core_(config(), shared_, /*l2_latency_checker_cycles=*/5) {}
+
+  static CheckerConfig config() {
+    CheckerConfig cfg;
+    return cfg;
+  }
+
+  SharedCheckerIcache shared_;
+  CheckerCoreTiming core_;
+};
+
+TEST_F(CheckerTimingTest, ScalarThroughputIsOnePerCycle) {
+  std::vector<core::CheckerInstRecord> trace;
+  for (int i = 0; i < 100; ++i) {
+    auto r = record(isa::Opcode::kAdd, 0x1000 + (i % 16) * 4);
+    r.inst.rd = static_cast<RegIndex>(5 + i % 8);
+    r.inst.rs1 = 0;
+    r.inst.rs2 = 0;
+    trace.push_back(r);
+  }
+  const auto cold = core_.walk(trace, 0);
+  const auto warm = core_.walk(trace, 0);
+  const CheckerConfig cfg = config();
+  // Warm i-cache: wakeup + ~1 cycle per instruction + validation.
+  EXPECT_LE(warm.local_cycles, cfg.wakeup_cycles + 100 + 2 +
+                                   cfg.checkpoint_validate_cycles);
+  EXPECT_GE(cold.local_cycles, warm.local_cycles);
+}
+
+TEST_F(CheckerTimingTest, DependentLatencyStalls) {
+  // A chain of dependent multiplies runs at the multiply latency.
+  std::vector<core::CheckerInstRecord> trace;
+  for (int i = 0; i < 20; ++i) {
+    auto r = record(isa::Opcode::kMul, 0x1000);
+    r.inst.rd = 5;
+    r.inst.rs1 = 5;
+    r.inst.rs2 = 5;
+    trace.push_back(r);
+  }
+  core_.walk(trace, 0);  // warm the L0.
+  const auto result = core_.walk(trace, 0);
+  const unsigned mul_latency = isa::exec_latency(isa::ExecClass::kIntMul);
+  EXPECT_GE(result.local_cycles, 20u * mul_latency);
+}
+
+TEST_F(CheckerTimingTest, TakenBranchesAddBubbles) {
+  std::vector<core::CheckerInstRecord> straight, branchy;
+  for (int i = 0; i < 50; ++i) {
+    straight.push_back(record(isa::Opcode::kAdd, 0x1000));
+    branchy.push_back(
+        record(isa::Opcode::kBeq, 0x1000, 0, 0, /*taken=*/true));
+  }
+  core_.walk(straight, 0);
+  const auto fast = core_.walk(straight, 0);
+  const auto slow = core_.walk(branchy, 0);
+  EXPECT_GE(slow.local_cycles,
+            fast.local_cycles + 49u * config().taken_branch_bubble);
+}
+
+TEST_F(CheckerTimingTest, EntryCheckCyclesMonotoneAndComplete) {
+  std::vector<core::CheckerInstRecord> trace;
+  std::uint32_t entry = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool is_load = i % 3 == 0;
+    auto r = record(is_load ? isa::Opcode::kLd : isa::Opcode::kAdd,
+                    0x1000 + (i % 16) * 4, is_load ? 1 : 0, entry);
+    if (is_load) ++entry;
+    trace.push_back(r);
+  }
+  const auto result = core_.walk(trace, entry);
+  ASSERT_EQ(result.entry_check_cycles.size(), entry);
+  for (std::size_t i = 1; i < result.entry_check_cycles.size(); ++i) {
+    EXPECT_GE(result.entry_check_cycles[i], result.entry_check_cycles[i - 1]);
+  }
+  for (const Cycle c : result.entry_check_cycles) {
+    EXPECT_GT(c, 0u);
+    EXPECT_LE(c, result.local_cycles);
+  }
+}
+
+TEST_F(CheckerTimingTest, MacroOpsConsumeTwoEntries) {
+  std::vector<core::CheckerInstRecord> trace;
+  auto ldp = record(isa::Opcode::kLdp, 0x1000, 2, 0);
+  ldp.inst.rd = 10;
+  trace.push_back(ldp);
+  const auto result = core_.walk(trace, 2);
+  ASSERT_EQ(result.entry_check_cycles.size(), 2u);
+  EXPECT_GT(result.entry_check_cycles[1], 0u);
+}
+
+TEST_F(CheckerTimingTest, ValidationCostAppended) {
+  const std::vector<core::CheckerInstRecord> empty;
+  const auto result = core_.walk(empty, 0);
+  EXPECT_GE(result.local_cycles, config().checkpoint_validate_cycles);
+}
+
+TEST(SharedCheckerIcacheTest, HitAfterFill) {
+  SharedCheckerIcache cache(16 * 1024);
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1010 & ~Addr{63}));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(SharedCheckerIcacheTest, SharedAcrossCores) {
+  // Code fetched by one checker core warms the L1I for the others --
+  // the sharing argument of §IV-B.
+  SharedCheckerIcache shared(16 * 1024);
+  CheckerConfig cfg;
+  CheckerCoreTiming first(cfg, shared, 5);
+  CheckerCoreTiming second(cfg, shared, 5);
+  std::vector<core::CheckerInstRecord> trace;
+  for (int i = 0; i < 64; ++i) {
+    trace.push_back(record(isa::Opcode::kAdd, 0x1000 + i * 4));
+  }
+  const auto cold = first.walk(trace, 0);
+  // Second core: cold L0 but warm shared L1 -> faster than a fully cold
+  // walk (which would pay the L2 latency per line).
+  const auto warm_shared = second.walk(trace, 0);
+  EXPECT_LT(warm_shared.local_cycles, cold.local_cycles);
+}
+
+TEST(SharedCheckerIcacheTest, EvictsLru) {
+  SharedCheckerIcache cache(/*size=*/64 * 4, /*line=*/64, /*assoc=*/4);
+  // One set of 4 ways: fill 4 lines, touch the first, insert a fifth.
+  for (Addr a = 0; a < 4; ++a) cache.access(a << 6);
+  EXPECT_TRUE(cache.access(0));
+  cache.access(4ull << 6);  // evicts line 1 (LRU), not line 0.
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(1ull << 6));
+}
+
+}  // namespace
+}  // namespace paradet::sim

@@ -1,0 +1,128 @@
+// Tests for the detection controller: strong-induction first-error
+// ordering (§IV) and delay statistics, plus fault-injector plumbing.
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+#include "core/fault_injection.h"
+
+namespace paradet::core {
+namespace {
+
+CheckOutcome failed_outcome(DetectionKind kind) {
+  CheckOutcome outcome;
+  outcome.passed = false;
+  outcome.event.kind = kind;
+  return outcome;
+}
+
+TEST(DetectionController, NoErrorsWhenAllPass) {
+  DetectionController controller(3200);
+  for (int i = 0; i < 10; ++i) controller.report(CheckOutcome{}, i);
+  EXPECT_FALSE(controller.error_detected());
+  EXPECT_EQ(controller.failures(), 0u);
+  EXPECT_EQ(controller.segments_reported(), 10u);
+}
+
+TEST(DetectionController, KeepsEarliestOrdinalAsFirstError) {
+  DetectionController controller(3200);
+  // Checks complete out of order: segment 7 fails first, then segment 3.
+  controller.report(failed_outcome(DetectionKind::kStoreValueMismatch), 7);
+  EXPECT_EQ(controller.first_error()->segment_ordinal, 7u);
+  controller.report(failed_outcome(DetectionKind::kRegisterMismatch), 3);
+  // Strong induction: the error in the *earlier* segment supersedes.
+  EXPECT_EQ(controller.first_error()->segment_ordinal, 3u);
+  EXPECT_EQ(controller.first_error()->kind,
+            DetectionKind::kRegisterMismatch);
+  // A later failure does not displace it.
+  controller.report(failed_outcome(DetectionKind::kPcMismatch), 5);
+  EXPECT_EQ(controller.first_error()->segment_ordinal, 3u);
+  EXPECT_EQ(controller.failures(), 3u);
+}
+
+TEST(DetectionController, DelayHistogramInNanoseconds) {
+  DetectionController controller(3200, 50.0, 100);
+  // 3200 cycles at 3.2 GHz = 1000 ns.
+  controller.record_entry_checked(0, 3200);
+  controller.record_entry_checked(3200, 4800);  // 500 ns.
+  EXPECT_EQ(controller.delay_histogram_ns().summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(controller.delay_histogram_ns().summary().max(), 1000.0);
+  EXPECT_DOUBLE_EQ(controller.delay_histogram_ns().summary().mean(), 750.0);
+}
+
+TEST(DetectionEvent, DescribeIsHumanReadable) {
+  DetectionEvent event;
+  event.kind = DetectionKind::kStoreValueMismatch;
+  event.segment_ordinal = 12;
+  event.expected = 0xAB;
+  event.actual = 0xAD;
+  const std::string text = event.describe();
+  EXPECT_NE(text.find("store-value-mismatch"), std::string::npos);
+  EXPECT_NE(text.find("#12"), std::string::npos);
+  EXPECT_NE(text.find("0xab"), std::string::npos);
+}
+
+TEST(DetectionKindNames, AllNamed) {
+  for (int k = 0; k <= static_cast<int>(DetectionKind::kCheckerTimeout);
+       ++k) {
+    EXPECT_NE(detection_kind_name(static_cast<DetectionKind>(k)), "unknown");
+  }
+}
+
+TEST(FaultInjector, LookupBySiteAndSeq) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.site = FaultSite::kMainStoreValue;
+  spec.at_seq = 100;
+  injector.add(spec);
+  EXPECT_NE(injector.at(FaultSite::kMainStoreValue, 100), nullptr);
+  EXPECT_EQ(injector.at(FaultSite::kMainStoreValue, 101), nullptr);
+  EXPECT_EQ(injector.at(FaultSite::kMainStoreAddr, 100), nullptr);
+}
+
+TEST(FaultInjector, AluStuckAtIsPermanentFromTrigger) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.site = FaultSite::kMainAluStuckAt;
+  spec.at_seq = 50;
+  injector.add(spec);
+  EXPECT_EQ(injector.alu_stuck_at(49), nullptr);
+  EXPECT_NE(injector.alu_stuck_at(50), nullptr);
+  EXPECT_NE(injector.alu_stuck_at(5000), nullptr);
+}
+
+TEST(FaultInjector, FlipRegisterUnifiedSpace) {
+  arch::ArchState state;
+  FaultInjector::flip_register(state, 5, 3);
+  EXPECT_EQ(state.x[5], 8u);
+  FaultInjector::flip_register(state, kNumIntRegs + 2, 0);
+  EXPECT_EQ(state.f[2], 1u);
+  // x0 strikes are architecturally masked.
+  FaultInjector::flip_register(state, 0, 9);
+  EXPECT_EQ(state.get_x(0), 0u);
+}
+
+TEST(FaultInjector, StuckBitHelper) {
+  EXPECT_EQ(FaultInjector::apply_stuck_bit(0b000, 1, true), 0b010u);
+  EXPECT_EQ(FaultInjector::apply_stuck_bit(0b111, 1, false), 0b101u);
+}
+
+TEST(FaultInjector, CheckerHookOnlyForTargetSegment) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.site = FaultSite::kCheckerArchReg;
+  spec.segment_ordinal = 4;
+  injector.add(spec);
+  EXPECT_TRUE(injector.targets_checker(4));
+  EXPECT_FALSE(injector.targets_checker(5));
+  EXPECT_NE(injector.checker_hook(4), nullptr);
+  EXPECT_EQ(injector.checker_hook(5), nullptr);
+}
+
+TEST(FaultInjector, SiteNamesComplete) {
+  for (int s = 0; s <= static_cast<int>(FaultSite::kMainAluStuckAt); ++s) {
+    EXPECT_NE(fault_site_name(static_cast<FaultSite>(s)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace paradet::core

@@ -1,0 +1,386 @@
+// Functional-semantics tests for the SRV64 interpreter: every instruction
+// class, trap behaviour, and the DataPort abstraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "arch/interpreter.h"
+#include "isa/assembler.h"
+
+namespace paradet::arch {
+namespace {
+
+using isa::Inst;
+using isa::Opcode;
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  std::uint64_t cycle_ = 77;
+  SparseMemory memory_;
+  MemoryDataPort port_{memory_, cycle_};
+  ArchState state_;
+
+  StepResult exec(const Inst& inst) { return execute(inst, state_, port_); }
+
+  StepResult exec_r(Opcode op, unsigned rd, unsigned rs1, unsigned rs2) {
+    Inst inst;
+    inst.op = op;
+    inst.rd = static_cast<RegIndex>(rd);
+    inst.rs1 = static_cast<RegIndex>(rs1);
+    inst.rs2 = static_cast<RegIndex>(rs2);
+    return exec(inst);
+  }
+
+  StepResult exec_i(Opcode op, unsigned rd, unsigned rs1, std::int64_t imm) {
+    Inst inst;
+    inst.op = op;
+    inst.rd = static_cast<RegIndex>(rd);
+    inst.rs1 = static_cast<RegIndex>(rs1);
+    inst.imm = imm;
+    return exec(inst);
+  }
+};
+
+TEST_F(InterpreterTest, IntegerArithmetic) {
+  state_.x[1] = 10;
+  state_.x[2] = 3;
+  exec_r(Opcode::kAdd, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 13u);
+  exec_r(Opcode::kSub, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 7u);
+  exec_r(Opcode::kMul, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 30u);
+  exec_r(Opcode::kDiv, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 3u);
+  exec_r(Opcode::kRem, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 1u);
+}
+
+TEST_F(InterpreterTest, X0IsHardwiredZero) {
+  state_.x[1] = 55;
+  exec_r(Opcode::kAdd, 0, 1, 1);
+  EXPECT_EQ(state_.get_x(0), 0u);
+  exec_i(Opcode::kAddi, 2, 0, 9);
+  EXPECT_EQ(state_.x[2], 9u);
+}
+
+TEST_F(InterpreterTest, MulhSignedHighBits) {
+  state_.x[1] = static_cast<std::uint64_t>(-1);
+  state_.x[2] = 2;
+  exec_r(Opcode::kMulh, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], static_cast<std::uint64_t>(-1));  // -2 >> 64 == -1.
+  state_.x[1] = 0x4000000000000000ULL;
+  state_.x[2] = 4;
+  exec_r(Opcode::kMulh, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 1u);
+}
+
+TEST_F(InterpreterTest, DivisionEdgeCases) {
+  // Division by zero: quotient all-ones, remainder = dividend (RISC-V).
+  state_.x[1] = 42;
+  state_.x[2] = 0;
+  exec_r(Opcode::kDiv, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], ~std::uint64_t{0});
+  exec_r(Opcode::kRem, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 42u);
+  // Signed overflow: INT64_MIN / -1.
+  state_.x[1] = static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min());
+  state_.x[2] = static_cast<std::uint64_t>(-1);
+  exec_r(Opcode::kDiv, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], state_.x[1]);
+  exec_r(Opcode::kRem, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 0u);
+}
+
+TEST_F(InterpreterTest, ShiftsUseLowSixBits) {
+  state_.x[1] = 1;
+  state_.x[2] = 65;  // shift amount wraps to 1.
+  exec_r(Opcode::kSll, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 2u);
+  state_.x[1] = static_cast<std::uint64_t>(-8);
+  exec_i(Opcode::kSrai, 3, 1, 1);
+  EXPECT_EQ(static_cast<std::int64_t>(state_.x[3]), -4);
+  exec_i(Opcode::kSrli, 3, 1, 1);
+  EXPECT_EQ(state_.x[3], (static_cast<std::uint64_t>(-8)) >> 1);
+}
+
+TEST_F(InterpreterTest, Comparisons) {
+  state_.x[1] = static_cast<std::uint64_t>(-5);
+  state_.x[2] = 3;
+  exec_r(Opcode::kSlt, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 1u);  // signed: -5 < 3.
+  exec_r(Opcode::kSltu, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 0u);  // unsigned: huge > 3.
+}
+
+TEST_F(InterpreterTest, BitCounting) {
+  state_.x[1] = 0xF0F0;
+  exec_r(Opcode::kPopc, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 8u);
+  exec_r(Opcode::kClz, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 48u);
+  exec_r(Opcode::kCtz, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 4u);
+  state_.x[1] = 0;
+  exec_r(Opcode::kClz, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 64u);
+}
+
+TEST_F(InterpreterTest, LuiShifts13) {
+  Inst lui;
+  lui.op = Opcode::kLui;
+  lui.rd = 4;
+  lui.imm = -3;
+  exec(lui);
+  EXPECT_EQ(static_cast<std::int64_t>(state_.x[4]), -3LL << 13);
+}
+
+TEST_F(InterpreterTest, FloatingPointBasics) {
+  state_.set_f(1, 6.0);
+  state_.set_f(2, 1.5);
+  exec_r(Opcode::kFadd, 3, 1, 2);
+  EXPECT_DOUBLE_EQ(state_.get_f(3), 7.5);
+  exec_r(Opcode::kFdiv, 3, 1, 2);
+  EXPECT_DOUBLE_EQ(state_.get_f(3), 4.0);
+  exec_r(Opcode::kFsqrt, 3, 1, 0);
+  EXPECT_DOUBLE_EQ(state_.get_f(3), std::sqrt(6.0));
+  exec_r(Opcode::kFneg, 3, 1, 0);
+  EXPECT_DOUBLE_EQ(state_.get_f(3), -6.0);
+}
+
+TEST_F(InterpreterTest, FusedMultiplyAdd) {
+  Inst fmadd;
+  fmadd.op = Opcode::kFmadd;
+  fmadd.rd = 4;
+  fmadd.rs1 = 1;
+  fmadd.rs2 = 2;
+  fmadd.rs3 = 3;
+  state_.set_f(1, 2.0);
+  state_.set_f(2, 3.0);
+  state_.set_f(3, 1.0);
+  exec(fmadd);
+  EXPECT_DOUBLE_EQ(state_.get_f(4), 7.0);
+  fmadd.op = Opcode::kFmsub;
+  exec(fmadd);
+  EXPECT_DOUBLE_EQ(state_.get_f(4), 5.0);
+}
+
+TEST_F(InterpreterTest, FpCompareAndConvert) {
+  state_.set_f(1, 2.5);
+  state_.set_f(2, 2.5);
+  exec_r(Opcode::kFeq, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 1u);
+  exec_r(Opcode::kFlt, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 0u);
+  exec_r(Opcode::kFle, 3, 1, 2);
+  EXPECT_EQ(state_.x[3], 1u);
+  state_.x[5] = static_cast<std::uint64_t>(-7);
+  exec_r(Opcode::kFcvtDL, 6, 5, 0);
+  EXPECT_DOUBLE_EQ(state_.get_f(6), -7.0);
+  state_.set_f(7, -3.9);
+  exec_r(Opcode::kFcvtLD, 8, 7, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(state_.x[8]), -3);  // truncation.
+}
+
+TEST_F(InterpreterTest, FpConvertSaturatesAndNanIsZero) {
+  state_.set_f(1, 1e300);
+  exec_r(Opcode::kFcvtLD, 3, 1, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(state_.x[3]),
+            std::numeric_limits<std::int64_t>::max());
+  state_.set_f(1, std::nan(""));
+  exec_r(Opcode::kFcvtLD, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 0u);
+}
+
+TEST_F(InterpreterTest, FpBitMoves) {
+  state_.x[1] = 0x3FF0000000000000ULL;  // bits of 1.0
+  exec_r(Opcode::kFmvDX, 2, 1, 0);
+  EXPECT_DOUBLE_EQ(state_.get_f(2), 1.0);
+  exec_r(Opcode::kFmvXD, 3, 2, 0);
+  EXPECT_EQ(state_.x[3], 0x3FF0000000000000ULL);
+}
+
+TEST_F(InterpreterTest, LoadStoreWidths) {
+  state_.x[1] = 0x4000;
+  state_.x[2] = 0xFFFFFFFFFFFFFF80ULL;  // -128 as byte 0x80.
+  exec_i(Opcode::kSb, 2, 1, 0);
+  exec_i(Opcode::kLb, 3, 1, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(state_.x[3]), -128);
+  exec_i(Opcode::kLbu, 3, 1, 0);
+  EXPECT_EQ(state_.x[3], 0x80u);
+  state_.x[2] = 0x89ABCDEF;
+  exec_i(Opcode::kSw, 2, 1, 8);
+  exec_i(Opcode::kLw, 3, 1, 8);
+  EXPECT_EQ(state_.x[3], 0xFFFFFFFF89ABCDEFULL);  // sign-extended.
+  exec_i(Opcode::kLwu, 3, 1, 8);
+  EXPECT_EQ(state_.x[3], 0x89ABCDEFu);
+}
+
+TEST_F(InterpreterTest, LoadStorePair) {
+  state_.x[1] = 0x5000;
+  state_.x[10] = 111;
+  state_.x[11] = 222;
+  Inst stp;
+  stp.op = Opcode::kStp;
+  stp.rd = 10;
+  stp.rs1 = 1;
+  stp.imm = 16;
+  exec(stp);
+  EXPECT_EQ(memory_.read(0x5010, 8), 111u);
+  EXPECT_EQ(memory_.read(0x5018, 8), 222u);
+  Inst ldp;
+  ldp.op = Opcode::kLdp;
+  ldp.rd = 20;
+  ldp.rs1 = 1;
+  ldp.imm = 16;
+  exec(ldp);
+  EXPECT_EQ(state_.x[20], 111u);
+  EXPECT_EQ(state_.x[21], 222u);
+}
+
+TEST_F(InterpreterTest, MisalignedAccessTraps) {
+  state_.x[1] = 0x4001;
+  const StepResult load = exec_i(Opcode::kLd, 3, 1, 0);
+  EXPECT_EQ(load.trap, Trap::kMisaligned);
+  const StepResult store = exec_i(Opcode::kSd, 3, 1, 0);
+  EXPECT_EQ(store.trap, Trap::kMisaligned);
+  const StepResult half = exec_i(Opcode::kLh, 3, 1, 0);
+  EXPECT_EQ(half.trap, Trap::kMisaligned);
+  // Byte accesses never trap.
+  EXPECT_EQ(exec_i(Opcode::kLb, 3, 1, 0).trap, Trap::kNone);
+}
+
+TEST_F(InterpreterTest, BranchesComputeDirectionAndTarget) {
+  state_.pc = 0x1000;
+  state_.x[1] = 5;
+  state_.x[2] = 5;
+  Inst beq;
+  beq.op = Opcode::kBeq;
+  beq.rs1 = 1;
+  beq.rs2 = 2;
+  beq.imm = 64;
+  const StepResult taken = exec(beq);
+  EXPECT_TRUE(taken.branch_taken);
+  EXPECT_EQ(state_.pc, 0x1040u);
+  state_.x[2] = 6;
+  const StepResult not_taken = exec(beq);
+  EXPECT_FALSE(not_taken.branch_taken);
+  EXPECT_EQ(state_.pc, 0x1044u);
+}
+
+TEST_F(InterpreterTest, SignedVsUnsignedBranches) {
+  state_.x[1] = static_cast<std::uint64_t>(-1);
+  state_.x[2] = 1;
+  Inst blt;
+  blt.op = Opcode::kBlt;
+  blt.rs1 = 1;
+  blt.rs2 = 2;
+  blt.imm = 8;
+  EXPECT_TRUE(exec(blt).branch_taken);  // -1 < 1 signed.
+  Inst bltu = blt;
+  bltu.op = Opcode::kBltu;
+  EXPECT_FALSE(exec(bltu).branch_taken);  // max-u64 not < 1.
+}
+
+TEST_F(InterpreterTest, JumpAndLink) {
+  state_.pc = 0x2000;
+  Inst jal;
+  jal.op = Opcode::kJal;
+  jal.rd = 1;
+  jal.imm = 0x100;
+  exec(jal);
+  EXPECT_EQ(state_.x[1], 0x2004u);
+  EXPECT_EQ(state_.pc, 0x2100u);
+  state_.x[5] = 0x3000;
+  Inst jalr;
+  jalr.op = Opcode::kJalr;
+  jalr.rd = 1;
+  jalr.rs1 = 5;
+  jalr.imm = 8;
+  exec(jalr);
+  EXPECT_EQ(state_.pc, 0x3008u);
+  // Misaligned jump target traps.
+  jalr.imm = 6;
+  EXPECT_EQ(exec(jalr).trap, Trap::kIllegal);
+}
+
+TEST_F(InterpreterTest, SystemInstructions) {
+  Inst halt;
+  halt.op = Opcode::kHalt;
+  EXPECT_EQ(exec(halt).trap, Trap::kHalt);
+  Inst fault;
+  fault.op = Opcode::kFault;
+  EXPECT_EQ(exec(fault).trap, Trap::kSystemFault);
+  Inst ebreak;
+  ebreak.op = Opcode::kEbreak;
+  EXPECT_EQ(exec(ebreak).trap, Trap::kBreakpoint);
+  Inst rdcycle;
+  rdcycle.op = Opcode::kRdcycle;
+  rdcycle.rd = 9;
+  EXPECT_EQ(exec(rdcycle).trap, Trap::kNone);
+  EXPECT_EQ(state_.x[9], 77u);  // from the port's cycle source.
+}
+
+TEST_F(InterpreterTest, TrapsLeavePcAtFaultingInstruction) {
+  state_.pc = 0x9000;
+  Inst fault;
+  fault.op = Opcode::kFault;
+  exec(fault);
+  EXPECT_EQ(state_.pc, 0x9000u);
+}
+
+TEST(Machine, RunsAssembledFibonacci) {
+  const auto assembled = isa::assemble(R"(
+_start:
+  li t0, 20
+  li t1, 0       # fib(0)
+  li t2, 1       # fib(1)
+loop:
+  add t3, t1, t2
+  mv t1, t2
+  mv t2, t3
+  addi t0, t0, -1
+  bnez t0, loop
+  halt
+)");
+  ASSERT_TRUE(assembled.ok);
+  SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  std::uint64_t cycle = 0;
+  MemoryDataPort port(memory, cycle);
+  Machine machine(memory, port);
+  ArchState state;
+  state.pc = assembled.entry;
+  std::uint64_t executed = 0;
+  EXPECT_EQ(machine.run(state, 10000, &executed), Trap::kHalt);
+  EXPECT_EQ(state.x[6], 6765u);  // t1 = fib(20) after 20 iterations.
+  EXPECT_EQ(executed, 3u + 20 * 5);
+}
+
+TEST(Machine, UndecodableWordIsIllegal) {
+  SparseMemory memory;
+  memory.write(0x1000, 0xFF000000u, 4);
+  std::uint64_t cycle = 0;
+  MemoryDataPort port(memory, cycle);
+  Machine machine(memory, port);
+  ArchState state;
+  state.pc = 0x1000;
+  EXPECT_EQ(machine.step(state).trap, Trap::kIllegal);
+}
+
+TEST(ArchStateTest, FirstRegisterDifference) {
+  ArchState a, b;
+  EXPECT_EQ(first_register_difference(a, b), -1);
+  b.x[7] = 1;
+  EXPECT_EQ(first_register_difference(a, b), 7);
+  b.x[7] = 0;
+  b.f[3] = 42;
+  EXPECT_EQ(first_register_difference(a, b),
+            static_cast<int>(kNumIntRegs + 3));
+}
+
+}  // namespace
+}  // namespace paradet::arch

@@ -1,0 +1,194 @@
+// Tests for the paper's commit-side structures: the partitioned load-store
+// log (§IV-D), the load forwarding unit (§IV-C) and register checkpoints.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/load_forwarding_unit.h"
+#include "core/load_store_log.h"
+
+namespace paradet::core {
+namespace {
+
+LogConfig small_log() {
+  LogConfig cfg;
+  cfg.total_bytes = 4 * 64;  // 4 segments x 4 entries x 16B.
+  cfg.segments = 4;
+  cfg.entry_bytes = 16;
+  cfg.instruction_timeout = 10;
+  return cfg;
+}
+
+RegisterCheckpoint checkpoint_at(InstSeq seq) {
+  RegisterCheckpoint ckpt;
+  ckpt.seq = seq;
+  return ckpt;
+}
+
+TEST(LoadStoreLog, GeometryFromConfig) {
+  LoadStoreLog log(small_log());
+  EXPECT_EQ(log.num_segments(), 4u);
+  EXPECT_EQ(log.entries_per_segment(), 4u);
+  // Paper default: 36 KiB / 12 segments = 3 KiB per segment.
+  LogConfig paper;
+  EXPECT_EQ(paper.segment_bytes(), 3u * 1024);
+  EXPECT_EQ(paper.entries_per_segment(), 192u);
+}
+
+TEST(LoadStoreLog, RoundRobinFillOrder) {
+  LoadStoreLog log(small_log());
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(log.next_index(), i % 4);
+    ASSERT_TRUE(log.next_is_free());
+    log.open_next(checkpoint_at(i), i * 100);
+    EXPECT_EQ(log.filling_index(), i % 4);
+    EXPECT_EQ(log.filling().ordinal, i);
+    log.seal_filling(SealReason::kFull, checkpoint_at(i + 1), i * 100 + 50);
+    // Free the sealed segment so the ring can wrap.
+    log.begin_check(i % 4);
+    log.release(i % 4);
+  }
+  EXPECT_EQ(log.segments_opened(), 8u);
+}
+
+TEST(LoadStoreLog, NextNotFreeWhenAllSealed) {
+  LoadStoreLog log(small_log());
+  for (unsigned i = 0; i < 4; ++i) {
+    log.open_next(checkpoint_at(i), 0);
+    log.seal_filling(SealReason::kFull, checkpoint_at(i + 1), 10);
+  }
+  EXPECT_FALSE(log.next_is_free());  // main core must stall (§IV-D).
+  log.begin_check(0);
+  log.release(0);
+  EXPECT_TRUE(log.next_is_free());
+}
+
+TEST(LoadStoreLog, AppendAndCapacity) {
+  LoadStoreLog log(small_log());
+  log.open_next(checkpoint_at(0), 0);
+  EXPECT_EQ(log.free_entries_in_filling(), 4u);
+  EXPECT_TRUE(log.fits_in_filling(2));
+  for (int i = 0; i < 3; ++i) {
+    log.append(LogEntry{EntryKind::kLoad, 8, 0x1000u + 8 * i, 7u, 0, 0});
+  }
+  EXPECT_EQ(log.free_entries_in_filling(), 1u);
+  // §IV-D macro-op boundary rule: a 2-memory-uop macro-op no longer fits.
+  EXPECT_FALSE(log.fits_in_filling(2));
+  EXPECT_TRUE(log.fits_in_filling(1));
+}
+
+TEST(LoadStoreLog, TimeoutReachedAfterBudget) {
+  LoadStoreLog log(small_log());  // timeout 10.
+  log.open_next(checkpoint_at(0), 0);
+  for (int i = 0; i < 9; ++i) log.note_instruction();
+  EXPECT_FALSE(log.timeout_reached());
+  log.note_instruction();
+  EXPECT_TRUE(log.timeout_reached());
+}
+
+TEST(LoadStoreLog, ZeroTimeoutMeansInfinite) {
+  LogConfig cfg = small_log();
+  cfg.instruction_timeout = 0;
+  LoadStoreLog log(cfg);
+  log.open_next(checkpoint_at(0), 0);
+  for (int i = 0; i < 100000; ++i) log.note_instruction();
+  EXPECT_FALSE(log.timeout_reached());
+}
+
+TEST(LoadStoreLog, SealRecordsReasonAndCheckpoints) {
+  LoadStoreLog log(small_log());
+  log.open_next(checkpoint_at(5), 100);
+  log.note_instruction();
+  Segment& segment =
+      log.seal_filling(SealReason::kTimeout, checkpoint_at(6), 250);
+  EXPECT_EQ(segment.state, SegmentState::kSealed);
+  EXPECT_EQ(segment.seal_reason, SealReason::kTimeout);
+  EXPECT_EQ(segment.start.seq, 5u);
+  EXPECT_EQ(segment.end.seq, 6u);
+  EXPECT_EQ(segment.opened_at, 100u);
+  EXPECT_EQ(segment.sealed_at, 250u);
+  EXPECT_EQ(segment.instruction_count, 1u);
+  EXPECT_EQ(log.seals(SealReason::kTimeout), 1u);
+  EXPECT_FALSE(log.has_filling());
+}
+
+TEST(LoadStoreLog, ReopenClearsSegmentState) {
+  LoadStoreLog log(small_log());
+  log.open_next(checkpoint_at(0), 0);
+  log.append(LogEntry{EntryKind::kStore, 8, 0x1000, 1, 0, 0});
+  log.note_instruction();
+  log.seal_filling(SealReason::kFull, checkpoint_at(1), 10);
+  log.begin_check(0);
+  log.release(0);
+  // Wrap around to segment 0 again.
+  for (unsigned i = 1; i < 4; ++i) {
+    log.open_next(checkpoint_at(i), 0);
+    log.seal_filling(SealReason::kFull, checkpoint_at(i + 1), 10);
+    log.begin_check(i);
+    log.release(i);
+  }
+  Segment& reused = log.open_next(checkpoint_at(9), 99);
+  EXPECT_TRUE(reused.entries.empty());
+  EXPECT_EQ(reused.instruction_count, 0u);
+  EXPECT_EQ(reused.ordinal, 4u);
+}
+
+TEST(LoadForwardingUnit, CaptureThenDrain) {
+  LoadForwardingUnit lfu(8);
+  lfu.capture(3, 100, 0x4000, 0xABCD, 8);
+  const auto entry = lfu.drain(3, 100);
+  ASSERT_TRUE(entry.valid);
+  EXPECT_EQ(entry.addr, 0x4000u);
+  EXPECT_EQ(entry.value, 0xABCDu);
+  EXPECT_EQ(entry.size, 8);
+  // A second drain of the same slot is invalid (already consumed).
+  EXPECT_FALSE(lfu.drain(3, 100).valid);
+}
+
+TEST(LoadForwardingUnit, MisSpeculatedLoadsOverwrittenWithoutFlush) {
+  // Fig. 5: a squashed load's slot is simply reused when the ROB entry is
+  // reallocated; the stale capture must not leak into the new drain.
+  LoadForwardingUnit lfu(8);
+  lfu.capture(2, 50, 0x1000, 0xAAAA, 8);  // will be squashed.
+  lfu.capture(2, 58, 0x2000, 0xBBBB, 8);  // ROB slot reused.
+  const auto entry = lfu.drain(2, 58);
+  ASSERT_TRUE(entry.valid);
+  EXPECT_EQ(entry.value, 0xBBBBu);
+}
+
+TEST(LoadForwardingUnit, StaleTagRejected) {
+  LoadForwardingUnit lfu(8);
+  lfu.capture(1, 7, 0x3000, 0x1, 8);
+  EXPECT_FALSE(lfu.drain(1, 99).valid);  // different micro-op.
+}
+
+TEST(LoadForwardingUnit, CorruptFlipsCapturedCopy) {
+  LoadForwardingUnit lfu(4);
+  lfu.capture(0, 1, 0x1000, 0b100, 8);
+  lfu.corrupt(0, 2);
+  EXPECT_EQ(lfu.drain(0, 1).value, 0u);
+}
+
+TEST(CheckpointUnit, CapturesStateAndCounts) {
+  CheckpointUnit unit(16);
+  arch::ArchState state;
+  state.x[5] = 1234;
+  state.pc = 0x8000;
+  const RegisterCheckpoint ckpt = unit.take(state, 42, 1000);
+  EXPECT_EQ(ckpt.state.x[5], 1234u);
+  EXPECT_EQ(ckpt.state.pc, 0x8000u);
+  EXPECT_EQ(ckpt.seq, 42u);
+  EXPECT_EQ(ckpt.taken_at, 1016u);  // copy completes after the pause.
+  EXPECT_EQ(unit.checkpoints_taken(), 1u);
+}
+
+TEST(CheckpointUnit, CheckpointIsDeepCopy) {
+  CheckpointUnit unit(0);
+  arch::ArchState state;
+  state.x[1] = 1;
+  const RegisterCheckpoint ckpt = unit.take(state, 0, 0);
+  state.x[1] = 99;  // later mutation must not affect the checkpoint.
+  EXPECT_EQ(ckpt.state.x[1], 1u);
+}
+
+}  // namespace
+}  // namespace paradet::core

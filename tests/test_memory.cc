@@ -1,0 +1,72 @@
+// Unit tests for the sparse functional memory.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "arch/memory.h"
+
+namespace paradet::arch {
+namespace {
+
+TEST(SparseMemory, UnmappedReadsZero) {
+  SparseMemory memory;
+  EXPECT_EQ(memory.read(0x123456789ULL, 8), 0u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+TEST(SparseMemory, ReadBackWhatWasWritten) {
+  SparseMemory memory;
+  memory.write(0x1000, 0xDEADBEEFCAFEF00DULL, 8);
+  EXPECT_EQ(memory.read(0x1000, 8), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(memory.read(0x1000, 4), 0xCAFEF00Du);
+  EXPECT_EQ(memory.read(0x1004, 4), 0xDEADBEEFu);
+  EXPECT_EQ(memory.read(0x1000, 1), 0x0Du);
+}
+
+TEST(SparseMemory, PartialWritesPreserveNeighbours) {
+  SparseMemory memory;
+  memory.write(0x2000, 0xFFFFFFFFFFFFFFFFULL, 8);
+  memory.write(0x2002, 0xAB, 1);
+  EXPECT_EQ(memory.read(0x2000, 8), 0xFFFFFFFFFFABFFFFULL);
+}
+
+TEST(SparseMemory, PageCrossingAccess) {
+  SparseMemory memory;
+  const Addr boundary = SparseMemory::kPageBytes;  // 0x1000
+  memory.write(boundary - 4, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(memory.read(boundary - 4, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.read(boundary - 4, 4), 0x55667788u);
+  EXPECT_EQ(memory.read(boundary, 4), 0x11223344u);
+  EXPECT_EQ(memory.pages_allocated(), 2u);
+}
+
+TEST(SparseMemory, BlockTransfer) {
+  SparseMemory memory;
+  std::array<std::uint8_t, 10000> out_buffer{};
+  std::array<std::uint8_t, 10000> in_buffer{};
+  for (std::size_t i = 0; i < in_buffer.size(); ++i) {
+    in_buffer[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  memory.write_block(0x3FF8, in_buffer);  // crosses several pages.
+  memory.read_block(0x3FF8, out_buffer);
+  EXPECT_EQ(in_buffer, out_buffer);
+}
+
+TEST(SparseMemory, ReadBlockFromUnmappedIsZero) {
+  SparseMemory memory;
+  std::array<std::uint8_t, 64> buffer;
+  buffer.fill(0xEE);
+  memory.read_block(0x777000, buffer);
+  for (const auto byte : buffer) EXPECT_EQ(byte, 0);
+}
+
+TEST(SparseMemory, SparseFootprint) {
+  SparseMemory memory;
+  memory.write(0x0, 1, 1);
+  memory.write(0x10000000, 1, 1);
+  memory.write(0x7FFFFFFFFFF8ULL, 1, 8);
+  EXPECT_EQ(memory.pages_allocated(), 3u);
+}
+
+}  // namespace
+}  // namespace paradet::arch

@@ -1,0 +1,150 @@
+// Tests for the Table II workload suite: every kernel assembles, runs to
+// HALT on the golden model, produces a stable non-zero checksum, and has
+// the memory-traffic characterisation its paper counterpart needs.
+#include <gtest/gtest.h>
+
+#include "arch/interpreter.h"
+#include "isa/crack.h"
+#include "workloads/workloads.h"
+
+namespace paradet::workloads {
+namespace {
+
+struct GoldenRun {
+  arch::Trap trap = arch::Trap::kNone;
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_uops = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Executes a workload on the interpreter, counting instruction mix.
+GoldenRun golden(const Workload& workload, std::uint64_t budget = 3000000) {
+  const auto assembled = assemble_or_die(workload);
+  arch::SparseMemory memory;
+  for (const auto& chunk : assembled.chunks) {
+    memory.write_block(chunk.base, chunk.bytes);
+  }
+  std::uint64_t cycle = 0;
+  arch::MemoryDataPort port(memory, cycle);
+  arch::DecodeCache decode(memory);
+  arch::ArchState state;
+  state.pc = assembled.entry;
+
+  GoldenRun run;
+  while (run.instructions < budget) {
+    const isa::Inst* inst = decode.decode_at(state.pc);
+    if (inst == nullptr) {
+      run.trap = arch::Trap::kIllegal;
+      break;
+    }
+    run.mem_uops += isa::mem_uop_count(inst->op);
+    const arch::StepResult step = arch::execute(*inst, state, port);
+    ++run.instructions;
+    if (step.trap != arch::Trap::kNone) {
+      run.trap = step.trap;
+      break;
+    }
+  }
+  run.checksum = memory.read(kResultAddr, 8);
+  return run;
+}
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SuiteTest,
+    ::testing::Values("randacc", "stream", "bitcount", "blackscholes",
+                      "fluidanimate", "swaptions", "freqmine", "bodytrack",
+                      "facesim"),
+    [](const auto& info) { return info.param; });
+
+TEST_P(SuiteTest, AssemblesAndHalts) {
+  Workload workload;
+  ASSERT_TRUE(make_workload(GetParam(), Scale{0.25}, workload));
+  const GoldenRun run = golden(workload);
+  EXPECT_EQ(run.trap, arch::Trap::kHalt) << workload.name;
+  EXPECT_NE(run.checksum, 0u) << "checksum should be non-trivial";
+}
+
+TEST_P(SuiteTest, ChecksumIsDeterministic) {
+  Workload workload;
+  ASSERT_TRUE(make_workload(GetParam(), Scale{0.1}, workload));
+  const GoldenRun first = golden(workload);
+  const GoldenRun second = golden(workload);
+  EXPECT_EQ(first.checksum, second.checksum);
+  EXPECT_EQ(first.instructions, second.instructions);
+}
+
+TEST_P(SuiteTest, ApproxInstructionEstimateIsSane) {
+  Workload workload;
+  ASSERT_TRUE(make_workload(GetParam(), Scale{0.25}, workload));
+  const GoldenRun run = golden(workload);
+  EXPECT_GT(run.instructions, workload.approx_instructions / 4);
+  EXPECT_LT(run.instructions, workload.approx_instructions * 4);
+}
+
+TEST_P(SuiteTest, ScaleShrinksWork) {
+  Workload full, tiny;
+  ASSERT_TRUE(make_workload(GetParam(), Scale{0.5}, full));
+  ASSERT_TRUE(make_workload(GetParam(), Scale{0.05}, tiny));
+  const GoldenRun full_run = golden(full);
+  const GoldenRun tiny_run = golden(tiny);
+  EXPECT_LT(tiny_run.instructions, full_run.instructions);
+}
+
+TEST(SuiteComposition, NineKernelsInFigureOrder) {
+  const auto suite = standard_suite(Scale{0.1});
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite.front().name, "blackscholes");  // Figure 7's order.
+  EXPECT_EQ(suite.back().name, "stream");
+}
+
+TEST(SuiteComposition, UnknownNameRejected) {
+  Workload workload;
+  EXPECT_FALSE(make_workload("nonexistent", Scale{}, workload));
+}
+
+TEST(Characterisation, MemoryBoundVsComputeBound) {
+  // The figures rely on randacc/stream being memory-dense and bitcount
+  // being compute-dense (§V, fig. 9, fig. 12).
+  Workload randacc, stream, bitcount;
+  ASSERT_TRUE(make_workload("randacc", Scale{0.1}, randacc));
+  ASSERT_TRUE(make_workload("stream", Scale{0.1}, stream));
+  ASSERT_TRUE(make_workload("bitcount", Scale{0.1}, bitcount));
+  const GoldenRun randacc_run = golden(randacc);
+  const GoldenRun stream_run = golden(stream);
+  const GoldenRun bitcount_run = golden(bitcount);
+  const auto density = [](const GoldenRun& run) {
+    return static_cast<double>(run.mem_uops) /
+           static_cast<double>(run.instructions);
+  };
+  EXPECT_GT(density(randacc_run), 0.15);
+  EXPECT_GT(density(stream_run), 0.25);
+  EXPECT_LT(density(bitcount_run), 0.10);
+  EXPECT_GT(density(stream_run), 2.0 * density(bitcount_run));
+}
+
+TEST(Characterisation, MacroOpsPresentWhereDocumented) {
+  // stream and fluidanimate advertise LDP/STP macro-op traffic.
+  for (const char* name : {"stream", "fluidanimate"}) {
+    Workload workload;
+    ASSERT_TRUE(make_workload(name, Scale{0.05}, workload));
+    EXPECT_NE(workload.source.find("ldp"), std::string::npos) << name;
+  }
+}
+
+TEST(Characterisation, FpKernelsUseFpUnits) {
+  for (const char* name :
+       {"blackscholes", "swaptions", "facesim", "bodytrack"}) {
+    Workload workload;
+    ASSERT_TRUE(make_workload(name, Scale{0.05}, workload));
+    const bool uses_fp =
+        workload.source.find("fmul") != std::string::npos ||
+        workload.source.find("fmadd") != std::string::npos ||
+        workload.source.find("fdiv") != std::string::npos;
+    EXPECT_TRUE(uses_fp) << name;
+  }
+}
+
+}  // namespace
+}  // namespace paradet::workloads
