@@ -6,9 +6,34 @@
 //       irregular workloads.
 //   A4. checkpoint latency sensitivity (8/16/32 cycles) -> fig. 7's
 //       overhead driver.
+//
+// All eighteen simulations across the four studies are independent, so
+// they are registered as one task list and executed by the runtime worker
+// pool; the report is printed from the indexed results afterwards.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/parallel_runner.h"
+
+namespace {
+
+using paradet::sim::RunResult;
+
+/// Assembles `name` at `scale` and runs it under `config`.
+RunResult run_kernel(const paradet::SystemConfig& config, const char* name,
+                     double scale,
+                     paradet::core::FaultInjector* faults = nullptr) {
+  using namespace paradet;
+  workloads::Workload workload;
+  workloads::make_workload(name, workloads::Scale{scale}, workload);
+  const auto assembled = workloads::assemble_or_die(workload);
+  return sim::run_program(config, assembled, bench::kInstructionBudget,
+                          faults);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace paradet;
@@ -17,101 +42,117 @@ int main(int argc, char** argv) {
                       "checkpoint latency",
                       "design-choice sensitivity (no direct paper figure)");
 
-  // ---- A1: LFU coverage --------------------------------------------------
-  {
-    workloads::Workload workload;
-    workloads::make_workload("randacc", workloads::Scale{0.2 * options.scale},
-                             workload);
-    const auto assembled = workloads::assemble_or_die(workload);
+  std::vector<std::function<sim::RunResult()>> tasks;
+  const auto add_task = [&](std::function<sim::RunResult()> task) {
+    tasks.push_back(std::move(task));
+    return tasks.size() - 1;
+  };
+
+  // ---- A1: LFU coverage — a post-LFU load corruption must be caught with
+  // the LFU and slips through without it (window of vulnerability).
+  const auto make_lfu_fault = [] {
     core::FaultInjector faults;
     core::FaultSpec spec;
     spec.site = core::FaultSite::kMainLoadValuePostLfu;
     spec.at_seq = 20000;
     spec.bit = 7;
     faults.add(spec);
-    SystemConfig with_lfu = SystemConfig::standard();
-    SystemConfig without_lfu = with_lfu;
-    without_lfu.detection.load_forwarding_unit = false;
-    const auto protected_run = sim::run_program(
-        with_lfu, assembled, bench::kInstructionBudget, &faults);
-    const auto naive_run = sim::run_program(
-        without_lfu, assembled, bench::kInstructionBudget, &faults);
-    std::printf("[A1] post-LFU load corruption: with LFU detected=%s, "
-                "without LFU detected=%s (window of vulnerability)\n",
-                protected_run.error_detected ? "yes" : "NO",
-                naive_run.error_detected ? "yes" : "no");
+    return faults;
+  };
+  SystemConfig with_lfu = SystemConfig::standard();
+  SystemConfig without_lfu = with_lfu;
+  without_lfu.detection.load_forwarding_unit = false;
+  const double a1_scale = 0.2 * options.scale;
+  const auto a1_protected = add_task([=] {
+    auto faults = make_lfu_fault();
+    return run_kernel(with_lfu, "randacc", a1_scale, &faults);
+  });
+  const auto a1_naive = add_task([=] {
+    auto faults = make_lfu_fault();
+    return run_kernel(without_lfu, "randacc", a1_scale, &faults);
+  });
+
+  // ---- A2: prefetcher on/off over three kernels (baseline, no detection).
+  const char* a2_kernels[] = {"stream", "facesim", "randacc"};
+  std::vector<std::pair<std::size_t, std::size_t>> a2_runs;
+  for (const char* name : a2_kernels) {
+    SystemConfig on = SystemConfig::baseline_unchecked();
+    SystemConfig off = on;
+    off.l2_stride_prefetcher = false;
+    const double scale = options.scale;
+    a2_runs.emplace_back(
+        add_task([=] { return run_kernel(on, name, scale); }),
+        add_task([=] { return run_kernel(off, name, scale); }));
   }
 
-  // ---- A2: prefetcher ----------------------------------------------------
-  {
-    std::printf("[A2] L2 stride prefetcher (baseline cycles, no detection)\n");
-    std::printf("     %-14s %12s %12s %8s\n", "benchmark", "on", "off",
-                "speedup");
-    for (const char* name : {"stream", "facesim", "randacc"}) {
-      workloads::Workload workload;
-      workloads::make_workload(name, workloads::Scale{options.scale},
-                               workload);
-      const auto assembled = workloads::assemble_or_die(workload);
-      SystemConfig on = SystemConfig::baseline_unchecked();
-      SystemConfig off = on;
-      off.l2_stride_prefetcher = false;
-      const auto run_on =
-          sim::run_program(on, assembled, bench::kInstructionBudget);
-      const auto run_off =
-          sim::run_program(off, assembled, bench::kInstructionBudget);
-      std::printf("     %-14s %12llu %12llu %8.3f\n", name,
-                  static_cast<unsigned long long>(run_on.main_done_cycle),
-                  static_cast<unsigned long long>(run_off.main_done_cycle),
-                  static_cast<double>(run_off.main_done_cycle) /
-                      static_cast<double>(run_on.main_done_cycle));
-    }
+  // ---- A3: store-set vs conservative memory disambiguation.
+  const char* a3_kernels[] = {"randacc", "freqmine"};
+  std::vector<std::pair<std::size_t, std::size_t>> a3_runs;
+  for (const char* name : a3_kernels) {
+    SystemConfig fast = SystemConfig::baseline_unchecked();
+    SystemConfig slow = fast;
+    slow.main_core.perfect_memory_disambiguation = false;
+    const double scale = options.scale;
+    a3_runs.emplace_back(
+        add_task([=] { return run_kernel(fast, name, scale); }),
+        add_task([=] { return run_kernel(slow, name, scale); }));
   }
 
-  // ---- A3: memory disambiguation ------------------------------------------
-  {
-    std::printf("[A3] memory disambiguation (baseline cycles)\n");
-    std::printf("     %-14s %12s %14s %8s\n", "benchmark", "store-set",
-                "conservative", "cost");
-    for (const char* name : {"randacc", "freqmine"}) {
-      workloads::Workload workload;
-      workloads::make_workload(name, workloads::Scale{options.scale},
-                               workload);
-      const auto assembled = workloads::assemble_or_die(workload);
-      SystemConfig fast = SystemConfig::baseline_unchecked();
-      SystemConfig slow = fast;
-      slow.main_core.perfect_memory_disambiguation = false;
-      const auto run_fast =
-          sim::run_program(fast, assembled, bench::kInstructionBudget);
-      const auto run_slow =
-          sim::run_program(slow, assembled, bench::kInstructionBudget);
-      std::printf("     %-14s %12llu %14llu %8.3f\n", name,
-                  static_cast<unsigned long long>(run_fast.main_done_cycle),
-                  static_cast<unsigned long long>(run_slow.main_done_cycle),
-                  static_cast<double>(run_slow.main_done_cycle) /
-                      static_cast<double>(run_fast.main_done_cycle));
-    }
+  // ---- A4: checkpoint latency sweep on facesim, checked vs unchecked.
+  const unsigned a4_latencies[] = {0u, 8u, 16u, 32u, 64u};
+  const double a4_scale = options.scale;
+  const auto a4_baseline = add_task([=] {
+    return run_kernel(SystemConfig::baseline_unchecked(), "facesim", a4_scale);
+  });
+  std::vector<std::size_t> a4_runs;
+  for (const unsigned latency : a4_latencies) {
+    SystemConfig config = SystemConfig::standard();
+    config.main_core.checkpoint_latency_cycles = latency;
+    a4_runs.push_back(
+        add_task([=] { return run_kernel(config, "facesim", a4_scale); }));
   }
 
-  // ---- A4: checkpoint latency ----------------------------------------------
-  {
-    std::printf("[A4] checkpoint latency sensitivity (checked slowdown, "
-                "facesim)\n");
-    workloads::Workload workload;
-    workloads::make_workload("facesim", workloads::Scale{options.scale},
-                             workload);
-    const auto assembled = workloads::assemble_or_die(workload);
-    const auto baseline =
-        sim::run_program(SystemConfig::baseline_unchecked(), assembled,
-                         bench::kInstructionBudget);
-    for (const unsigned latency : {0u, 8u, 16u, 32u, 64u}) {
-      SystemConfig config = SystemConfig::standard();
-      config.main_core.checkpoint_latency_cycles = latency;
-      const auto run =
-          sim::run_program(config, assembled, bench::kInstructionBudget);
-      std::printf("     %2u cycles: slowdown %.4f\n", latency,
-                  static_cast<double>(run.main_done_cycle) /
-                      static_cast<double>(baseline.main_done_cycle));
-    }
+  // Execute everything on the worker pool, then report in study order.
+  const auto results = options.runner().map(
+      tasks.size(), [&](std::size_t i) { return tasks[i](); });
+
+  std::printf("[A1] post-LFU load corruption: with LFU detected=%s, "
+              "without LFU detected=%s (window of vulnerability)\n",
+              results[a1_protected].error_detected ? "yes" : "NO",
+              results[a1_naive].error_detected ? "yes" : "no");
+
+  std::printf("[A2] L2 stride prefetcher (baseline cycles, no detection)\n");
+  std::printf("     %-14s %12s %12s %8s\n", "benchmark", "on", "off",
+              "speedup");
+  for (std::size_t k = 0; k < a2_runs.size(); ++k) {
+    const auto& run_on = results[a2_runs[k].first];
+    const auto& run_off = results[a2_runs[k].second];
+    std::printf("     %-14s %12llu %12llu %8.3f\n", a2_kernels[k],
+                static_cast<unsigned long long>(run_on.main_done_cycle),
+                static_cast<unsigned long long>(run_off.main_done_cycle),
+                static_cast<double>(run_off.main_done_cycle) /
+                    static_cast<double>(run_on.main_done_cycle));
+  }
+
+  std::printf("[A3] memory disambiguation (baseline cycles)\n");
+  std::printf("     %-14s %12s %14s %8s\n", "benchmark", "store-set",
+              "conservative", "cost");
+  for (std::size_t k = 0; k < a3_runs.size(); ++k) {
+    const auto& run_fast = results[a3_runs[k].first];
+    const auto& run_slow = results[a3_runs[k].second];
+    std::printf("     %-14s %12llu %14llu %8.3f\n", a3_kernels[k],
+                static_cast<unsigned long long>(run_fast.main_done_cycle),
+                static_cast<unsigned long long>(run_slow.main_done_cycle),
+                static_cast<double>(run_slow.main_done_cycle) /
+                    static_cast<double>(run_fast.main_done_cycle));
+  }
+
+  std::printf("[A4] checkpoint latency sensitivity (checked slowdown, "
+              "facesim)\n");
+  for (std::size_t k = 0; k < a4_runs.size(); ++k) {
+    std::printf("     %2u cycles: slowdown %.4f\n", a4_latencies[k],
+                static_cast<double>(results[a4_runs[k]].main_done_cycle) /
+                    static_cast<double>(results[a4_baseline].main_done_cycle));
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "runtime/parallel_runner.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
@@ -19,9 +20,11 @@ namespace paradet::bench {
 struct Options {
   double scale = 1.0;          ///< workload scale factor (--scale=X).
   std::string only;            ///< run a single benchmark (--benchmark=name).
+  unsigned jobs = 0;           ///< worker threads (--jobs=N); 0 = all cores.
 
   static Options parse(int argc, char** argv) {
     Options options;
+    options.jobs = RuntimeOptions::from_args(argc, argv).jobs;
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -29,11 +32,16 @@ struct Options {
       } else if (std::strncmp(arg, "--benchmark=", 12) == 0) {
         options.only = arg + 12;
       } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf("usage: %s [--scale=X] [--benchmark=name]\n", argv[0]);
+        std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]\n",
+                    argv[0]);
         std::exit(0);
       }
     }
     return options;
+  }
+
+  runtime::ParallelRunner runner() const {
+    return runtime::ParallelRunner(jobs);
   }
 };
 
@@ -62,23 +70,30 @@ struct SuiteRun {
 };
 
 /// Runs every workload under `config`, normalised against the unchecked
-/// baseline (same core, detection off).
+/// baseline (same core, detection off). The suite fans out across
+/// `runner`'s worker pool, one task per workload; output order stays the
+/// suite's order regardless of scheduling.
 inline std::vector<SuiteRun> run_suite(const Options& options,
-                                       const SystemConfig& config) {
-  std::vector<SuiteRun> runs;
+                                       const SystemConfig& config,
+                                       const runtime::ParallelRunner& runner) {
   SystemConfig baseline_config = config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
-  for (const auto& workload : suite(options)) {
-    const auto assembled = workloads::assemble_or_die(workload);
+  const auto suite_workloads = suite(options);
+  return runner.map(suite_workloads.size(), [&](std::size_t i) {
+    const auto assembled = workloads::assemble_or_die(suite_workloads[i]);
     SuiteRun run;
-    run.name = workload.name;
+    run.name = suite_workloads[i].name;
     run.baseline =
         sim::run_program(baseline_config, assembled, kInstructionBudget);
     run.result = sim::run_program(config, assembled, kInstructionBudget);
-    runs.push_back(std::move(run));
-  }
-  return runs;
+    return run;
+  });
+}
+
+inline std::vector<SuiteRun> run_suite(const Options& options,
+                                       const SystemConfig& config) {
+  return run_suite(options, config, options.runner());
 }
 
 /// Geometric-free arithmetic mean of slowdowns (matches the paper's

@@ -4,11 +4,16 @@
 // The scheme's contract: zero silent corruptions for in-sphere faults;
 // masked (architecturally dead) faults may go undetected; checker-side
 // faults are over-detected (§IV-I).
+//
+// Runs as one runtime::Campaign over every (site x workload x trial)
+// triple: each task derives its fault spec from an order-independent
+// per-task seed, so the reported rates are identical at any --jobs level.
 #include <cstdio>
 
 #include "arch/state.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "runtime/campaign.h"
 
 int main(int argc, char** argv) {
   using namespace paradet;
@@ -31,33 +36,49 @@ int main(int argc, char** argv) {
       {core::FaultSite::kCheckerArchReg, "checker-reg"},
       {core::FaultSite::kMainAluStuckAt, "alu-stuck-at"},
   };
-
-  std::printf("%-16s %8s %9s %8s %9s\n", "site", "trials", "detected",
-              "masked", "silent");
+  constexpr unsigned kTrialsPerCell = 6;
   const SystemConfig config = SystemConfig::standard();
-  bool contract_violated = false;
+  const auto runner = options.runner();
 
-  for (const auto& site : sites) {
-    unsigned detected = 0, masked = 0, silent = 0, trials = 0;
-    SplitMix64 rng(0xC0FFEE ^ static_cast<std::uint64_t>(site.site));
-    for (const auto& workload : bench::suite(options)) {
-      if (workload.name != "randacc" && workload.name != "freqmine" &&
-          workload.name != "facesim") {
-        continue;  // three representative kernels keep the campaign fast.
-      }
-      const auto assembled = workloads::assemble_or_die(workload);
-      sim::LoadedProgram clean_program = sim::load_program(assembled);
-      sim::CheckedSystem system(config);
-      const auto clean =
-          system.run(clean_program, bench::kInstructionBudget);
+  // Three representative kernels keep the campaign fast.
+  std::vector<workloads::Workload> kernels;
+  for (auto& workload : bench::suite(options)) {
+    if (workload.name == "randacc" || workload.name == "freqmine" ||
+        workload.name == "facesim") {
+      kernels.push_back(std::move(workload));
+    }
+  }
 
-      for (int trial = 0; trial < 6; ++trial) {
+  // Stage 1: one clean (fault-free) reference run per kernel, in parallel.
+  struct Reference {
+    isa::Assembled assembled;
+    sim::RunResult clean;
+  };
+  const auto references = runner.map(kernels.size(), [&](std::size_t k) {
+    Reference ref;
+    ref.assembled = workloads::assemble_or_die(kernels[k]);
+    sim::LoadedProgram program = sim::load_program(ref.assembled);
+    ref.clean = sim::CheckedSystem(config).run(program,
+                                               bench::kInstructionBudget);
+    return ref;
+  });
+
+  // Stage 2: the campaign proper. Task index encodes (site, kernel, trial).
+  const std::size_t num_sites = std::size(sites);
+  const runtime::Campaign campaign(num_sites * kernels.size() * kTrialsPerCell,
+                                   /*seed=*/0xC0FFEE);
+  const auto result =
+      campaign.run(runner, [&](std::size_t i, std::uint64_t task_seed) {
+        const std::size_t site_index = i / (kernels.size() * kTrialsPerCell);
+        const std::size_t kernel_index = (i / kTrialsPerCell) % kernels.size();
+        const auto& clean = references[kernel_index].clean;
+
+        SplitMix64 rng(task_seed);
         core::FaultInjector faults;
         core::FaultSpec spec;
-        spec.site = site.site;
-        spec.at_seq = 1000 + rng.next_below(clean.uops > 2000
-                                                ? clean.uops - 2000
-                                                : 1);
+        spec.site = sites[site_index].site;
+        spec.at_seq = 1000 + rng.next_below(
+                                 clean.uops > 2000 ? clean.uops - 2000 : 1);
         spec.reg = 5 + static_cast<unsigned>(rng.next_below(25));
         spec.bit = static_cast<unsigned>(rng.next_below(64));
         spec.checkpoint_index = 1 + rng.next_below(8);
@@ -67,8 +88,22 @@ int main(int argc, char** argv) {
             static_cast<unsigned>(rng.next_below(config.main_core.int_alus));
         faults.add(spec);
 
-        const auto faulty = sim::run_program(
-            config, assembled, bench::kInstructionBudget, &faults);
+        return sim::run_program(config, references[kernel_index].assembled,
+                                bench::kInstructionBudget, &faults);
+      });
+
+  // Classification against the clean reference is pure post-processing,
+  // done in task order.
+  std::printf("%-16s %8s %9s %8s %9s\n", "site", "trials", "detected",
+              "masked", "silent");
+  bool contract_violated = false;
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    unsigned detected = 0, masked = 0, silent = 0, trials = 0;
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      const auto& clean = references[k].clean;
+      for (unsigned trial = 0; trial < kTrialsPerCell; ++trial) {
+        const auto& faulty =
+            result.runs[(s * kernels.size() + k) * kTrialsPerCell + trial];
         ++trials;
         if (faulty.error_detected) {
           ++detected;
@@ -82,7 +117,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("%-16s %8u %9u %8u %9u\n", site.name, trials, detected,
+    std::printf("%-16s %8u %9u %8u %9u\n", sites[s].name, trials, detected,
                 masked, silent);
   }
 

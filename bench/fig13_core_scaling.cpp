@@ -3,9 +3,15 @@
 // is fungible), and many slow cores slightly beat few fast ones because
 // with a one-to-one segment mapping only n-1 of n checkers can ever be
 // busy -- more segments mean better utilisation.
+//
+// The sweep fans out on the runtime worker pool: the unchecked baseline
+// is simulated once per workload (it does not depend on the checker
+// configuration), then every (config point x workload) pair runs as an
+// independent task.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runtime/parallel_runner.h"
 
 int main(int argc, char** argv) {
   using namespace paradet;
@@ -25,30 +31,60 @@ int main(int argc, char** argv) {
       {"6c@1GHz", 6, 1000},   {"12c@500MHz", 12, 500},
       {"12c@1GHz", 12, 1000},
   };
+  const std::size_t num_points = std::size(points);
+
+  const auto suite = bench::suite(options);
+  if (suite.empty()) return 0;
+  const auto runner = options.runner();
+
+  // Assemble each workload once; the image is immutable and shared by the
+  // baseline run and all seven sweep-point runs.
+  struct BaselineRun {
+    isa::Assembled assembled;
+    sim::RunResult result;
+  };
+  const auto baselines = runner.map(suite.size(), [&](std::size_t b) {
+    BaselineRun run;
+    run.assembled = workloads::assemble_or_die(suite[b]);
+    run.result = sim::run_program(SystemConfig::baseline_unchecked(),
+                                  run.assembled, bench::kInstructionBudget);
+    return run;
+  });
+
+  // One task per (point, workload) pair; index = point * |suite| + workload.
+  const auto checked =
+      runner.map(num_points * suite.size(), [&](std::size_t i) {
+        const auto& point = points[i / suite.size()];
+        SystemConfig config = SystemConfig::standard();
+        config.checker.num_cores = point.cores;
+        config.checker.freq_mhz = point.freq_mhz;
+        // One-to-one mapping: the log is partitioned per checker core; the
+        // total log SRAM stays fixed as in the paper's sweep.
+        config.log.segments = point.cores;
+        return sim::run_program(config, baselines[i % suite.size()].assembled,
+                                bench::kInstructionBudget);
+      });
+
+  const auto slowdown = [&](std::size_t point, std::size_t b) {
+    return static_cast<double>(checked[point * suite.size() + b].main_done_cycle) /
+           static_cast<double>(baselines[b].result.main_done_cycle);
+  };
 
   std::printf("%-14s", "benchmark");
   for (const auto& point : points) std::printf(" %12s", point.label);
   std::printf("\n");
-
-  std::vector<std::vector<bench::SuiteRun>> sweeps;
-  for (const auto& point : points) {
-    SystemConfig config = SystemConfig::standard();
-    config.checker.num_cores = point.cores;
-    config.checker.freq_mhz = point.freq_mhz;
-    // One-to-one mapping: the log is partitioned per checker core; the
-    // total log SRAM stays fixed as in the paper's sweep.
-    config.log.segments = point.cores;
-    sweeps.push_back(bench::run_suite(options, config));
-  }
-  if (sweeps.empty() || sweeps[0].empty()) return 0;
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) std::printf(" %12.3f", sweep[b].slowdown());
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    std::printf("%-14s", suite[b].name.c_str());
+    for (std::size_t p = 0; p < num_points; ++p) {
+      std::printf(" %12.3f", slowdown(p, b));
+    }
     std::printf("\n");
   }
   std::printf("%-14s", "mean");
-  for (const auto& sweep : sweeps) {
-    std::printf(" %12.3f", bench::mean_slowdown(sweep));
+  for (std::size_t p = 0; p < num_points; ++p) {
+    double sum = 0;
+    for (std::size_t b = 0; b < suite.size(); ++b) sum += slowdown(p, b);
+    std::printf(" %12.3f", sum / static_cast<double>(suite.size()));
   }
   std::printf("\n");
   return 0;

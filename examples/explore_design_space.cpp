@@ -6,79 +6,95 @@
 // (b) the log size at fixed core count, reporting slowdown, mean/max
 // detection delay and the area cost of each point; then prints the
 // "cheapest configuration meeting a 2 us mean-delay, 2% slowdown budget".
+// Every swept point is an independent simulation, so the sweep fans out
+// on the runtime worker pool (`--jobs=N`, default all cores).
 #include <cstdio>
 #include <vector>
 
 #include "model/area_power.h"
+#include "runtime/parallel_runner.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
 namespace {
 
-struct Point {
+struct SweepSpec {
   unsigned cores;
   std::uint64_t freq_mhz;
   std::uint64_t log_bytes;
-  double slowdown;
-  double mean_delay_ns;
-  double max_delay_us;
-  double area_mm2;
+};
+
+struct Point {
+  SweepSpec spec;
+  double slowdown = 0.0;
+  double mean_delay_ns = 0.0;
+  double max_delay_us = 0.0;
+  double area_mm2 = 0.0;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paradet;
+  const runtime::ParallelRunner runner(
+      RuntimeOptions::from_args(argc, argv).jobs);
   const auto workload =
       workloads::make_facesim(workloads::Scale{.factor = 0.4});
   const auto assembled = workloads::assemble_or_die(workload);
   const auto baseline = sim::run_program(SystemConfig::baseline_unchecked(),
                                          assembled, 2'000'000);
 
-  std::printf("design-space sweep on %s (baseline: %llu cycles)\n\n",
+  std::printf("design-space sweep on %s (baseline: %llu cycles, "
+              "%u workers)\n\n",
               workload.name.c_str(),
-              static_cast<unsigned long long>(baseline.main_done_cycle));
-  std::printf("%6s %8s %8s %9s %12s %11s %9s\n", "cores", "MHz", "logKiB",
-              "slowdown", "mean_ns", "max_us", "mm2");
+              static_cast<unsigned long long>(baseline.main_done_cycle),
+              runner.jobs());
 
-  std::vector<Point> points;
-  const auto evaluate = [&](unsigned cores, std::uint64_t freq,
-                            std::uint64_t log_bytes) {
+  // (a) cores x frequency at constant aggregate 12 core-GHz, then
+  // (b) log size at the default 12 cores @ 1 GHz.
+  std::vector<SweepSpec> specs = {
+      {3, 4000, 36 * 1024},
+      {6, 2000, 36 * 1024},
+      {12, 1000, 36 * 1024},
+      {24, 500, 36 * 1024},
+  };
+  const std::size_t log_sweep_begin = specs.size();
+  for (const std::uint64_t kib : {9ull, 18ull, 36ull, 72ull, 144ull}) {
+    specs.push_back({12, 1000, kib * 1024});
+  }
+
+  const auto points = runner.map(specs.size(), [&](std::size_t i) {
     SystemConfig config = SystemConfig::standard();
-    config.checker.num_cores = cores;
-    config.checker.freq_mhz = freq;
-    config.log.segments = cores;
-    config.log.total_bytes = log_bytes;
+    config.checker.num_cores = specs[i].cores;
+    config.checker.freq_mhz = specs[i].freq_mhz;
+    config.log.segments = specs[i].cores;
+    config.log.total_bytes = specs[i].log_bytes;
     const auto run = sim::run_program(config, assembled, 2'000'000);
-    const auto area = model::estimate_area(config);
     Point point;
-    point.cores = cores;
-    point.freq_mhz = freq;
-    point.log_bytes = log_bytes;
+    point.spec = specs[i];
     point.slowdown = static_cast<double>(run.main_done_cycle) /
                      static_cast<double>(baseline.main_done_cycle);
     point.mean_delay_ns = run.delay_ns.summary().mean();
     point.max_delay_us = run.delay_ns.summary().max() / 1000.0;
-    point.area_mm2 = area.detection_mm2();
-    points.push_back(point);
-    std::printf("%6u %8llu %8llu %9.4f %12.0f %11.1f %9.3f\n", cores,
-                static_cast<unsigned long long>(freq),
-                static_cast<unsigned long long>(log_bytes / 1024),
+    point.area_mm2 = model::estimate_area(config).detection_mm2();
+    return point;
+  });
+
+  std::printf("%6s %8s %8s %9s %12s %11s %9s\n", "cores", "MHz", "logKiB",
+              "slowdown", "mean_ns", "max_us", "mm2");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i == 0) {
+      std::printf("-- constant aggregate throughput (12 core-GHz) --\n");
+    } else if (i == log_sweep_begin) {
+      std::printf("-- log size sweep (12 cores @ 1 GHz) --\n");
+    }
+    const auto& point = points[i];
+    std::printf("%6u %8llu %8llu %9.4f %12.0f %11.1f %9.3f\n",
+                point.spec.cores,
+                static_cast<unsigned long long>(point.spec.freq_mhz),
+                static_cast<unsigned long long>(point.spec.log_bytes / 1024),
                 point.slowdown, point.mean_delay_ns, point.max_delay_us,
                 point.area_mm2);
-  };
-
-  // (a) cores x frequency at constant aggregate 12 core-GHz.
-  std::printf("-- constant aggregate throughput (12 core-GHz) --\n");
-  evaluate(3, 4000, 36 * 1024);
-  evaluate(6, 2000, 36 * 1024);
-  evaluate(12, 1000, 36 * 1024);
-  evaluate(24, 500, 36 * 1024);
-
-  // (b) log size at the default 12 cores @ 1 GHz.
-  std::printf("-- log size sweep (12 cores @ 1 GHz) --\n");
-  for (const std::uint64_t kib : {9ull, 18ull, 36ull, 72ull, 144ull}) {
-    evaluate(12, 1000, kib * 1024);
   }
 
   // Pick the cheapest point meeting the latency/overhead budget.
@@ -91,8 +107,9 @@ int main() {
     std::printf("\ncheapest point meeting <=2%% slowdown and <=2us mean "
                 "delay:\n  %u cores @ %llu MHz, %llu KiB log  "
                 "(%.3f mm^2, slowdown %.4f, mean %.0f ns)\n",
-                best->cores, static_cast<unsigned long long>(best->freq_mhz),
-                static_cast<unsigned long long>(best->log_bytes / 1024),
+                best->spec.cores,
+                static_cast<unsigned long long>(best->spec.freq_mhz),
+                static_cast<unsigned long long>(best->spec.log_bytes / 1024),
                 best->area_mm2, best->slowdown, best->mean_delay_ns);
   } else {
     std::printf("\nno swept point met the budget\n");

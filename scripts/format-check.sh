@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# clang-format dry run over the library and tests. Exits non-zero when any
+# file would be reformatted; CI runs this as a non-blocking advisory job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format not installed; skipping format check" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests -name '*.h' -o -name '*.cc' | sort)
+clang-format --dry-run --Werror "${files[@]}"
+echo "format check passed (${#files[@]} files)"

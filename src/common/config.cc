@@ -1,6 +1,26 @@
 #include "common/config.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace paradet {
+
+RuntimeOptions RuntimeOptions::from_args(int argc, char** argv) {
+  RuntimeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      options.jobs = static_cast<unsigned>(std::atoi(arg + 7));
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc) {
+        options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+      }
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      options.jobs = static_cast<unsigned>(std::atoi(arg + 2));
+    }
+  }
+  return options;
+}
 
 SystemConfig SystemConfig::standard() {
   SystemConfig cfg;

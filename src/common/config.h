@@ -138,6 +138,21 @@ struct DetectionConfig {
   bool load_forwarding_unit = true;
 };
 
+/// Host-side execution options for campaign-style drivers (benches,
+/// examples, sweeps). Orthogonal to the simulated SystemConfig: this
+/// controls how many *host* worker threads the runtime uses, not anything
+/// inside the modelled machine.
+struct RuntimeOptions {
+  /// Worker threads for runtime::ParallelRunner. 0 means "one per
+  /// hardware thread" (resolved at runner construction).
+  unsigned jobs = 0;
+
+  /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and fills in
+  /// `jobs`. Unrelated arguments are ignored, so drivers can layer their
+  /// own parsing on top.
+  static RuntimeOptions from_args(int argc, char** argv);
+};
+
 /// Full system configuration.
 struct SystemConfig {
   MainCoreConfig main_core;

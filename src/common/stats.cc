@@ -21,6 +21,10 @@ std::uint64_t Counters::get(const std::string& name) const {
   return 0;
 }
 
+void Counters::merge(const Counters& other) {
+  for (const auto& [key, value] : other.entries_) inc(key, value);
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Counters::sorted() const {
   auto copy = entries_;
   std::sort(copy.begin(), copy.end());

@@ -76,6 +76,29 @@ class Histogram {
            (static_cast<double>(n) * bin_width_);
   }
 
+  /// Merges another histogram's samples into this one. Requires an
+  /// identical bin width (histograms produced by runs of the same
+  /// configuration always match); the bin vector grows to cover the wider
+  /// of the two. Merging in a fixed order (e.g. task-index order after a
+  /// parallel campaign joins) yields bit-identical results regardless of
+  /// how many worker threads produced the inputs.
+  void merge(const Histogram& other) {
+    if (other.summary_.count() == 0 && other.overflow_ == 0) return;
+    if (summary_.count() == 0 && overflow_ == 0 &&
+        bin_width_ != other.bin_width_) {
+      *this = other;
+      return;
+    }
+    if (counts_.size() < other.counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    overflow_ += other.overflow_;
+    summary_.merge(other.summary_);
+  }
+
   /// Fraction of samples strictly inside the covered range below x.
   double fraction_below(double x) const {
     const auto n = summary_.count();
@@ -101,6 +124,11 @@ class Counters {
   void inc(const std::string& name, std::uint64_t by = 1);
   std::uint64_t get(const std::string& name) const;
   std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  /// Adds every counter from `other` into this bag. Insertion order of
+  /// names first seen via `other` follows `other`'s order, so merging a
+  /// sequence of bags in a fixed order is deterministic.
+  void merge(const Counters& other);
 
  private:
   std::vector<std::pair<std::string, std::uint64_t>> entries_;

@@ -1,0 +1,37 @@
+#include "runtime/campaign.h"
+
+#include "common/rng.h"
+
+namespace paradet::runtime {
+
+std::uint64_t derive_task_seed(std::uint64_t campaign_seed,
+                               std::uint64_t task_index) {
+  // Two SplitMix64 steps decorrelate adjacent indices; the golden-ratio
+  // stride keeps (seed, index) pairs off each other's orbits.
+  SplitMix64 mix(campaign_seed ^
+                 (task_index + 1) * 0x9E3779B97F4A7C15ULL);
+  mix.next();
+  return mix.next();
+}
+
+void CampaignAggregate::absorb(const sim::RunResult& result) {
+  ++runs;
+  if (result.error_detected) ++errors_detected;
+  instructions += result.instructions;
+  segments += result.segments;
+  main_cycles.add(static_cast<double>(result.main_done_cycle));
+  delay_ns.merge(result.delay_ns);
+  counters.merge(result.counters);
+}
+
+void CampaignAggregate::merge(const CampaignAggregate& other) {
+  runs += other.runs;
+  errors_detected += other.errors_detected;
+  instructions += other.instructions;
+  segments += other.segments;
+  main_cycles.merge(other.main_cycles);
+  delay_ns.merge(other.delay_ns);
+  counters.merge(other.counters);
+}
+
+}  // namespace paradet::runtime

@@ -1,0 +1,11 @@
+#include "runtime/parallel_runner.h"
+
+namespace paradet::runtime {
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace paradet::runtime

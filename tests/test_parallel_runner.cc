@@ -1,0 +1,188 @@
+// Tests for the runtime subsystem: worker-pool mechanics, order-independent
+// per-task seeding, and the headline determinism contract — a parallel
+// fault-injection campaign merges to bit-identical statistics at any
+// --jobs level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/campaign.h"
+#include "runtime/parallel_runner.h"
+#include "sim/checked_system.h"
+#include "workloads/workloads.h"
+
+namespace paradet::runtime {
+namespace {
+
+TEST(ParallelRunner, ResolveJobsDefaultsToHardware) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+  EXPECT_EQ(ParallelRunner(3).jobs(), 3u);
+}
+
+TEST(ParallelRunner, MapCoversEveryIndexInOrder) {
+  const ParallelRunner runner(8);
+  const auto squares =
+      runner.map(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 1000u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelRunner, ForEachRunsEveryTaskExactlyOnce) {
+  const ParallelRunner runner(8);
+  std::vector<std::atomic<int>> hits(512);
+  runner.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelRunner, EmptyBatchIsANoOp) {
+  const ParallelRunner runner(8);
+  runner.for_each(0, [](std::size_t) { FAIL() << "task ran"; });
+  EXPECT_TRUE(runner.map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(ParallelRunner, TaskExceptionPropagatesToCaller) {
+  for (const unsigned jobs : {1u, 8u}) {
+    const ParallelRunner runner(jobs);
+    EXPECT_THROW(runner.for_each(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+                 std::runtime_error);
+  }
+}
+
+TEST(TaskSeeds, DerivationIsOrderIndependent) {
+  constexpr std::uint64_t kSeed = 0xDEADBEEF;
+  constexpr std::uint64_t kTasks = 1000;
+  std::vector<std::uint64_t> forward, reverse(kTasks);
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    forward.push_back(derive_task_seed(kSeed, i));
+  }
+  for (std::uint64_t i = kTasks; i-- > 0;) {
+    reverse[i] = derive_task_seed(kSeed, i);
+  }
+  EXPECT_EQ(forward, reverse);
+}
+
+TEST(TaskSeeds, DistinctAcrossIndicesAndCampaigns) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t campaign = 0; campaign < 4; ++campaign) {
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      seen.insert(derive_task_seed(campaign * 0x1234567ULL + 1, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 512u);
+}
+
+TEST(CampaignAggregate, MergeMatchesSequentialAbsorb) {
+  sim::RunResult a, b;
+  a.instructions = 100;
+  a.main_done_cycle = 50;
+  a.error_detected = true;
+  a.counters.inc("x", 2);
+  b.instructions = 200;
+  b.main_done_cycle = 70;
+  b.counters.inc("x", 3);
+  b.counters.inc("y", 1);
+
+  CampaignAggregate whole, left, right;
+  whole.absorb(a);
+  whole.absorb(b);
+  left.absorb(a);
+  right.absorb(b);
+  left.merge(right);
+
+  EXPECT_EQ(whole.runs, left.runs);
+  EXPECT_EQ(whole.errors_detected, left.errors_detected);
+  EXPECT_EQ(whole.instructions, left.instructions);
+  EXPECT_EQ(whole.main_cycles.sum(), left.main_cycles.sum());
+  EXPECT_EQ(whole.counters.sorted(), left.counters.sorted());
+}
+
+/// The acceptance campaign: 64 random transient strikes on a small kernel.
+/// Every task derives its fault spec purely from its task seed.
+CampaignResult run_fault_campaign(unsigned jobs) {
+  const SystemConfig config = SystemConfig::standard();
+  const auto workload =
+      workloads::make_freqmine(workloads::Scale{.factor = 0.02});
+  const auto assembled = workloads::assemble_or_die(workload);
+  const auto clean = sim::run_program(config, assembled, 200'000);
+
+  const Campaign campaign(/*tasks=*/64, /*seed=*/0x5EEDFULL);
+  const ParallelRunner runner(jobs);
+  return campaign.run(runner, [&](std::size_t, std::uint64_t task_seed) {
+    SplitMix64 rng(task_seed);
+    const core::FaultSite site_pool[] = {
+        core::FaultSite::kMainArchReg,
+        core::FaultSite::kMainStoreValue,
+        core::FaultSite::kMainLoadValuePostLfu,
+    };
+    core::FaultInjector faults;
+    core::FaultSpec spec;
+    spec.site = site_pool[rng.next_below(std::size(site_pool))];
+    spec.at_seq =
+        100 + rng.next_below(clean.uops > 200 ? clean.uops - 200 : 1);
+    spec.reg = 5 + static_cast<unsigned>(rng.next_below(25));
+    spec.bit = static_cast<unsigned>(rng.next_below(64));
+    faults.add(spec);
+    return sim::run_program(config, assembled, 200'000, &faults);
+  });
+}
+
+TEST(Campaign, MergedStatsBitIdenticalAcrossJobLevels) {
+  const CampaignResult serial = run_fault_campaign(1);
+  const CampaignResult parallel = run_fault_campaign(8);
+
+  ASSERT_EQ(serial.runs.size(), 64u);
+  ASSERT_EQ(parallel.runs.size(), 64u);
+
+  // Per-task results land in the same slots regardless of scheduling.
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].main_done_cycle,
+              parallel.runs[i].main_done_cycle);
+    EXPECT_EQ(serial.runs[i].instructions, parallel.runs[i].instructions);
+    EXPECT_EQ(serial.runs[i].error_detected,
+              parallel.runs[i].error_detected);
+    EXPECT_EQ(serial.runs[i].final_state.pc, parallel.runs[i].final_state.pc);
+  }
+
+  // Merged aggregates are bit-identical: exact equality on the floating
+  // point sums, not near-equality.
+  const CampaignAggregate& a = serial.aggregate;
+  const CampaignAggregate& b = parallel.aggregate;
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.errors_detected, b.errors_detected);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.segments, b.segments);
+  EXPECT_EQ(a.main_cycles.count(), b.main_cycles.count());
+  EXPECT_EQ(a.main_cycles.sum(), b.main_cycles.sum());
+  EXPECT_EQ(a.main_cycles.min(), b.main_cycles.min());
+  EXPECT_EQ(a.main_cycles.max(), b.main_cycles.max());
+  EXPECT_EQ(a.counters.sorted(), b.counters.sorted());
+
+  ASSERT_EQ(a.delay_ns.bins(), b.delay_ns.bins());
+  EXPECT_EQ(a.delay_ns.bin_width(), b.delay_ns.bin_width());
+  EXPECT_EQ(a.delay_ns.overflow(), b.delay_ns.overflow());
+  for (std::size_t bin = 0; bin < a.delay_ns.bins(); ++bin) {
+    EXPECT_EQ(a.delay_ns.bin_count(bin), b.delay_ns.bin_count(bin));
+  }
+  EXPECT_EQ(a.delay_ns.summary().sum(), b.delay_ns.summary().sum());
+
+  // The campaign actually exercised the detection hardware.
+  EXPECT_GT(a.errors_detected, 0u);
+  EXPECT_GT(a.delay_ns.summary().count(), 0u);
+}
+
+}  // namespace
+}  // namespace paradet::runtime

@@ -61,6 +61,50 @@ TEST(Histogram, FractionBelow) {
   EXPECT_NEAR(h.fraction_below(100.0), 1.0, 1e-12);
 }
 
+TEST(Histogram, MergeAddsCountsOverflowAndSummary) {
+  Histogram a(10.0, 5), b(10.0, 5);
+  a.add(5.0);
+  a.add(100.0);  // overflow
+  b.add(5.0);
+  b.add(15.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.summary().count(), 4u);
+  EXPECT_DOUBLE_EQ(a.summary().max(), 100.0);
+}
+
+TEST(Histogram, MergeGrowsToWiderBinVector) {
+  Histogram narrow(10.0, 2), wide(10.0, 5);
+  wide.add(45.0);
+  narrow.add(5.0);
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.bins(), 5u);
+  EXPECT_EQ(narrow.bin_count(0), 1u);
+  EXPECT_EQ(narrow.bin_count(4), 1u);
+}
+
+TEST(Histogram, MergeIntoEmptyDefaultAdoptsShape) {
+  Histogram accumulator;  // default shape: 1 bin of width 1.
+  Histogram produced(100.0, 64);
+  produced.add(250.0);
+  accumulator.merge(produced);
+  EXPECT_DOUBLE_EQ(accumulator.bin_width(), 100.0);
+  EXPECT_EQ(accumulator.bins(), 64u);
+  EXPECT_EQ(accumulator.bin_count(2), 1u);
+}
+
+TEST(Counters, MergeAccumulatesAllNames) {
+  Counters a, b;
+  a.inc("hits", 3);
+  b.inc("hits", 2);
+  b.inc("misses", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get("hits"), 5u);
+  EXPECT_EQ(a.get("misses"), 7u);
+}
+
 TEST(Counters, IncrementAndLookup) {
   Counters c;
   c.inc("a");
