@@ -5,26 +5,34 @@
 // comments, for EXPERIMENTS.md).
 #pragma once
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "runtime/campaign.h"
 #include "runtime/parallel_runner.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
 namespace paradet::bench {
 
+inline constexpr std::uint64_t kInstructionBudget = 4'000'000;
+
 struct Options {
   double scale = 1.0;          ///< workload scale factor (--scale=X).
   std::string only;            ///< run a single benchmark (--benchmark=name).
-  unsigned jobs = 0;           ///< worker threads (--jobs=N); 0 = all cores.
+  RuntimeOptions runtime;      ///< --jobs/--shard/--out/--checkpoint flags.
 
-  static Options parse(int argc, char** argv) {
+  /// `campaign` = true for drivers that execute through
+  /// Campaign::run_sharded; others reject --shard/--out/--checkpoint
+  /// (exit 2) rather than silently running unsharded.
+  static Options parse(int argc, char** argv, bool campaign = false) {
     Options options;
-    options.jobs = RuntimeOptions::from_args(argc, argv).jobs;
+    options.runtime = RuntimeOptions::from_args(argc, argv, campaign);
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--scale=", 8) == 0) {
@@ -32,8 +40,12 @@ struct Options {
       } else if (std::strncmp(arg, "--benchmark=", 12) == 0) {
         options.only = arg + 12;
       } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]\n",
-                    argv[0]);
+        std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]%s\n",
+                    argv[0],
+                    campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
+                               "\n          [--checkpoint=ckpt.json]"
+                               " [--checkpoint-every=M]"
+                             : "");
         std::exit(0);
       }
     }
@@ -41,9 +53,65 @@ struct Options {
   }
 
   runtime::ParallelRunner runner() const {
-    return runtime::ParallelRunner(jobs);
+    return runtime::ParallelRunner(runtime.jobs);
+  }
+
+  /// Hash (FNV-1a) of the options that give campaign task indices their
+  /// meaning. Stored in artifacts so a checkpoint or shard file produced
+  /// at a different --scale / --benchmark — same task count, different
+  /// simulations — cannot silently resume or merge.
+  std::uint64_t config_fingerprint() const {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    const auto mix_byte = [&hash](unsigned char byte) {
+      hash ^= byte;
+      hash *= 0x100000001B3ULL;
+    };
+    const auto mix_u64 = [&](std::uint64_t value) {
+      for (int i = 0; i < 8; ++i) mix_byte((value >> (8 * i)) & 0xFF);
+    };
+    mix_u64(std::bit_cast<std::uint64_t>(scale));
+    for (const char c : only) mix_byte(static_cast<unsigned char>(c));
+    mix_u64(kInstructionBudget);
+    return hash;
+  }
+
+  /// Campaign execution options from the shared CLI flags (shard slice,
+  /// artifact output, checkpoint path), fingerprinted with this driver
+  /// configuration.
+  runtime::CampaignRunOptions campaign_options() const {
+    auto options = runtime::CampaignRunOptions::from_runtime(runtime);
+    options.fingerprint = config_fingerprint();
+    return options;
+  }
+
+  runtime::ShardSpec shard() const {
+    return runtime::ShardSpec{runtime.shard_index, runtime.shard_count};
   }
 };
+
+/// Runs a driver body, converting escaping exceptions (a checkpoint file
+/// from a different campaign, an unwritable --out path, ...) into a clean
+/// stderr message and exit 1 instead of std::terminate.
+inline int cli_main(int (*body)(int, char**), int argc, char** argv) {
+  try {
+    return body(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+}
+
+/// One-line reminder under sharded tables: the printed rows cover only
+/// this process's slice; files merge back via tools/merge_results.
+inline void print_shard_note(const runtime::CampaignArtifact& artifact) {
+  if (artifact.shard.whole()) return;
+  std::printf(
+      "# shard %llu/%llu: %zu of %llu tasks ran here; merge --out artifacts "
+      "with merge_results for the full campaign\n",
+      static_cast<unsigned long long>(artifact.shard.index),
+      static_cast<unsigned long long>(artifact.shard.count),
+      artifact.runs.size(), static_cast<unsigned long long>(artifact.tasks));
+}
 
 /// The Table II suite at the requested scale, optionally filtered.
 inline std::vector<workloads::Workload> suite(const Options& options) {
@@ -56,8 +124,6 @@ inline std::vector<workloads::Workload> suite(const Options& options) {
   }
   return filtered;
 }
-
-inline constexpr std::uint64_t kInstructionBudget = 4'000'000;
 
 struct SuiteRun {
   std::string name;

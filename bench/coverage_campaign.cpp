@@ -15,9 +15,11 @@
 #include "common/rng.h"
 #include "runtime/campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  auto options = bench::Options::parse(argc, argv);
+  auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   if (options.scale == 1.0) options.scale = 0.1;  // campaign is many runs.
   bench::print_header(
       "Fault-injection campaign: detection coverage by site",
@@ -63,12 +65,16 @@ int main(int argc, char** argv) {
     return ref;
   });
 
-  // Stage 2: the campaign proper. Task index encodes (site, kernel, trial).
+  // Stage 2: the campaign proper. Task index encodes (site, kernel, trial);
+  // under --shard=K/N only this process's slice of that space runs, with
+  // per-task seeds unchanged.
   const std::size_t num_sites = std::size(sites);
   const runtime::Campaign campaign(num_sites * kernels.size() * kTrialsPerCell,
                                    /*seed=*/0xC0FFEE);
-  const auto result =
-      campaign.run(runner, [&](std::size_t i, std::uint64_t task_seed) {
+  auto campaign_options = options.campaign_options();
+  campaign_options.keep_runs = true;  // classification below walks the runs.
+  const auto artifact = campaign.run_sharded(
+      runner, campaign_options, [&](std::size_t i, std::uint64_t task_seed) {
         const std::size_t site_index = i / (kernels.size() * kTrialsPerCell);
         const std::size_t kernel_index = (i / kTrialsPerCell) % kernels.size();
         const auto& clean = references[kernel_index].clean;
@@ -93,35 +99,46 @@ int main(int argc, char** argv) {
       });
 
   // Classification against the clean reference is pure post-processing,
-  // done in task order.
+  // done in task order over whichever records this shard owns.
+  struct SiteTally {
+    unsigned detected = 0, masked = 0, silent = 0, trials = 0;
+  };
+  std::vector<SiteTally> tally(num_sites);
+  bool contract_violated = false;
+  for (const auto& record : artifact.runs) {
+    const std::size_t site = record.index / (kernels.size() * kTrialsPerCell);
+    const std::size_t kernel =
+        (record.index / kTrialsPerCell) % kernels.size();
+    const auto& clean = references[kernel].clean;
+    const auto& faulty = record.result;
+    ++tally[site].trials;
+    if (faulty.error_detected) {
+      ++tally[site].detected;
+    } else if (arch::first_register_difference(faulty.final_state,
+                                               clean.final_state) == -1 &&
+               faulty.final_state.pc == clean.final_state.pc) {
+      ++tally[site].masked;  // fault never reached architectural state.
+    } else {
+      ++tally[site].silent;  // contract violation!
+      contract_violated = true;
+    }
+  }
+
   std::printf("%-16s %8s %9s %8s %9s\n", "site", "trials", "detected",
               "masked", "silent");
-  bool contract_violated = false;
   for (std::size_t s = 0; s < num_sites; ++s) {
-    unsigned detected = 0, masked = 0, silent = 0, trials = 0;
-    for (std::size_t k = 0; k < kernels.size(); ++k) {
-      const auto& clean = references[k].clean;
-      for (unsigned trial = 0; trial < kTrialsPerCell; ++trial) {
-        const auto& faulty =
-            result.runs[(s * kernels.size() + k) * kTrialsPerCell + trial];
-        ++trials;
-        if (faulty.error_detected) {
-          ++detected;
-        } else if (arch::first_register_difference(faulty.final_state,
-                                                   clean.final_state) == -1 &&
-                   faulty.final_state.pc == clean.final_state.pc) {
-          ++masked;  // fault never reached architectural state.
-        } else {
-          ++silent;  // contract violation!
-          contract_violated = true;
-        }
-      }
-    }
-    std::printf("%-16s %8u %9u %8u %9u\n", sites[s].name, trials, detected,
-                masked, silent);
+    std::printf("%-16s %8u %9u %8u %9u\n", sites[s].name, tally[s].trials,
+                tally[s].detected, tally[s].masked, tally[s].silent);
   }
 
   std::printf("\ncontract (zero silent corruptions): %s\n",
               contract_violated ? "VIOLATED" : "HELD");
+  bench::print_shard_note(artifact);
   return contract_violated ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -1,31 +1,91 @@
 // Figure 7: normalised slowdown per benchmark at the Table I defaults.
 // Paper: average 1.75%, maximum 3.4%; overheads dominated by the register
 // checkpoint pauses at segment boundaries.
+//
+// Runs as one runtime::Campaign over the checked runs — the expensive,
+// shardable part — so the figure shards across processes
+// (--shard=K/N --out=...) and checkpoints/restarts like any other
+// campaign. The unchecked baselines are just per-workload normalisation
+// denominators; every shard recomputes them locally (the fig13 pattern),
+// so each shard prints complete table rows for the workloads it owns.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 7: normalised slowdown per benchmark (Table I defaults)",
       "mean 1.0175, max 1.034; all benchmarks low single-digit %");
 
-  const auto runs = bench::run_suite(options, SystemConfig::standard());
+  const auto suite = bench::suite(options);
+  if (suite.empty()) return 0;
+  const auto runner = options.runner();
+
+  // One immutable assembled image per workload, shared by its baseline
+  // and checked runs.
+  const auto images = runner.map(suite.size(), [&](std::size_t b) {
+    return workloads::assemble_or_die(suite[b]);
+  });
+
+  const SystemConfig checked_config = SystemConfig::standard();
+  SystemConfig baseline_config = checked_config;
+  baseline_config.detection.enabled = false;
+  baseline_config.detection.simulate_checkers = false;
+
+  // Baselines only for the workloads whose checked task this shard owns —
+  // they are the only table denominators read below.
+  auto campaign_options = options.campaign_options();
+  std::vector<sim::RunResult> baselines(suite.size());
+  runner.for_each(suite.size(), [&](std::size_t b) {
+    if (!campaign_options.shard.owns(b)) return;
+    baselines[b] = sim::run_program(baseline_config, images[b],
+                                    bench::kInstructionBudget);
+  });
+
+  // The campaign proper: task b is workload b's checked run.
+  const runtime::Campaign campaign(suite.size(), /*seed=*/0xF160007);
+  campaign_options.keep_runs = true;  // the table below reads per-run cells.
+  const auto artifact = campaign.run_sharded(
+      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
+        return sim::run_program(checked_config, images[i],
+                                bench::kInstructionBudget);
+      });
+
   std::printf("%-14s %15s %15s %9s %12s %11s\n", "benchmark",
               "baseline_cycles", "checked_cycles", "slowdown", "checkpoints",
               "log_stall_cy");
-  for (const auto& run : runs) {
+  double slowdown_sum = 0;
+  for (const auto& record : artifact.runs) {
+    const sim::RunResult& baseline = baselines[record.index];
+    const sim::RunResult& checked = record.result;
+    const double slowdown = static_cast<double>(checked.main_done_cycle) /
+                            static_cast<double>(baseline.main_done_cycle);
+    slowdown_sum += slowdown;
     std::printf("%-14s %15llu %15llu %9.4f %12llu %11llu\n",
-                run.name.c_str(),
-                static_cast<unsigned long long>(run.baseline.main_done_cycle),
-                static_cast<unsigned long long>(run.result.main_done_cycle),
-                run.slowdown(),
-                static_cast<unsigned long long>(run.result.checkpoints_taken),
+                suite[record.index].name.c_str(),
+                static_cast<unsigned long long>(baseline.main_done_cycle),
+                static_cast<unsigned long long>(checked.main_done_cycle),
+                slowdown,
+                static_cast<unsigned long long>(checked.checkpoints_taken),
                 static_cast<unsigned long long>(
-                    run.result.log_full_stall_cycles));
+                    checked.log_full_stall_cycles));
   }
-  std::printf("mean slowdown: %.4f\n", bench::mean_slowdown(runs));
+  if (!artifact.runs.empty()) {
+    std::printf("mean slowdown: %.4f\n",
+                slowdown_sum / static_cast<double>(artifact.runs.size()));
+  }
+  bench::print_shard_note(artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -3,28 +3,51 @@
 // defaults. Paper: roughly normal per-benchmark distributions within
 // 0-5000ns; suite-mean 770ns; worst mean 1550ns (randacc); 99.9% of all
 // entries checked within 5000ns; maxima up to ~45us.
+//
+// Runs as one runtime::Campaign (one checked run per workload — the
+// unchecked baseline the old serial harness also simulated is dead weight
+// here and is gone), so the figure shards across processes and its
+// artifact merges back with merge_results.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 8: distribution of error-detection delays (defaults)",
       "means 256-1550ns, suite mean 770ns, 99.9% < 5000ns, max <= 45us");
 
-  const auto runs = bench::run_suite(options, SystemConfig::standard());
+  const auto suite = bench::suite(options);
+  if (suite.empty()) return 0;
+  const auto runner = options.runner();
 
-  // Density table: 250ns bins over [0, 5000ns), one column per benchmark.
+  const runtime::Campaign campaign(suite.size(), /*seed=*/0xF160008);
+  auto campaign_options = options.campaign_options();
+  campaign_options.keep_runs = true;  // the tables below read per-run cells.
+  const auto artifact = campaign.run_sharded(
+      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
+        const auto assembled = workloads::assemble_or_die(suite[i]);
+        return sim::run_program(SystemConfig::standard(), assembled,
+                                bench::kInstructionBudget);
+      });
+
+  // Only this shard's workloads have columns; merge_results reunites them.
   std::printf("%-10s", "bin_ns");
-  for (const auto& run : runs) std::printf(" %12s", run.name.c_str());
+  for (const auto& record : artifact.runs) {
+    std::printf(" %12s", suite[record.index].name.c_str());
+  }
   std::printf("\n");
   const double bin_ns = 250.0;
   for (unsigned bin = 0; bin < 20; ++bin) {
     std::printf("%-10.0f", (bin + 0.5) * bin_ns);
-    for (const auto& run : runs) {
-      const auto& h = run.result.delay_ns;
+    for (const auto& record : artifact.runs) {
+      const auto& h = record.result.delay_ns;
       // Aggregate the run's 50ns-wide bins into 250ns display bins.
       double count = 0;
       for (unsigned sub = 0; sub < 5; ++sub) {
@@ -43,16 +66,24 @@ int main(int argc, char** argv) {
   std::printf("\n%-14s %10s %10s %12s\n", "benchmark", "mean_ns", "max_us",
               "frac<5000ns");
   double suite_mean = 0;
-  for (const auto& run : runs) {
-    const auto& summary = run.result.delay_ns.summary();
+  for (const auto& record : artifact.runs) {
+    const auto& summary = record.result.delay_ns.summary();
     suite_mean += summary.mean();
-    std::printf("%-14s %10.0f %10.1f %11.4f%%\n", run.name.c_str(),
-                summary.mean(), summary.max() / 1000.0,
-                100.0 * run.result.delay_ns.fraction_below(5000.0));
+    std::printf("%-14s %10.0f %10.1f %11.4f%%\n",
+                suite[record.index].name.c_str(), summary.mean(),
+                summary.max() / 1000.0,
+                100.0 * record.result.delay_ns.fraction_below(5000.0));
   }
-  if (!runs.empty()) {
+  if (!artifact.runs.empty()) {
     std::printf("suite mean detection delay: %.0f ns\n",
-                suite_mean / static_cast<double>(runs.size()));
+                suite_mean / static_cast<double>(artifact.runs.size()));
   }
+  bench::print_shard_note(artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -6,16 +6,22 @@
 //
 // The sweep fans out on the runtime worker pool: the unchecked baseline
 // is simulated once per workload (it does not depend on the checker
-// configuration), then every (config point x workload) pair runs as an
-// independent task.
+// configuration), then every (config point x workload) pair runs as one
+// runtime::Campaign task — so the sweep shards across processes
+// (--shard=K/N --out=...) and checkpoints/restarts; a shard prints the
+// table cells it owns and merge_results reunites the artifacts.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/campaign.h"
 #include "runtime/parallel_runner.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 13: slowdown vs checker core count x frequency",
       "3@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
@@ -37,8 +43,16 @@ int main(int argc, char** argv) {
   if (suite.empty()) return 0;
   const auto runner = options.runner();
 
+  // Which workloads this shard touches at all: the baseline (the table's
+  // normalisation denominator) is only simulated for those.
+  auto campaign_options = options.campaign_options();
+  std::vector<char> workload_owned(suite.size(), 0);
+  for (std::size_t i = 0; i < num_points * suite.size(); ++i) {
+    if (campaign_options.shard.owns(i)) workload_owned[i % suite.size()] = 1;
+  }
+
   // Assemble each workload once; the image is immutable and shared by the
-  // baseline run and all seven sweep-point runs.
+  // baseline run and all sweep-point runs.
   struct BaselineRun {
     isa::Assembled assembled;
     sim::RunResult result;
@@ -46,14 +60,19 @@ int main(int argc, char** argv) {
   const auto baselines = runner.map(suite.size(), [&](std::size_t b) {
     BaselineRun run;
     run.assembled = workloads::assemble_or_die(suite[b]);
-    run.result = sim::run_program(SystemConfig::baseline_unchecked(),
-                                  run.assembled, bench::kInstructionBudget);
+    if (workload_owned[b]) {
+      run.result = sim::run_program(SystemConfig::baseline_unchecked(),
+                                    run.assembled, bench::kInstructionBudget);
+    }
     return run;
   });
 
   // One task per (point, workload) pair; index = point * |suite| + workload.
-  const auto checked =
-      runner.map(num_points * suite.size(), [&](std::size_t i) {
+  const runtime::Campaign campaign(num_points * suite.size(),
+                                   /*seed=*/0xF160013);
+  campaign_options.keep_runs = true;  // the table below reads per-run cells.
+  const auto artifact = campaign.run_sharded(
+      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
         const auto& point = points[i / suite.size()];
         SystemConfig config = SystemConfig::standard();
         config.checker.num_cores = point.cores;
@@ -65,8 +84,11 @@ int main(int argc, char** argv) {
                                 bench::kInstructionBudget);
       });
 
+  std::vector<const sim::RunResult*> cell(num_points * suite.size(), nullptr);
+  for (const auto& record : artifact.runs) cell[record.index] = &record.result;
+
   const auto slowdown = [&](std::size_t point, std::size_t b) {
-    return static_cast<double>(checked[point * suite.size() + b].main_done_cycle) /
+    return static_cast<double>(cell[point * suite.size() + b]->main_done_cycle) /
            static_cast<double>(baselines[b].result.main_done_cycle);
   };
 
@@ -76,16 +98,36 @@ int main(int argc, char** argv) {
   for (std::size_t b = 0; b < suite.size(); ++b) {
     std::printf("%-14s", suite[b].name.c_str());
     for (std::size_t p = 0; p < num_points; ++p) {
-      std::printf(" %12.3f", slowdown(p, b));
+      if (cell[p * suite.size() + b] == nullptr) {
+        std::printf(" %12s", "-");  // task owned by another shard.
+      } else {
+        std::printf(" %12.3f", slowdown(p, b));
+      }
     }
     std::printf("\n");
   }
   std::printf("%-14s", "mean");
   for (std::size_t p = 0; p < num_points; ++p) {
     double sum = 0;
-    for (std::size_t b = 0; b < suite.size(); ++b) sum += slowdown(p, b);
-    std::printf(" %12.3f", sum / static_cast<double>(suite.size()));
+    unsigned cells = 0;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+      if (cell[p * suite.size() + b] == nullptr) continue;
+      sum += slowdown(p, b);
+      ++cells;
+    }
+    if (cells == 0) {
+      std::printf(" %12s", "-");
+    } else {
+      std::printf(" %12.3f", sum / static_cast<double>(cells));
+    }
   }
   std::printf("\n");
+  bench::print_shard_note(artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

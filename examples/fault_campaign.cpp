@@ -10,10 +10,18 @@
 //   * the §IV-I over-detection rate from checker-side faults;
 //   * runtime::Campaign — all strikes run as one parallel batch with
 //     order-independent per-task seeding, so `--jobs=8` reports the exact
-//     numbers `--jobs=1` does, just faster.
+//     numbers `--jobs=1` does, just faster;
+//   * cross-process sharding — `--shard=K/N --out=shard_K.json` runs one
+//     slice of the campaign per machine, and `merge_results` folds the
+//     artifacts back into the byte-identical single-machine output;
+//   * checkpoint/restart — `--checkpoint=ckpt.json` resumes an
+//     interrupted campaign without re-running finished strikes.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -21,17 +29,30 @@
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
   unsigned trials_per_site = 12;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
       ++i;  // skip the flag's value; RuntimeOptions consumes it.
     } else if (argv[i][0] != '-') {
-      trials_per_site = std::atoi(argv[i]);
+      // The positional argument is the per-site trial count; anything
+      // non-numeric here is a mistyped flag, not a count of zero.
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long trials = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || errno == ERANGE ||
+          trials > 1'000'000) {
+        std::fprintf(stderr, "invalid trial count '%s'\n", argv[i]);
+        return 2;
+      }
+      trials_per_site = static_cast<unsigned>(trials);
     }
   }
-  const runtime::ParallelRunner runner(RuntimeOptions::from_args(argc, argv).jobs);
+  const RuntimeOptions host_options = RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
+  const runtime::ParallelRunner runner(host_options.jobs);
 
   const SystemConfig config = SystemConfig::standard();
   const auto workload =
@@ -57,11 +78,14 @@ int main(int argc, char** argv) {
   const std::size_t num_sites = std::size(sites);
 
   // One task per (site, trial); the fault spec is derived from the task's
-  // own seed, never from a shared serially-advanced RNG.
+  // own seed, never from a shared serially-advanced RNG — so a --shard
+  // slice strikes with exactly the faults the whole campaign would.
   const runtime::Campaign campaign(num_sites * trials_per_site,
                                    /*seed=*/0xFA017CA3);
-  const auto result =
-      campaign.run(runner, [&](std::size_t i, std::uint64_t task_seed) {
+  auto campaign_options = runtime::CampaignRunOptions::from_runtime(host_options);
+  campaign_options.keep_runs = true;  // classification below walks the runs.
+  const auto artifact = campaign.run_sharded(
+      runner, campaign_options, [&](std::size_t i, std::uint64_t task_seed) {
         const auto& site = sites[i / trials_per_site];
         SplitMix64 rng(task_seed);
         core::FaultInjector faults;
@@ -78,37 +102,67 @@ int main(int argc, char** argv) {
         return sim::run_program(config, assembled, 500'000, &faults);
       });
 
+  // Classification walks whichever (site, trial) records this shard owns.
+  struct SiteTally {
+    unsigned trials = 0, detected = 0, masked = 0, silent = 0;
+    Summary latency_us;
+  };
+  std::vector<SiteTally> tally(num_sites);
+  bool silent_corruption = false;
+  for (const auto& record : artifact.runs) {
+    const auto& run = record.result;
+    SiteTally& site = tally[record.index / trials_per_site];
+    ++site.trials;
+    if (run.error_detected) {
+      ++site.detected;
+      site.latency_us.add(cycles_to_ns(run.first_error->detected_at,
+                                       config.main_core.freq_mhz) /
+                          1000.0);
+    } else if (arch::first_register_difference(run.final_state,
+                                               clean.final_state) == -1) {
+      ++site.masked;
+    } else {
+      ++site.silent;
+      silent_corruption = true;
+    }
+  }
+
   std::printf("%-30s %8s %8s %8s %8s %12s\n", "site", "trials", "detect",
               "masked", "silent", "mean_lat_us");
-  bool silent_corruption = false;
   for (std::size_t s = 0; s < num_sites; ++s) {
-    unsigned detected = 0, masked = 0, silent = 0;
-    Summary latency_us;
-    for (unsigned trial = 0; trial < trials_per_site; ++trial) {
-      const auto& run = result.runs[s * trials_per_site + trial];
-      if (run.error_detected) {
-        ++detected;
-        latency_us.add(cycles_to_ns(run.first_error->detected_at,
-                                    config.main_core.freq_mhz) /
-                       1000.0);
-      } else if (arch::first_register_difference(
-                     run.final_state, clean.final_state) == -1) {
-        ++masked;
-      } else {
-        ++silent;
-        silent_corruption = true;
-      }
-    }
     std::printf("%-30s %8u %8u %8u %8u %12.1f\n", sites[s].label,
-                trials_per_site, detected, masked, silent,
-                latency_us.count() > 0 ? latency_us.mean() : 0.0);
+                tally[s].trials, tally[s].detected, tally[s].masked,
+                tally[s].silent,
+                tally[s].latency_us.count() > 0 ? tally[s].latency_us.mean()
+                                                : 0.0);
   }
 
   std::printf("\ncampaign total: %llu runs, %llu raised a detection\n",
-              static_cast<unsigned long long>(result.aggregate.runs),
+              static_cast<unsigned long long>(artifact.aggregate.runs),
               static_cast<unsigned long long>(
-                  result.aggregate.errors_detected));
+                  artifact.aggregate.errors_detected));
+  if (!artifact.shard.whole()) {
+    std::printf("shard %llu/%llu: %zu of %llu strikes ran here; merge --out "
+                "artifacts with merge_results\n",
+                static_cast<unsigned long long>(artifact.shard.index),
+                static_cast<unsigned long long>(artifact.shard.count),
+                artifact.runs.size(),
+                static_cast<unsigned long long>(artifact.tasks));
+  }
   std::printf("no-silent-corruption contract: %s\n",
               silent_corruption ? "VIOLATED (bug!)" : "held");
   return silent_corruption ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // A checkpoint from another campaign or an unwritable --out path
+    // should end as a readable error, not std::terminate.
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cross-process campaign sharding: run the fault
+# campaign example as two shard processes, merge their artifacts with
+# merge_results, and require the merged file to be byte-identical to the
+# file an unsharded run writes. Exercises the real CLI surface
+# (--shard/--out parsing, artifact I/O, the merge tool) rather than the
+# library entry points the unit tests already cover.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <example_fault_campaign> <merge_results>" >&2
+  exit 2
+fi
+fault_campaign=$1
+merge_results=$2
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+trials=2  # trials per fault site: 10 campaign tasks total.
+
+"$fault_campaign" $trials --jobs=2 --shard=0/2 --out="$workdir/shard_0.json" \
+    > "$workdir/shard_0.log"
+"$fault_campaign" $trials --jobs=2 --shard=1/2 --out="$workdir/shard_1.json" \
+    > "$workdir/shard_1.log"
+"$merge_results" --out="$workdir/merged.json" \
+    "$workdir/shard_0.json" "$workdir/shard_1.json" > "$workdir/merge.log"
+"$fault_campaign" $trials --jobs=2 --out="$workdir/whole.json" \
+    > "$workdir/whole.log"
+
+if ! cmp "$workdir/merged.json" "$workdir/whole.json"; then
+  echo "FAIL: merged shard artifact differs from the unsharded artifact" >&2
+  exit 1
+fi
+echo "OK: 2-shard merge is byte-identical to the unsharded artifact"

@@ -1,22 +1,102 @@
 #include "common/config.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace paradet {
 
-RuntimeOptions RuntimeOptions::from_args(int argc, char** argv) {
+namespace {
+
+[[noreturn]] void bad_flag(const char* arg, const char* expected) {
+  std::fprintf(stderr, "invalid argument '%s': expected %s\n", arg, expected);
+  std::exit(2);
+}
+
+/// strtoull, but rejecting the sign characters strtoull itself accepts (a
+/// negative value would silently wrap to a huge unsigned one) and numeric
+/// overflow (which strtoull silently saturates to ULLONG_MAX). Failure is
+/// signalled the way callers already check: *end left at `text`.
+unsigned long long parse_u64(const char* text, char** end) {
+  if (*text < '0' || *text > '9') {
+    *end = const_cast<char*>(text);
+    return 0;
+  }
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, end, 10);
+  if (errno == ERANGE) {
+    *end = const_cast<char*>(text);
+    return 0;
+  }
+  return value;
+}
+
+/// Parses a worker count: 0 (= all cores) .. 65535. `flag` is the full
+/// argument, for the error message.
+unsigned parse_jobs(const char* flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = parse_u64(text, &end);
+  if (end == text || *end != '\0' || value > 65535) {
+    bad_flag(flag, "a worker count between 0 (all cores) and 65535");
+  }
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
+                                         bool campaign_flags) {
   RuntimeOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (!campaign_flags && (std::strncmp(arg, "--shard", 7) == 0 ||
+                            std::strncmp(arg, "--out", 5) == 0 ||
+                            std::strncmp(arg, "--checkpoint", 12) == 0)) {
+      std::fprintf(stderr,
+                   "'%s' is not supported by this driver (it does not run as "
+                   "a shardable campaign)\n",
+                   arg);
+      std::exit(2);
+    }
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      options.jobs = static_cast<unsigned>(std::atoi(arg + 7));
+      options.jobs = parse_jobs(arg, arg + 7);
     } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
-      if (i + 1 < argc) {
-        options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
-      }
+      if (i + 1 >= argc) bad_flag(arg, "a worker count to follow");
+      ++i;
+      options.jobs = parse_jobs(argv[i], argv[i]);
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-      options.jobs = static_cast<unsigned>(std::atoi(arg + 2));
+      options.jobs = parse_jobs(arg, arg + 2);
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      const char* spec = arg + 8;
+      char* end = nullptr;
+      const unsigned long long k = parse_u64(spec, &end);
+      if (end == spec || *end != '/') bad_flag(arg, "--shard=K/N");
+      const char* n_text = end + 1;
+      const unsigned long long n = parse_u64(n_text, &end);
+      if (end == n_text || *end != '\0' || n == 0 || k >= n) {
+        bad_flag(arg, "--shard=K/N with 0 <= K < N");
+      }
+      options.shard_index = k;
+      options.shard_count = n;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      options.out_path = arg + 6;
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      options.checkpoint_path = arg + 13;
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      char* end = nullptr;
+      const unsigned long long every = parse_u64(arg + 19, &end);
+      if (end == arg + 19 || *end != '\0' || every == 0) {
+        bad_flag(arg, "--checkpoint-every=M with M >= 1");
+      }
+      options.checkpoint_every = every;
+    } else if (std::strcmp(arg, "--shard") == 0 ||
+               std::strcmp(arg, "--out") == 0 ||
+               std::strcmp(arg, "--checkpoint") == 0 ||
+               std::strcmp(arg, "--checkpoint-every") == 0) {
+      // Only the '=' forms exist; swallowing e.g. `--shard 0/2` would let
+      // the next driver's positional parsing misread "0/2".
+      bad_flag(arg, "the --flag=value form");
     }
   }
   return options;

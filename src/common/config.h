@@ -147,10 +147,36 @@ struct RuntimeOptions {
   /// hardware thread" (resolved at runner construction).
   unsigned jobs = 0;
 
-  /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and fills in
-  /// `jobs`. Unrelated arguments are ignored, so drivers can layer their
-  /// own parsing on top.
-  static RuntimeOptions from_args(int argc, char** argv);
+  /// Cross-process sharding (`--shard=K/N`): this process executes only
+  /// campaign task indices with `index % shard_count == shard_index`.
+  /// Per-task seeds are a pure function of (campaign seed, index), so the
+  /// shards' random streams are exactly the unsharded campaign's, split.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+
+  /// `--out=PATH`: write the campaign artifact (per-run results + merged
+  /// aggregate, versioned JSON) for tools/merge_results.
+  std::string out_path;
+
+  /// `--checkpoint=PATH`: periodically persist completed runs + the
+  /// partial aggregate; an interrupted campaign restarted with the same
+  /// flag resumes without re-running finished tasks.
+  std::string checkpoint_path;
+
+  /// `--checkpoint-every=M`: completed tasks between checkpoint writes.
+  std::uint64_t checkpoint_every = 16;
+
+  /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and — when
+  /// `campaign_flags` is true — `--shard=K/N`, `--out=PATH`,
+  /// `--checkpoint=PATH` and `--checkpoint-every=M`. Drivers that do not
+  /// execute through Campaign::run_sharded must leave `campaign_flags`
+  /// false: the campaign flags then exit with status 2 instead of being
+  /// silently swallowed (a sharding run that quietly executes the whole
+  /// campaign and writes no artifact is worse than an error). Malformed
+  /// values for recognised flags exit with status 2; unrelated arguments
+  /// are ignored, so drivers can layer their own parsing on top.
+  static RuntimeOptions from_args(int argc, char** argv,
+                                  bool campaign_flags = false);
 };
 
 /// Full system configuration.

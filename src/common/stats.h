@@ -34,6 +34,18 @@ class Summary {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Rebuilds a summary from its exact internal fields (runtime/serialize).
+  /// An empty summary has min = +inf and max = -inf.
+  static Summary from_raw(std::uint64_t count, double sum, double min,
+                          double max) {
+    Summary s;
+    s.count_ = count;
+    s.sum_ = sum;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -99,6 +111,17 @@ class Histogram {
     summary_.merge(other.summary_);
   }
 
+  /// Rebuilds a histogram from its exact internal fields (runtime/serialize).
+  static Histogram from_raw(double bin_width, std::vector<std::uint64_t> counts,
+                            std::uint64_t overflow, const Summary& summary) {
+    Histogram h;
+    h.bin_width_ = bin_width;
+    h.counts_ = std::move(counts);
+    h.overflow_ = overflow;
+    h.summary_ = summary;
+    return h;
+  }
+
   /// Fraction of samples strictly inside the covered range below x.
   double fraction_below(double x) const {
     const auto n = summary_.count();
@@ -124,6 +147,13 @@ class Counters {
   void inc(const std::string& name, std::uint64_t by = 1);
   std::uint64_t get(const std::string& name) const;
   std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  /// Entries in insertion order. Re-playing them through `inc` on a fresh
+  /// bag reproduces this bag exactly, insertion order included — the
+  /// round-trip contract runtime/serialize relies on.
+  const std::vector<std::pair<std::string, std::uint64_t>>& entries() const {
+    return entries_;
+  }
 
   /// Adds every counter from `other` into this bag. Insertion order of
   /// names first seen via `other` follows `other`'s order, so merging a

@@ -1,6 +1,15 @@
 #include "runtime/campaign.h"
 
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
 #include "common/rng.h"
+#include "runtime/serialize.h"
 
 namespace paradet::runtime {
 
@@ -32,6 +41,171 @@ void CampaignAggregate::merge(const CampaignAggregate& other) {
   main_cycles.merge(other.main_cycles);
   delay_ns.merge(other.delay_ns);
   counters.merge(other.counters);
+}
+
+CampaignRunOptions CampaignRunOptions::from_runtime(
+    const RuntimeOptions& runtime) {
+  CampaignRunOptions options;
+  options.shard = ShardSpec{runtime.shard_index, runtime.shard_count};
+  options.out_path = runtime.out_path;
+  options.checkpoint_path = runtime.checkpoint_path;
+  options.checkpoint_every = runtime.checkpoint_every;
+  return options;
+}
+
+namespace {
+
+/// True if the checkpoint is there to resume from, false only when it
+/// genuinely does not exist. Any other open failure (permissions, fd
+/// exhaustion, transient I/O error) throws: silently treating an existing
+/// checkpoint as absent would re-run the whole campaign and then clobber
+/// the file.
+bool checkpoint_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  if (errno == ENOENT) return false;
+  throw std::runtime_error("cannot open checkpoint '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
+                                       const CampaignRunOptions& options,
+                                       const Task& task) const {
+  const ShardSpec shard = options.shard;
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("ShardSpec: need 0 <= index < count");
+  }
+  if (!options.checkpoint_path.empty() && options.checkpoint_every == 0) {
+    throw std::invalid_argument("checkpoint_every must be >= 1");
+  }
+
+  // This shard's slice of the task space, ascending.
+  std::vector<std::uint64_t> owned;
+  for (std::uint64_t i = shard.index; i < tasks_; i += shard.count) {
+    owned.push_back(i);
+  }
+
+  std::vector<sim::RunResult> results(owned.size());
+  std::vector<char> done(owned.size(), 0);
+
+  // Resume: a checkpoint left by an interrupted run of this same shard
+  // pre-fills its completed slots. A checkpoint for a different campaign
+  // or slice is an operator error, never silently absorbed.
+  if (!options.checkpoint_path.empty() &&
+      checkpoint_exists(options.checkpoint_path)) {
+    CampaignArtifact checkpoint =
+        read_artifact_file(options.checkpoint_path);
+    if (checkpoint.seed != seed_ ||
+        checkpoint.tasks != static_cast<std::uint64_t>(tasks_) ||
+        checkpoint.fingerprint != options.fingerprint ||
+        !(checkpoint.shard == shard)) {
+      throw std::runtime_error(
+          "checkpoint '" + options.checkpoint_path +
+          "' belongs to a different campaign, configuration or shard "
+          "(seed/tasks/fingerprint/shard mismatch)");
+    }
+    for (TaskRecord& record : checkpoint.runs) {
+      const std::size_t slot =
+          static_cast<std::size_t>((record.index - shard.index) / shard.count);
+      results[slot] = std::move(record.result);
+      done[slot] = 1;
+    }
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t slot = 0; slot < owned.size(); ++slot) {
+    if (!done[slot]) pending.push_back(slot);
+  }
+
+  // Builds the checkpoint artifact for a set of completed slots
+  // (ascending), absorbing in task-index order. A completed result is
+  // immutable, so this runs *outside* state_mutex: the caller collected
+  // `slots` while holding the lock, and each done[slot]=1 it observed was
+  // stored (under the same lock) after that result's slot was written,
+  // which orders those writes before this read.
+  const auto artifact_over = [&](const std::vector<std::size_t>& slots) {
+    CampaignArtifact artifact;
+    artifact.seed = seed_;
+    artifact.tasks = tasks_;
+    artifact.fingerprint = options.fingerprint;
+    artifact.shard = shard;
+    artifact.runs.reserve(slots.size());
+    for (const std::size_t slot : slots) {
+      artifact.runs.push_back({owned[slot], results[slot]});
+      artifact.aggregate.absorb(results[slot]);
+    }
+    return artifact;
+  };
+
+  // Checkpointing uses two locks so the pool never stalls on the
+  // checkpoint's deep copy or file I/O: state_mutex guards done[] and the
+  // completion counter and is only ever held to flip a flag or collect
+  // the completed slot indices; the RunResult copying, serialization and
+  // write all happen outside it, serialised by write_mutex. Snapshots are
+  // sequence-numbered so a writer that lost the race to a newer snapshot
+  // skips its stale write instead of rolling the file backwards.
+  std::mutex state_mutex;
+  std::mutex write_mutex;
+  std::uint64_t completions_since_checkpoint = 0;
+  std::uint64_t snapshot_seq = 0;
+  std::atomic<std::uint64_t> written_seq{0};
+
+  runner.for_each(pending.size(), [&](std::size_t p) {
+    const std::size_t slot = pending[p];
+    results[slot] = task(static_cast<std::size_t>(owned[slot]),
+                         task_seed(static_cast<std::size_t>(owned[slot])));
+    // Without checkpointing nothing reads done[] after this point: the
+    // final artifact walks every owned slot unconditionally.
+    if (options.checkpoint_path.empty()) return;
+    std::vector<std::size_t> completed;
+    std::uint64_t seq = 0;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex);
+      done[slot] = 1;
+      if (++completions_since_checkpoint < options.checkpoint_every) return;
+      completions_since_checkpoint = 0;
+      for (std::size_t s = 0; s < owned.size(); ++s) {
+        if (done[s]) completed.push_back(s);
+      }
+      seq = ++snapshot_seq;
+    }
+    // Already superseded? Skip before paying for the deep copy.
+    if (seq <= written_seq.load(std::memory_order_acquire)) return;
+    const CampaignArtifact to_write = artifact_over(completed);
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (seq <= written_seq.load(std::memory_order_relaxed)) return;
+    written_seq.store(seq, std::memory_order_release);
+    write_artifact_file(options.checkpoint_path, to_write);
+  });
+
+  CampaignArtifact artifact;
+  artifact.seed = seed_;
+  artifact.tasks = tasks_;
+  artifact.fingerprint = options.fingerprint;
+  artifact.shard = shard;
+  artifact.runs.reserve(owned.size());
+  for (std::size_t slot = 0; slot < owned.size(); ++slot) {
+    artifact.runs.push_back({owned[slot], std::move(results[slot])});
+  }
+  for (const TaskRecord& record : artifact.runs) {
+    artifact.aggregate.absorb(record.result);
+  }
+
+  if (!options.checkpoint_path.empty()) {
+    write_artifact_file(options.checkpoint_path, artifact);
+  }
+  if (!options.out_path.empty()) {
+    write_artifact_file(options.out_path, artifact);
+  }
+  if (!options.keep_runs) {
+    artifact.runs.clear();
+    artifact.runs.shrink_to_fit();
+  }
+  return artifact;
 }
 
 }  // namespace paradet::runtime

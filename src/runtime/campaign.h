@@ -15,11 +15,24 @@
 //   * Aggregation. Results are collected by task index and merged front
 //     to back after the pool joins, so the merged Histogram / Counters /
 //     Summary values are bit-identical across worker counts.
+//
+// Campaigns also scale past one process: a ShardSpec restricts execution
+// to task indices `i % count == index` while keeping per-task seeds (and
+// therefore per-task results) identical to the unsharded campaign's, and
+// run_sharded() can persist its runs as a versioned JSON artifact
+// (runtime/serialize.h) that tools/merge_results folds back — in task
+// order — into the bit-identical single-machine aggregate. The same
+// artifact format doubles as a checkpoint: an interrupted campaign
+// restarted with the same --checkpoint path resumes without re-running
+// finished tasks and still produces byte-identical final output.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/stats.h"
 #include "runtime/parallel_runner.h"
 #include "sim/checked_system.h"
@@ -55,9 +68,79 @@ struct CampaignResult {
   CampaignAggregate aggregate;
 };
 
+/// A 1-of-N partition of a campaign's task space: shard K of N owns the
+/// task indices with `task % count == index`. The default 0/1 spec owns
+/// the whole campaign.
+struct ShardSpec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+
+  bool owns(std::uint64_t task) const { return task % count == index; }
+  bool whole() const { return count == 1; }
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// One completed task: its global index plus the run's full result.
+struct TaskRecord {
+  std::uint64_t index = 0;
+  sim::RunResult result;
+};
+
+/// The persistent/mergeable form of a campaign execution: which slice of
+/// which campaign ran, every completed run (ascending task index), and the
+/// aggregate absorbed over those runs in task index order. Serialized by
+/// runtime/serialize.h; shard outputs, checkpoints and merge_results
+/// outputs are all this one shape.
+struct CampaignArtifact {
+  std::uint64_t seed = 0;
+  std::uint64_t tasks = 0;  ///< whole-campaign task count, not this slice's.
+  /// Caller-supplied hash of the driver configuration that gives task
+  /// indices their meaning (workload scale, suite filter, budget, ...).
+  /// (seed, tasks) alone cannot tell two differently-configured runs of
+  /// the same driver apart; resuming or merging across configurations
+  /// would silently mix incompatible results.
+  std::uint64_t fingerprint = 0;
+  ShardSpec shard;
+  std::vector<TaskRecord> runs;
+  CampaignAggregate aggregate;
+};
+
+/// Execution options for Campaign::run_sharded.
+struct CampaignRunOptions {
+  ShardSpec shard;
+
+  /// Configuration fingerprint stored in artifacts and validated against
+  /// checkpoints (see CampaignArtifact::fingerprint). Leave 0 only when
+  /// the driver's configuration is fully determined by (seed, tasks).
+  std::uint64_t fingerprint = 0;
+
+  /// Retain per-task RunResults in the returned artifact. Off by default:
+  /// a large campaign's RunResults (each with an ArchState, a histogram
+  /// and a counter bag) dwarf the aggregate, and most callers only need
+  /// the aggregate. File outputs below always contain the full runs
+  /// regardless — merging and resuming need them.
+  bool keep_runs = false;
+
+  /// Write the completed artifact here (for tools/merge_results).
+  std::string out_path;
+
+  /// Checkpoint file: loaded (if present) before running to skip finished
+  /// tasks, rewritten every `checkpoint_every` completions and once more
+  /// when the shard finishes.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 16;
+
+  /// Lifts the host-side CLI flags (--shard/--out/--checkpoint/...) into
+  /// execution options.
+  static CampaignRunOptions from_runtime(const RuntimeOptions& runtime);
+};
+
 /// A batch of `tasks` independent runs, seeded from `seed`.
 class Campaign {
  public:
+  using Task = std::function<sim::RunResult(std::size_t index,
+                                            std::uint64_t task_seed)>;
+
   Campaign(std::size_t tasks, std::uint64_t seed)
       : tasks_(tasks), seed_(seed) {}
 
@@ -67,16 +150,33 @@ class Campaign {
     return derive_task_seed(seed_, index);
   }
 
-  /// Executes task(index, task_seed(index)) for every index on `runner`,
-  /// then merges in task order. `Task` must be safe to invoke
-  /// concurrently from multiple threads (each call owns its simulator).
-  template <typename Task>
-  CampaignResult run(const ParallelRunner& runner, Task&& task) const {
+  /// Executes task(index, task_seed(index)) for every index this shard
+  /// owns, resuming from / writing the checkpoint and artifact files named
+  /// in `options`. `task` must be safe to invoke concurrently from
+  /// multiple threads (each call owns its simulator). The artifact's
+  /// aggregate is absorbed in task-index order after the pool joins, so it
+  /// is bit-identical at every jobs level — and merging all N shards'
+  /// artifacts reproduces the unsharded artifact byte for byte.
+  CampaignArtifact run_sharded(const ParallelRunner& runner,
+                               const CampaignRunOptions& options,
+                               const Task& task) const;
+
+  /// Executes the whole campaign and keeps every per-task RunResult:
+  /// task(index, task_seed(index)) for every index on `runner`, merged in
+  /// task order. Prefer run_sharded with keep_runs=false when only the
+  /// aggregate is needed.
+  template <typename TaskFn>
+  CampaignResult run(const ParallelRunner& runner, TaskFn&& task) const {
+    CampaignRunOptions options;
+    options.keep_runs = true;
+    CampaignArtifact artifact =
+        run_sharded(runner, options, std::forward<TaskFn>(task));
     CampaignResult result;
-    result.runs = runner.map(tasks_, [&](std::size_t i) {
-      return task(i, task_seed(i));
-    });
-    for (const auto& run : result.runs) result.aggregate.absorb(run);
+    result.runs.reserve(artifact.runs.size());
+    for (auto& record : artifact.runs) {
+      result.runs.push_back(std::move(record.result));
+    }
+    result.aggregate = std::move(artifact.aggregate);
     return result;
   }
 

@@ -1,0 +1,926 @@
+#include "runtime/serialize.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace paradet::runtime {
+namespace {
+
+// --- Writer helpers --------------------------------------------------------
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+// Shortest decimal that round-trips to the exact same bits via from_chars.
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"nan\"";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "\"inf\"" : "\"-inf\"";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// --- A minimal JSON document model -----------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< number token (verbatim) or decoded string value.
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;  ///< ordered.
+
+  const Json* find(std::string_view key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+  const Json& at(std::string_view key) const {
+    if (kind != Kind::kObject) {
+      throw std::runtime_error("expected a JSON object around field '" +
+                               std::string(key) + "'");
+    }
+    if (const Json* value = find(key)) return *value;
+    throw std::runtime_error("missing field '" + std::string(key) + "'");
+  }
+
+  bool as_bool() const {
+    if (kind != Kind::kBool) throw std::runtime_error("expected a boolean");
+    return boolean;
+  }
+
+  std::uint64_t as_u64() const {
+    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
+    std::uint64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw std::runtime_error("not an unsigned integer: " + text);
+    }
+    return v;
+  }
+
+  std::int64_t as_i64() const {
+    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw std::runtime_error("not an integer: " + text);
+    }
+    return v;
+  }
+
+  double as_double() const {
+    if (kind == Kind::kString) {
+      if (text == "inf") return std::numeric_limits<double>::infinity();
+      if (text == "-inf") return -std::numeric_limits<double>::infinity();
+      if (text == "nan") return std::numeric_limits<double>::quiet_NaN();
+      throw std::runtime_error("not a number: \"" + text + "\"");
+    }
+    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
+    double v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw std::runtime_error("not a double: " + text);
+    }
+    return v;
+  }
+
+  const std::string& as_string() const {
+    if (kind != Kind::kString) throw std::runtime_error("expected a string");
+    return text;
+  }
+
+  const std::vector<Json>& as_array() const {
+    if (kind != Kind::kArray) throw std::runtime_error("expected an array");
+    return items;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  unsigned depth_ = 0;
+  /// Artifacts nest ~6 deep; anything deeper is corrupt or hostile input,
+  /// rejected as a catchable error instead of recursing the stack away.
+  static constexpr unsigned kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::kString;
+        v.text = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        const bool value = c == 't';
+        if (!consume_literal(value ? "true" : "false")) fail("bad literal");
+        Json v;
+        v.kind = Json::Kind::kBool;
+        v.boolean = value;
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json{};
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    Json v;
+    v.kind = Json::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    Json v;
+    v.kind = Json::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00xx; decode the BMP generally anyway.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        digits = digits || (c >= '0' && c <= '9');
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) fail("expected a value");
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.text = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+};
+
+Json parse(std::string_view text) { return Parser(text).parse_document(); }
+
+// --- Struct writers --------------------------------------------------------
+
+void append_summary(std::string& out, const Summary& summary) {
+  // min()/max() mask the raw ±inf sentinels when empty; re-materialize
+  // them so from_raw reconstructs the exact internal state.
+  const bool empty = summary.count() == 0;
+  out += "{\"count\":";
+  append_u64(out, summary.count());
+  out += ",\"sum\":";
+  append_double(out, summary.sum());
+  out += ",\"min\":";
+  append_double(out, empty ? std::numeric_limits<double>::infinity()
+                           : summary.min());
+  out += ",\"max\":";
+  append_double(out, empty ? -std::numeric_limits<double>::infinity()
+                           : summary.max());
+  out += '}';
+}
+
+void append_histogram(std::string& out, const Histogram& histogram) {
+  out += "{\"bin_width\":";
+  append_double(out, histogram.bin_width());
+  out += ",\"counts\":[";
+  for (std::size_t i = 0; i < histogram.bins(); ++i) {
+    if (i > 0) out += ',';
+    append_u64(out, histogram.bin_count(i));
+  }
+  out += "],\"overflow\":";
+  append_u64(out, histogram.overflow());
+  out += ",\"summary\":";
+  append_summary(out, histogram.summary());
+  out += '}';
+}
+
+void append_counters(std::string& out, const Counters& counters) {
+  out += '[';
+  bool first = true;
+  for (const auto& [name, value] : counters.entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_string(out, name);
+    out += ',';
+    append_u64(out, value);
+    out += ']';
+  }
+  out += ']';
+}
+
+void append_arch_state(std::string& out, const arch::ArchState& state) {
+  out += "{\"x\":[";
+  for (unsigned r = 0; r < kNumIntRegs; ++r) {
+    if (r > 0) out += ',';
+    append_u64(out, state.x[r]);
+  }
+  out += "],\"f\":[";
+  for (unsigned r = 0; r < kNumFpRegs; ++r) {
+    if (r > 0) out += ',';
+    append_u64(out, state.f[r]);
+  }
+  out += "],\"pc\":";
+  append_u64(out, state.pc);
+  out += '}';
+}
+
+void append_detection_event(std::string& out,
+                            const core::DetectionEvent& event) {
+  out += "{\"kind\":";
+  append_u64(out, static_cast<std::uint64_t>(event.kind));
+  out += ",\"segment_ordinal\":";
+  append_u64(out, event.segment_ordinal);
+  out += ",\"segment_index\":";
+  append_u64(out, event.segment_index);
+  out += ",\"around_seq\":";
+  append_u64(out, event.around_seq);
+  out += ",\"pc\":";
+  append_u64(out, event.pc);
+  out += ",\"expected\":";
+  append_u64(out, event.expected);
+  out += ",\"actual\":";
+  append_u64(out, event.actual);
+  out += ",\"reg\":";
+  append_i64(out, event.reg);
+  out += ",\"detected_at\":";
+  append_u64(out, event.detected_at);
+  out += '}';
+}
+
+void append_checkpoint(std::string& out,
+                       const core::RegisterCheckpoint& checkpoint) {
+  out += "{\"state\":";
+  append_arch_state(out, checkpoint.state);
+  out += ",\"seq\":";
+  append_u64(out, checkpoint.seq);
+  out += ",\"taken_at\":";
+  append_u64(out, checkpoint.taken_at);
+  out += '}';
+}
+
+void append_run_result(std::string& out, const sim::RunResult& result) {
+  out += "{\"exit_trap\":";
+  append_u64(out, static_cast<std::uint64_t>(result.exit_trap));
+  out += ",\"instructions\":";
+  append_u64(out, result.instructions);
+  out += ",\"uops\":";
+  append_u64(out, result.uops);
+  out += ",\"final_state\":";
+  append_arch_state(out, result.final_state);
+  out += ",\"main_done_cycle\":";
+  append_u64(out, result.main_done_cycle);
+  out += ",\"all_checked_cycle\":";
+  append_u64(out, result.all_checked_cycle);
+  out += ",\"ipc\":";
+  append_double(out, result.ipc);
+  out += ",\"error_detected\":";
+  out += result.error_detected ? "true" : "false";
+  out += ",\"first_error\":";
+  if (result.first_error.has_value()) {
+    append_detection_event(out, *result.first_error);
+  } else {
+    out += "null";
+  }
+  out += ",\"recovery_checkpoint\":";
+  if (result.recovery_checkpoint.has_value()) {
+    append_checkpoint(out, *result.recovery_checkpoint);
+  } else {
+    out += "null";
+  }
+  out += ",\"delay_ns\":";
+  append_histogram(out, result.delay_ns);
+  out += ",\"segments\":";
+  append_u64(out, result.segments);
+  out += ",\"seals_full\":";
+  append_u64(out, result.seals_full);
+  out += ",\"seals_timeout\":";
+  append_u64(out, result.seals_timeout);
+  out += ",\"seals_interrupt\":";
+  append_u64(out, result.seals_interrupt);
+  out += ",\"seals_drain\":";
+  append_u64(out, result.seals_drain);
+  out += ",\"checkpoints_taken\":";
+  append_u64(out, result.checkpoints_taken);
+  out += ",\"checkpoint_stall_cycles\":";
+  append_u64(out, result.checkpoint_stall_cycles);
+  out += ",\"log_full_stall_cycles\":";
+  append_u64(out, result.log_full_stall_cycles);
+  out += ",\"counters\":";
+  append_counters(out, result.counters);
+  out += '}';
+}
+
+void append_aggregate(std::string& out, const CampaignAggregate& aggregate) {
+  out += "{\"runs\":";
+  append_u64(out, aggregate.runs);
+  out += ",\"errors_detected\":";
+  append_u64(out, aggregate.errors_detected);
+  out += ",\"instructions\":";
+  append_u64(out, aggregate.instructions);
+  out += ",\"segments\":";
+  append_u64(out, aggregate.segments);
+  out += ",\"main_cycles\":";
+  append_summary(out, aggregate.main_cycles);
+  out += ",\"delay_ns\":";
+  append_histogram(out, aggregate.delay_ns);
+  out += ",\"counters\":";
+  append_counters(out, aggregate.counters);
+  out += '}';
+}
+
+/// Bitmap over [0, tasks), bit i = run i present; bytes little-first,
+/// bit i stored at byte i/8, position i%8; lowercase hex.
+std::string completed_bitmap_hex(const CampaignArtifact& artifact) {
+  std::vector<unsigned char> bytes((artifact.tasks + 7) / 8, 0);
+  for (const TaskRecord& record : artifact.runs) {
+    bytes[record.index / 8] |=
+        static_cast<unsigned char>(1u << (record.index % 8));
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (const unsigned char b : bytes) {
+    hex += kHex[b >> 4];
+    hex += kHex[b & 0xF];
+  }
+  return hex;
+}
+
+// --- Struct readers --------------------------------------------------------
+
+Summary read_summary(const Json& j) {
+  return Summary::from_raw(j.at("count").as_u64(), j.at("sum").as_double(),
+                           j.at("min").as_double(), j.at("max").as_double());
+}
+
+Histogram read_histogram(const Json& j) {
+  std::vector<std::uint64_t> counts;
+  for (const Json& item : j.at("counts").as_array()) {
+    counts.push_back(item.as_u64());
+  }
+  return Histogram::from_raw(j.at("bin_width").as_double(), std::move(counts),
+                             j.at("overflow").as_u64(),
+                             read_summary(j.at("summary")));
+}
+
+Counters read_counters(const Json& j) {
+  Counters counters;
+  for (const Json& entry : j.as_array()) {
+    const auto& pair = entry.as_array();
+    if (pair.size() != 2) {
+      throw std::runtime_error("counter entry must be [name, value]");
+    }
+    counters.inc(pair[0].as_string(), pair[1].as_u64());
+  }
+  return counters;
+}
+
+arch::ArchState read_arch_state(const Json& j) {
+  arch::ArchState state;
+  const auto& x = j.at("x").as_array();
+  const auto& f = j.at("f").as_array();
+  if (x.size() != kNumIntRegs || f.size() != kNumFpRegs) {
+    throw std::runtime_error("ArchState register file has the wrong size");
+  }
+  for (unsigned r = 0; r < kNumIntRegs; ++r) state.x[r] = x[r].as_u64();
+  for (unsigned r = 0; r < kNumFpRegs; ++r) state.f[r] = f[r].as_u64();
+  state.pc = j.at("pc").as_u64();
+  return state;
+}
+
+core::DetectionEvent read_detection_event(const Json& j) {
+  core::DetectionEvent event;
+  event.kind = static_cast<core::DetectionKind>(j.at("kind").as_u64());
+  event.segment_ordinal = j.at("segment_ordinal").as_u64();
+  event.segment_index =
+      static_cast<unsigned>(j.at("segment_index").as_u64());
+  event.around_seq = j.at("around_seq").as_u64();
+  event.pc = j.at("pc").as_u64();
+  event.expected = j.at("expected").as_u64();
+  event.actual = j.at("actual").as_u64();
+  event.reg = static_cast<int>(j.at("reg").as_i64());
+  event.detected_at = j.at("detected_at").as_u64();
+  return event;
+}
+
+core::RegisterCheckpoint read_checkpoint(const Json& j) {
+  core::RegisterCheckpoint checkpoint;
+  checkpoint.state = read_arch_state(j.at("state"));
+  checkpoint.seq = j.at("seq").as_u64();
+  checkpoint.taken_at = j.at("taken_at").as_u64();
+  return checkpoint;
+}
+
+sim::RunResult read_run_result(const Json& j) {
+  sim::RunResult result;
+  result.exit_trap = static_cast<arch::Trap>(j.at("exit_trap").as_u64());
+  result.instructions = j.at("instructions").as_u64();
+  result.uops = j.at("uops").as_u64();
+  result.final_state = read_arch_state(j.at("final_state"));
+  result.main_done_cycle = j.at("main_done_cycle").as_u64();
+  result.all_checked_cycle = j.at("all_checked_cycle").as_u64();
+  result.ipc = j.at("ipc").as_double();
+  result.error_detected = j.at("error_detected").as_bool();
+  const Json& first_error = j.at("first_error");
+  if (first_error.kind != Json::Kind::kNull) {
+    result.first_error = read_detection_event(first_error);
+  }
+  const Json& recovery = j.at("recovery_checkpoint");
+  if (recovery.kind != Json::Kind::kNull) {
+    result.recovery_checkpoint = read_checkpoint(recovery);
+  }
+  result.delay_ns = read_histogram(j.at("delay_ns"));
+  result.segments = j.at("segments").as_u64();
+  result.seals_full = j.at("seals_full").as_u64();
+  result.seals_timeout = j.at("seals_timeout").as_u64();
+  result.seals_interrupt = j.at("seals_interrupt").as_u64();
+  result.seals_drain = j.at("seals_drain").as_u64();
+  result.checkpoints_taken = j.at("checkpoints_taken").as_u64();
+  result.checkpoint_stall_cycles = j.at("checkpoint_stall_cycles").as_u64();
+  result.log_full_stall_cycles = j.at("log_full_stall_cycles").as_u64();
+  result.counters = read_counters(j.at("counters"));
+  return result;
+}
+
+CampaignAggregate read_aggregate(const Json& j) {
+  CampaignAggregate aggregate;
+  aggregate.runs = j.at("runs").as_u64();
+  aggregate.errors_detected = j.at("errors_detected").as_u64();
+  aggregate.instructions = j.at("instructions").as_u64();
+  aggregate.segments = j.at("segments").as_u64();
+  aggregate.main_cycles = read_summary(j.at("main_cycles"));
+  aggregate.delay_ns = read_histogram(j.at("delay_ns"));
+  aggregate.counters = read_counters(j.at("counters"));
+  return aggregate;
+}
+
+CampaignArtifact read_artifact(const Json& j) {
+  const Json* format = j.kind == Json::Kind::kObject ? j.find("format")
+                                                     : nullptr;
+  if (format == nullptr || format->kind != Json::Kind::kString ||
+      format->text != kArtifactFormatName) {
+    throw std::runtime_error(
+        "not a paradet campaign artifact (missing or wrong \"format\")");
+  }
+  const std::uint64_t version = j.at("version").as_u64();
+  if (version != kArtifactFormatVersion) {
+    throw std::runtime_error(
+        "unsupported campaign artifact version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kArtifactFormatVersion) + ")");
+  }
+
+  CampaignArtifact artifact;
+  artifact.seed = j.at("seed").as_u64();
+  artifact.tasks = j.at("tasks").as_u64();
+  artifact.fingerprint = j.at("fingerprint").as_u64();
+  const Json& shard = j.at("shard");
+  artifact.shard.index = shard.at("index").as_u64();
+  artifact.shard.count = shard.at("count").as_u64();
+  if (artifact.shard.count == 0 ||
+      artifact.shard.index >= artifact.shard.count) {
+    throw std::runtime_error("artifact has an invalid shard spec");
+  }
+  artifact.aggregate = read_aggregate(j.at("aggregate"));
+
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const Json& entry : j.at("runs").as_array()) {
+    TaskRecord record;
+    record.index = entry.at("index").as_u64();
+    if (record.index >= artifact.tasks) {
+      throw std::runtime_error("run record index out of range");
+    }
+    if (!artifact.shard.owns(record.index)) {
+      throw std::runtime_error("run record not owned by the artifact's shard");
+    }
+    if (!first && record.index <= previous) {
+      throw std::runtime_error("run records out of order or duplicated");
+    }
+    first = false;
+    previous = record.index;
+    record.result = read_run_result(entry.at("result"));
+    artifact.runs.push_back(std::move(record));
+  }
+
+  if (j.at("completed").as_string() != completed_bitmap_hex(artifact)) {
+    throw std::runtime_error(
+        "completed-task bitmap does not match the run records");
+  }
+  return artifact;
+}
+
+}  // namespace
+
+// --- Public writers --------------------------------------------------------
+
+std::string to_json(const Summary& summary) {
+  std::string out;
+  append_summary(out, summary);
+  return out;
+}
+
+std::string to_json(const Histogram& histogram) {
+  std::string out;
+  append_histogram(out, histogram);
+  return out;
+}
+
+std::string to_json(const Counters& counters) {
+  std::string out;
+  append_counters(out, counters);
+  return out;
+}
+
+std::string to_json(const sim::RunResult& result) {
+  std::string out;
+  append_run_result(out, result);
+  return out;
+}
+
+std::string to_json(const CampaignAggregate& aggregate) {
+  std::string out;
+  append_aggregate(out, aggregate);
+  return out;
+}
+
+std::string to_json(const CampaignArtifact& artifact) {
+  std::string out;
+  out += "{\"format\":\"";
+  out += kArtifactFormatName;
+  out += "\",\"version\":";
+  append_u64(out, kArtifactFormatVersion);
+  out += ",\"seed\":";
+  append_u64(out, artifact.seed);
+  out += ",\"tasks\":";
+  append_u64(out, artifact.tasks);
+  out += ",\"fingerprint\":";
+  append_u64(out, artifact.fingerprint);
+  out += ",\"shard\":{\"index\":";
+  append_u64(out, artifact.shard.index);
+  out += ",\"count\":";
+  append_u64(out, artifact.shard.count);
+  out += "},\"completed\":\"";
+  out += completed_bitmap_hex(artifact);
+  out += "\",\"aggregate\":";
+  append_aggregate(out, artifact.aggregate);
+  out += ",\"runs\":[";
+  bool first = true;
+  for (const TaskRecord& record : artifact.runs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"index\":";
+    append_u64(out, record.index);
+    out += ",\"result\":";
+    append_run_result(out, record.result);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+// --- Public readers --------------------------------------------------------
+
+Summary summary_from_json(std::string_view text) {
+  return read_summary(parse(text));
+}
+
+Histogram histogram_from_json(std::string_view text) {
+  return read_histogram(parse(text));
+}
+
+Counters counters_from_json(std::string_view text) {
+  return read_counters(parse(text));
+}
+
+sim::RunResult run_result_from_json(std::string_view text) {
+  return read_run_result(parse(text));
+}
+
+CampaignAggregate aggregate_from_json(std::string_view text) {
+  return read_aggregate(parse(text));
+}
+
+CampaignArtifact artifact_from_json(std::string_view text) {
+  return read_artifact(parse(text));
+}
+
+// --- Files -----------------------------------------------------------------
+
+void write_artifact_file(const std::string& path,
+                         const CampaignArtifact& artifact) {
+  const std::string text = to_json(artifact);
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open '" + tmp_path +
+                             "' for writing: " + std::strerror(errno));
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != text.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("short write to '" + tmp_path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("cannot rename '" + tmp_path + "' to '" + path +
+                             "': " + std::strerror(errno));
+  }
+}
+
+CampaignArtifact read_artifact_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw std::runtime_error("error reading '" + path + "'");
+  }
+  try {
+    return artifact_from_json(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+// --- Merging ---------------------------------------------------------------
+
+CampaignArtifact merge_artifacts(std::vector<CampaignArtifact> shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("merge_artifacts: no shard artifacts given");
+  }
+  CampaignArtifact merged;
+  merged.seed = shards.front().seed;
+  merged.tasks = shards.front().tasks;
+  merged.fingerprint = shards.front().fingerprint;
+  merged.shard = ShardSpec{0, 1};
+  for (const CampaignArtifact& shard : shards) {
+    if (shard.seed != merged.seed || shard.tasks != merged.tasks ||
+        shard.fingerprint != merged.fingerprint) {
+      throw std::runtime_error(
+          "merge_artifacts: shards disagree on campaign seed, task count or "
+          "configuration fingerprint");
+    }
+  }
+
+  merged.runs.reserve(merged.tasks);
+  for (CampaignArtifact& shard : shards) {
+    for (TaskRecord& record : shard.runs) {
+      merged.runs.push_back(std::move(record));
+    }
+  }
+  std::sort(merged.runs.begin(), merged.runs.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 0; i < merged.runs.size(); ++i) {
+    if (merged.runs[i].index != i) {
+      if (i > 0 && merged.runs[i].index == merged.runs[i - 1].index) {
+        throw std::runtime_error(
+            "merge_artifacts: task " + std::to_string(merged.runs[i].index) +
+            " appears in more than one shard");
+      }
+      throw std::runtime_error("merge_artifacts: task " + std::to_string(i) +
+                               " is missing from every shard");
+    }
+  }
+  if (merged.runs.size() != merged.tasks) {
+    throw std::runtime_error(
+        "merge_artifacts: " +
+        std::to_string(merged.tasks - merged.runs.size()) +
+        " task(s) missing from every shard");
+  }
+
+  // Re-absorb in task-index order: this is exactly the unsharded
+  // campaign's aggregation order, so the merged aggregate (floating-point
+  // sums included) is bit-identical to the single-machine run's.
+  for (const TaskRecord& record : merged.runs) {
+    merged.aggregate.absorb(record.result);
+  }
+  return merged;
+}
+
+}  // namespace paradet::runtime

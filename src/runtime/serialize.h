@@ -1,0 +1,69 @@
+// Portable, versioned serialization for campaign results.
+//
+// A shard's output file, a checkpoint, and the merge tool's output are all
+// one shape — CampaignArtifact — written as canonical JSON: fixed key
+// order, fixed number formatting (std::to_chars shortest round-trip for
+// doubles, so serialize∘deserialize is the identity down to the last bit),
+// and a format/version header that readers reject loudly when unknown.
+// Canonical bytes are the point: "merging N shard files reproduces the
+// single-machine run" is checked with cmp/==, not with tolerances.
+//
+// Non-finite doubles (an empty Summary's min/max are ±inf) are encoded as
+// the JSON strings "inf" / "-inf" / "nan"; everything else is plain JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "runtime/campaign.h"
+#include "sim/checked_system.h"
+
+namespace paradet::runtime {
+
+inline constexpr const char* kArtifactFormatName = "paradet-campaign";
+inline constexpr std::uint64_t kArtifactFormatVersion = 1;
+
+// --- Canonical JSON writers ------------------------------------------------
+
+std::string to_json(const Summary& summary);
+std::string to_json(const Histogram& histogram);
+std::string to_json(const Counters& counters);
+std::string to_json(const sim::RunResult& result);
+std::string to_json(const CampaignAggregate& aggregate);
+/// The full versioned document (format + version + shard metadata + a
+/// completed-task bitmap + aggregate + per-run records), '\n'-terminated.
+std::string to_json(const CampaignArtifact& artifact);
+
+// --- Readers (throw std::runtime_error on malformed input) -----------------
+
+Summary summary_from_json(std::string_view text);
+Histogram histogram_from_json(std::string_view text);
+Counters counters_from_json(std::string_view text);
+sim::RunResult run_result_from_json(std::string_view text);
+CampaignAggregate aggregate_from_json(std::string_view text);
+/// Also validates the header (unknown format/version is rejected with a
+/// clear error), the shard spec, run-record ordering/ownership, and that
+/// the completed bitmap matches the run records exactly.
+CampaignArtifact artifact_from_json(std::string_view text);
+
+// --- Files -----------------------------------------------------------------
+
+/// Writes atomically: a temp file in the same directory, then rename, so a
+/// reader (or a crash mid-checkpoint) never observes a torn artifact.
+void write_artifact_file(const std::string& path,
+                         const CampaignArtifact& artifact);
+CampaignArtifact read_artifact_file(const std::string& path);
+
+// --- Merging ---------------------------------------------------------------
+
+/// Folds shard artifacts back into the single-machine artifact: validates
+/// that all inputs describe the same campaign (seed, tasks), that their
+/// runs are disjoint and cover every task index, then re-absorbs every run
+/// in task-index order. The result (shard 0/1) serializes to bytes
+/// identical to an unsharded run's artifact. This is the library path
+/// tools/merge_results.cpp drives.
+CampaignArtifact merge_artifacts(std::vector<CampaignArtifact> shards);
+
+}  // namespace paradet::runtime
