@@ -8,151 +8,205 @@
 //       overhead driver.
 //
 // All eighteen simulations across the four studies are independent, so
-// they are registered as one task list and executed by the runtime worker
-// pool; the report is printed from the indexed results afterwards.
+// they run as one flat runtime::SweepCampaign: each cell names its kernel
+// (assembled once through the runtime AssemblyCache, shared between
+// studies) and its SystemConfig, the campaign shards across processes
+// (--shard=K/N --out=...) and checkpoints/restarts, and the report is
+// printed from the per-cell slots afterwards — cells owned by another
+// shard print "-" and merge back via the artifact files.
 #include <cstdio>
-#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "runtime/parallel_runner.h"
+#include "runtime/sweep_campaign.h"
 
 namespace {
 
 using paradet::sim::RunResult;
 
-/// Assembles `name` at `scale` and runs it under `config`.
-RunResult run_kernel(const paradet::SystemConfig& config, const char* name,
-                     double scale,
-                     paradet::core::FaultInjector* faults = nullptr) {
-  using namespace paradet;
-  workloads::Workload workload;
-  workloads::make_workload(name, workloads::Scale{scale}, workload);
-  const auto assembled = workloads::assemble_or_die(workload);
-  return sim::run_program(config, assembled, bench::kInstructionBudget,
-                          faults);
+/// Formats a cell's main-core cycle count, "-" when another shard owns it.
+std::string cycles_or_dash(const RunResult* run) {
+  return run == nullptr
+             ? "-"
+             : std::to_string(
+                   static_cast<unsigned long long>(run->main_done_cycle));
 }
 
-}  // namespace
+/// Formats the cycle ratio numer/denom, "-" unless this shard owns both.
+std::string ratio_or_dash(const RunResult* numer, const RunResult* denom) {
+  if (numer == nullptr || denom == nullptr) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f",
+                static_cast<double>(numer->main_done_cycle) /
+                    static_cast<double>(denom->main_done_cycle));
+  return buffer;
+}
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace paradet;
-  auto options = bench::Options::parse(argc, argv);
+  auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  if (!options.only.empty()) {
+    // The studies hard-wire their kernel pairings; silently ignoring the
+    // filter would report all 18 runs as if it had applied.
+    std::fprintf(stderr,
+                 "--benchmark is not supported: the ablation studies run a "
+                 "fixed kernel set\n");
+    return 2;
+  }
   bench::print_header("Ablations: LFU, prefetcher, disambiguation, "
                       "checkpoint latency",
                       "design-choice sensitivity (no direct paper figure)");
 
-  std::vector<std::function<sim::RunResult()>> tasks;
-  const auto add_task = [&](std::function<sim::RunResult()> task) {
-    tasks.push_back(std::move(task));
-    return tasks.size() - 1;
+  // The workload axis: every distinct (kernel, scale) the studies touch.
+  // Deduplicated so studies sharing a kernel (A2 and A4 both run facesim)
+  // share one axis entry and therefore one assembled image.
+  std::vector<workloads::Workload> kernels;
+  std::vector<std::pair<std::string, double>> kernel_keys;
+  const auto add_kernel = [&](const char* name, double scale) {
+    for (std::size_t k = 0; k < kernel_keys.size(); ++k) {
+      if (kernel_keys[k].first == name && kernel_keys[k].second == scale) {
+        return k;
+      }
+    }
+    workloads::Workload workload;
+    workloads::make_workload(name, workloads::Scale{scale}, workload);
+    kernels.push_back(std::move(workload));
+    kernel_keys.emplace_back(name, scale);
+    return kernels.size() - 1;
+  };
+
+  // One cell per simulation: its config, its kernel, and (for A1) the
+  // deterministic post-LFU load strike.
+  struct Cell {
+    SystemConfig config;
+    std::size_t kernel;
+    bool lfu_fault = false;
+  };
+  std::vector<Cell> cells;
+  const auto add_cell = [&](const SystemConfig& config, std::size_t kernel,
+                            bool lfu_fault = false) {
+    cells.push_back(Cell{config, kernel, lfu_fault});
+    return cells.size() - 1;
   };
 
   // ---- A1: LFU coverage — a post-LFU load corruption must be caught with
   // the LFU and slips through without it (window of vulnerability).
-  const auto make_lfu_fault = [] {
-    core::FaultInjector faults;
-    core::FaultSpec spec;
-    spec.site = core::FaultSite::kMainLoadValuePostLfu;
-    spec.at_seq = 20000;
-    spec.bit = 7;
-    faults.add(spec);
-    return faults;
-  };
   SystemConfig with_lfu = SystemConfig::standard();
   SystemConfig without_lfu = with_lfu;
   without_lfu.detection.load_forwarding_unit = false;
-  const double a1_scale = 0.2 * options.scale;
-  const auto a1_protected = add_task([=] {
-    auto faults = make_lfu_fault();
-    return run_kernel(with_lfu, "randacc", a1_scale, &faults);
-  });
-  const auto a1_naive = add_task([=] {
-    auto faults = make_lfu_fault();
-    return run_kernel(without_lfu, "randacc", a1_scale, &faults);
-  });
+  const auto a1_kernel = add_kernel("randacc", 0.2 * options.scale);
+  const auto a1_protected = add_cell(with_lfu, a1_kernel, /*lfu_fault=*/true);
+  const auto a1_naive = add_cell(without_lfu, a1_kernel, /*lfu_fault=*/true);
 
   // ---- A2: prefetcher on/off over three kernels (baseline, no detection).
   const char* a2_kernels[] = {"stream", "facesim", "randacc"};
   std::vector<std::pair<std::size_t, std::size_t>> a2_runs;
   for (const char* name : a2_kernels) {
-    SystemConfig on = SystemConfig::baseline_unchecked();
+    const SystemConfig on = SystemConfig::baseline_unchecked();
     SystemConfig off = on;
     off.l2_stride_prefetcher = false;
-    const double scale = options.scale;
-    a2_runs.emplace_back(
-        add_task([=] { return run_kernel(on, name, scale); }),
-        add_task([=] { return run_kernel(off, name, scale); }));
+    const auto kernel = add_kernel(name, options.scale);
+    a2_runs.emplace_back(add_cell(on, kernel), add_cell(off, kernel));
   }
 
   // ---- A3: store-set vs conservative memory disambiguation.
   const char* a3_kernels[] = {"randacc", "freqmine"};
   std::vector<std::pair<std::size_t, std::size_t>> a3_runs;
   for (const char* name : a3_kernels) {
-    SystemConfig fast = SystemConfig::baseline_unchecked();
+    const SystemConfig fast = SystemConfig::baseline_unchecked();
     SystemConfig slow = fast;
     slow.main_core.perfect_memory_disambiguation = false;
-    const double scale = options.scale;
-    a3_runs.emplace_back(
-        add_task([=] { return run_kernel(fast, name, scale); }),
-        add_task([=] { return run_kernel(slow, name, scale); }));
+    const auto kernel = add_kernel(name, options.scale);
+    a3_runs.emplace_back(add_cell(fast, kernel), add_cell(slow, kernel));
   }
 
   // ---- A4: checkpoint latency sweep on facesim, checked vs unchecked.
   const unsigned a4_latencies[] = {0u, 8u, 16u, 32u, 64u};
-  const double a4_scale = options.scale;
-  const auto a4_baseline = add_task([=] {
-    return run_kernel(SystemConfig::baseline_unchecked(), "facesim", a4_scale);
-  });
+  const auto a4_kernel = add_kernel("facesim", options.scale);
+  const auto a4_baseline =
+      add_cell(SystemConfig::baseline_unchecked(), a4_kernel);
   std::vector<std::size_t> a4_runs;
   for (const unsigned latency : a4_latencies) {
     SystemConfig config = SystemConfig::standard();
     config.main_core.checkpoint_latency_cycles = latency;
-    a4_runs.push_back(
-        add_task([=] { return run_kernel(config, "facesim", a4_scale); }));
+    a4_runs.push_back(add_cell(config, a4_kernel));
   }
 
-  // Execute everything on the worker pool, then report in study order.
-  const auto results = options.runner().map(
-      tasks.size(), [&](std::size_t i) { return tasks[i](); });
+  // Execute everything as one flat campaign, then report in study order.
+  std::vector<std::size_t> cell_kernels;
+  cell_kernels.reserve(cells.size());
+  for (const Cell& cell : cells) cell_kernels.push_back(cell.kernel);
+  auto sweep = runtime::SweepCampaign::flat(std::move(cell_kernels),
+                                            std::move(kernels),
+                                            /*seed=*/0xAB1A7105);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t index, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        const Cell& cell = cells[index];
+        core::FaultInjector faults;
+        if (cell.lfu_fault) {
+          core::FaultSpec spec;
+          spec.site = core::FaultSite::kMainLoadValuePostLfu;
+          spec.at_seq = 20000;
+          spec.bit = 7;
+          faults.add(spec);
+        }
+        return sim::run_program(cell.config, image, bench::kInstructionBudget,
+                                cell.lfu_fault ? &faults : nullptr);
+      });
+  const auto cell_result = [&](std::size_t index) {
+    return result.cell_at(index);
+  };
 
+  const RunResult* a1_with = cell_result(a1_protected);
+  const RunResult* a1_without = cell_result(a1_naive);
   std::printf("[A1] post-LFU load corruption: with LFU detected=%s, "
               "without LFU detected=%s (window of vulnerability)\n",
-              results[a1_protected].error_detected ? "yes" : "NO",
-              results[a1_naive].error_detected ? "yes" : "no");
+              a1_with == nullptr ? "-"
+                                 : (a1_with->error_detected ? "yes" : "NO"),
+              a1_without == nullptr
+                  ? "-"
+                  : (a1_without->error_detected ? "yes" : "no"));
 
   std::printf("[A2] L2 stride prefetcher (baseline cycles, no detection)\n");
   std::printf("     %-14s %12s %12s %8s\n", "benchmark", "on", "off",
               "speedup");
   for (std::size_t k = 0; k < a2_runs.size(); ++k) {
-    const auto& run_on = results[a2_runs[k].first];
-    const auto& run_off = results[a2_runs[k].second];
-    std::printf("     %-14s %12llu %12llu %8.3f\n", a2_kernels[k],
-                static_cast<unsigned long long>(run_on.main_done_cycle),
-                static_cast<unsigned long long>(run_off.main_done_cycle),
-                static_cast<double>(run_off.main_done_cycle) /
-                    static_cast<double>(run_on.main_done_cycle));
+    const RunResult* run_on = cell_result(a2_runs[k].first);
+    const RunResult* run_off = cell_result(a2_runs[k].second);
+    std::printf("     %-14s %12s %12s %8s\n", a2_kernels[k],
+                cycles_or_dash(run_on).c_str(),
+                cycles_or_dash(run_off).c_str(),
+                ratio_or_dash(run_off, run_on).c_str());
   }
 
   std::printf("[A3] memory disambiguation (baseline cycles)\n");
   std::printf("     %-14s %12s %14s %8s\n", "benchmark", "store-set",
               "conservative", "cost");
   for (std::size_t k = 0; k < a3_runs.size(); ++k) {
-    const auto& run_fast = results[a3_runs[k].first];
-    const auto& run_slow = results[a3_runs[k].second];
-    std::printf("     %-14s %12llu %14llu %8.3f\n", a3_kernels[k],
-                static_cast<unsigned long long>(run_fast.main_done_cycle),
-                static_cast<unsigned long long>(run_slow.main_done_cycle),
-                static_cast<double>(run_slow.main_done_cycle) /
-                    static_cast<double>(run_fast.main_done_cycle));
+    const RunResult* run_fast = cell_result(a3_runs[k].first);
+    const RunResult* run_slow = cell_result(a3_runs[k].second);
+    std::printf("     %-14s %12s %14s %8s\n", a3_kernels[k],
+                cycles_or_dash(run_fast).c_str(),
+                cycles_or_dash(run_slow).c_str(),
+                ratio_or_dash(run_slow, run_fast).c_str());
   }
 
   std::printf("[A4] checkpoint latency sensitivity (checked slowdown, "
               "facesim)\n");
+  const RunResult* a4_base = cell_result(a4_baseline);
   for (std::size_t k = 0; k < a4_runs.size(); ++k) {
-    std::printf("     %2u cycles: slowdown %.4f\n", a4_latencies[k],
-                static_cast<double>(results[a4_runs[k]].main_done_cycle) /
-                    static_cast<double>(results[a4_baseline].main_done_cycle));
+    std::printf("     %2u cycles: slowdown %s\n", a4_latencies[k],
+                ratio_or_dash(cell_result(a4_runs[k]), a4_base).c_str());
   }
+  bench::print_shard_note(result.artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -7,6 +7,7 @@
 
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/config.h"
 #include "runtime/campaign.h"
 #include "runtime/parallel_runner.h"
+#include "runtime/sweep_campaign.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
@@ -125,6 +127,22 @@ inline std::vector<workloads::Workload> suite(const Options& options) {
   return filtered;
 }
 
+/// Like suite(), but an empty selection — an over-narrow `--benchmark`
+/// filter — is an operator error: a sweep driver that prints an empty
+/// table (or writes an empty artifact) and exits 0 looks like success.
+/// Diagnose to stderr and exit 1 instead.
+inline std::vector<workloads::Workload> suite_or_fail(const Options& options) {
+  std::vector<workloads::Workload> selected = suite(options);
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "--benchmark=%s matches no Table II benchmark; nothing to "
+                 "run\n",
+                 options.only.c_str());
+    std::exit(1);
+  }
+  return selected;
+}
+
 struct SuiteRun {
   std::string name;
   sim::RunResult baseline;
@@ -136,8 +154,10 @@ struct SuiteRun {
 };
 
 /// Runs every workload under `config`, normalised against the unchecked
-/// baseline (same core, detection off). The suite fans out across
-/// `runner`'s worker pool, one task per workload; output order stays the
+/// baseline (same core, detection off). Implemented as a one-point
+/// SweepCampaign, so each kernel is assembled once through the runtime
+/// AssemblyCache (and shared with any other sweep in the process) and the
+/// suite fans out across `runner`'s worker pool; output order stays the
 /// suite's order regardless of scheduling.
 inline std::vector<SuiteRun> run_suite(const Options& options,
                                        const SystemConfig& config,
@@ -145,16 +165,24 @@ inline std::vector<SuiteRun> run_suite(const Options& options,
   SystemConfig baseline_config = config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
-  const auto suite_workloads = suite(options);
-  return runner.map(suite_workloads.size(), [&](std::size_t i) {
-    const auto assembled = workloads::assemble_or_die(suite_workloads[i]);
+  runtime::SweepCampaign sweep(1, suite(options), /*seed=*/0);
+  sweep.enable_baselines(baseline_config, kInstructionBudget);
+  const runtime::SweepResult swept = sweep.run(
+      runner, runtime::CampaignRunOptions{},
+      [&](std::size_t, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        return sim::run_program(config, image, kInstructionBudget);
+      });
+  std::vector<SuiteRun> runs;
+  runs.reserve(swept.workload_count);
+  for (std::size_t b = 0; b < swept.workload_count; ++b) {
     SuiteRun run;
-    run.name = suite_workloads[i].name;
-    run.baseline =
-        sim::run_program(baseline_config, assembled, kInstructionBudget);
-    run.result = sim::run_program(config, assembled, kInstructionBudget);
-    return run;
-  });
+    run.name = swept.workload_names[b];
+    run.baseline = *swept.baseline(b);
+    run.result = *swept.cell(0, b);
+    runs.push_back(std::move(run));
+  }
+  return runs;
 }
 
 inline std::vector<SuiteRun> run_suite(const Options& options,

@@ -13,6 +13,7 @@
 #include "arch/state.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "runtime/assembly_cache.h"
 #include "runtime/campaign.h"
 
 namespace {
@@ -50,16 +51,25 @@ int run(int argc, char** argv) {
       kernels.push_back(std::move(workload));
     }
   }
+  if (kernels.empty()) {
+    std::fprintf(stderr,
+                 "--benchmark=%s selects none of the campaign kernels "
+                 "(randacc/freqmine/facesim); nothing to run\n",
+                 options.only.c_str());
+    return 1;
+  }
 
-  // Stage 1: one clean (fault-free) reference run per kernel, in parallel.
+  // Stage 1: one clean (fault-free) reference run per kernel, in parallel,
+  // with the immutable assembled images shared from the runtime cache
+  // (fault tasks below reuse them instead of re-assembling).
   struct Reference {
-    isa::Assembled assembled;
+    runtime::AssemblyCache::Image assembled;
     sim::RunResult clean;
   };
   const auto references = runner.map(kernels.size(), [&](std::size_t k) {
     Reference ref;
-    ref.assembled = workloads::assemble_or_die(kernels[k]);
-    sim::LoadedProgram program = sim::load_program(ref.assembled);
+    ref.assembled = runtime::AssemblyCache::instance().get(kernels[k]);
+    sim::LoadedProgram program = sim::load_program(*ref.assembled);
     ref.clean = sim::CheckedSystem(config).run(program,
                                                bench::kInstructionBudget);
     return ref;
@@ -94,7 +104,7 @@ int run(int argc, char** argv) {
             static_cast<unsigned>(rng.next_below(config.main_core.int_alus));
         faults.add(spec);
 
-        return sim::run_program(config, references[kernel_index].assembled,
+        return sim::run_program(config, *references[kernel_index].assembled,
                                 bench::kInstructionBudget, &faults);
       });
 

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   double lockstep_slowdown = 0, rmt_slowdown = 0, paradet_slowdown = 0;
   unsigned count = 0;
-  for (const auto& workload : bench::suite(options)) {
+  for (const auto& workload : bench::suite_or_fail(options)) {
     const auto assembled = workloads::assemble_or_die(workload);
     const auto base =
         sim::run_program(unchecked, assembled, bench::kInstructionBudget);

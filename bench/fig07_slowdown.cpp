@@ -2,17 +2,18 @@
 // Paper: average 1.75%, maximum 3.4%; overheads dominated by the register
 // checkpoint pauses at segment boundaries.
 //
-// Runs as one runtime::Campaign over the checked runs — the expensive,
-// shardable part — so the figure shards across processes
-// (--shard=K/N --out=...) and checkpoints/restarts like any other
-// campaign. The unchecked baselines are just per-workload normalisation
-// denominators; every shard recomputes them locally (the fig13 pattern),
-// so each shard prints complete table rows for the workloads it owns.
+// Runs as a one-point runtime::SweepCampaign: the checked runs — the
+// expensive, shardable part — are the campaign cells, so the figure
+// shards across processes (--shard=K/N --out=...) and checkpoints/
+// restarts like any other campaign. The unchecked baselines are just
+// per-workload normalisation denominators: the sweep layer recomputes
+// them locally for the workloads each shard owns, sharing one immutable
+// assembled image per kernel from the runtime AssemblyCache.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "runtime/campaign.h"
+#include "runtime/sweep_campaign.h"
 
 namespace {
 
@@ -23,37 +24,19 @@ int run(int argc, char** argv) {
       "Figure 7: normalised slowdown per benchmark (Table I defaults)",
       "mean 1.0175, max 1.034; all benchmarks low single-digit %");
 
-  const auto suite = bench::suite(options);
-  if (suite.empty()) return 0;
-  const auto runner = options.runner();
-
-  // One immutable assembled image per workload, shared by its baseline
-  // and checked runs.
-  const auto images = runner.map(suite.size(), [&](std::size_t b) {
-    return workloads::assemble_or_die(suite[b]);
-  });
-
   const SystemConfig checked_config = SystemConfig::standard();
   SystemConfig baseline_config = checked_config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
 
-  // Baselines only for the workloads whose checked task this shard owns —
-  // they are the only table denominators read below.
-  auto campaign_options = options.campaign_options();
-  std::vector<sim::RunResult> baselines(suite.size());
-  runner.for_each(suite.size(), [&](std::size_t b) {
-    if (!campaign_options.shard.owns(b)) return;
-    baselines[b] = sim::run_program(baseline_config, images[b],
-                                    bench::kInstructionBudget);
-  });
-
-  // The campaign proper: task b is workload b's checked run.
-  const runtime::Campaign campaign(suite.size(), /*seed=*/0xF160007);
-  campaign_options.keep_runs = true;  // the table below reads per-run cells.
-  const auto artifact = campaign.run_sharded(
-      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
-        return sim::run_program(checked_config, images[i],
+  runtime::SweepCampaign sweep(1, bench::suite_or_fail(options),
+                               /*seed=*/0xF160007);
+  sweep.enable_baselines(baseline_config, bench::kInstructionBudget);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        return sim::run_program(checked_config, image,
                                 bench::kInstructionBudget);
       });
 
@@ -61,26 +44,28 @@ int run(int argc, char** argv) {
               "baseline_cycles", "checked_cycles", "slowdown", "checkpoints",
               "log_stall_cy");
   double slowdown_sum = 0;
-  for (const auto& record : artifact.runs) {
-    const sim::RunResult& baseline = baselines[record.index];
-    const sim::RunResult& checked = record.result;
-    const double slowdown = static_cast<double>(checked.main_done_cycle) /
-                            static_cast<double>(baseline.main_done_cycle);
+  std::size_t rows = 0;
+  for (std::size_t b = 0; b < result.workload_count; ++b) {
+    const sim::RunResult* checked = result.cell(0, b);
+    if (checked == nullptr) continue;  // cell owned by another shard.
+    const sim::RunResult* baseline = result.baseline(b);
+    const double slowdown = result.slowdown(0, b);
     slowdown_sum += slowdown;
+    ++rows;
     std::printf("%-14s %15llu %15llu %9.4f %12llu %11llu\n",
-                suite[record.index].name.c_str(),
-                static_cast<unsigned long long>(baseline.main_done_cycle),
-                static_cast<unsigned long long>(checked.main_done_cycle),
+                result.workload_names[b].c_str(),
+                static_cast<unsigned long long>(baseline->main_done_cycle),
+                static_cast<unsigned long long>(checked->main_done_cycle),
                 slowdown,
-                static_cast<unsigned long long>(checked.checkpoints_taken),
+                static_cast<unsigned long long>(checked->checkpoints_taken),
                 static_cast<unsigned long long>(
-                    checked.log_full_stall_cycles));
+                    checked->log_full_stall_cycles));
   }
-  if (!artifact.runs.empty()) {
+  if (rows > 0) {
     std::printf("mean slowdown: %.4f\n",
-                slowdown_sum / static_cast<double>(artifact.runs.size()));
+                slowdown_sum / static_cast<double>(rows));
   }
-  bench::print_shard_note(artifact);
+  bench::print_shard_note(result.artifact);
   return 0;
 }
 

@@ -4,15 +4,16 @@
 // 0-5000ns; suite-mean 770ns; worst mean 1550ns (randacc); 99.9% of all
 // entries checked within 5000ns; maxima up to ~45us.
 //
-// Runs as one runtime::Campaign (one checked run per workload — the
-// unchecked baseline the old serial harness also simulated is dead weight
-// here and is gone), so the figure shards across processes and its
-// artifact merges back with merge_results.
+// Runs as a one-point runtime::SweepCampaign (one checked run per
+// workload, no baselines — delay statistics need none), so the figure
+// shards across processes and its artifact merges back with
+// merge_results, and each kernel is assembled once through the runtime
+// AssemblyCache.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "runtime/campaign.h"
+#include "runtime/sweep_campaign.h"
 
 namespace {
 
@@ -23,24 +24,21 @@ int run(int argc, char** argv) {
       "Figure 8: distribution of error-detection delays (defaults)",
       "means 256-1550ns, suite mean 770ns, 99.9% < 5000ns, max <= 45us");
 
-  const auto suite = bench::suite(options);
-  if (suite.empty()) return 0;
-  const auto runner = options.runner();
-
-  const runtime::Campaign campaign(suite.size(), /*seed=*/0xF160008);
-  auto campaign_options = options.campaign_options();
-  campaign_options.keep_runs = true;  // the tables below read per-run cells.
-  const auto artifact = campaign.run_sharded(
-      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
-        const auto assembled = workloads::assemble_or_die(suite[i]);
-        return sim::run_program(SystemConfig::standard(), assembled,
+  runtime::SweepCampaign sweep(1, bench::suite_or_fail(options),
+                               /*seed=*/0xF160008);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        return sim::run_program(SystemConfig::standard(), image,
                                 bench::kInstructionBudget);
       });
 
   // Only this shard's workloads have columns; merge_results reunites them.
+  const auto& artifact = result.artifact;
   std::printf("%-10s", "bin_ns");
   for (const auto& record : artifact.runs) {
-    std::printf(" %12s", suite[record.index].name.c_str());
+    std::printf(" %12s", result.workload_names[record.index].c_str());
   }
   std::printf("\n");
   const double bin_ns = 250.0;
@@ -70,7 +68,7 @@ int run(int argc, char** argv) {
     const auto& summary = record.result.delay_ns.summary();
     suite_mean += summary.mean();
     std::printf("%-14s %10.0f %10.1f %11.4f%%\n",
-                suite[record.index].name.c_str(), summary.mean(),
+                result.workload_names[record.index].c_str(), summary.mean(),
                 summary.max() / 1000.0,
                 100.0 * record.result.delay_ns.fraction_below(5000.0));
   }

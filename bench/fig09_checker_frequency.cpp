@@ -3,42 +3,62 @@
 // (randacc, stream) barely slow down even at 125MHz; compute-bound ones
 // (swaptions, bitcount) reach ~4-4.5x below 500MHz because the aggregate
 // checker throughput cannot keep up and the main core stalls on log-full.
+//
+// Runs as one runtime::SweepCampaign over (frequency x workload) cells,
+// so the figure shards across processes (--shard=K/N --out=...) and
+// checkpoints/restarts like any other campaign; each workload's unchecked
+// baseline (the normalisation denominator, independent of the checker
+// frequency) is recomputed locally by every shard that owns one of its
+// cells, and each kernel is assembled exactly once.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/sweep_campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 9: slowdown vs checker-core frequency (12 cores)",
       "125MHz: up to ~4.5x for compute-bound, ~1x for memory-bound; "
       "1GHz+: all ~1x");
 
   const std::uint64_t freqs_mhz[] = {125, 250, 500, 1000, 2000};
-  std::printf("%-14s", "benchmark");
-  for (const auto freq : freqs_mhz) {
-    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
-  }
-  std::printf("\n");
 
-  // One suite sweep per frequency, transposed for printing.
-  std::vector<std::vector<bench::SuiteRun>> sweeps;
+  runtime::SweepCampaign sweep(std::size(freqs_mhz),
+                               bench::suite_or_fail(options),
+                               /*seed=*/0xF160009);
+  SystemConfig baseline = SystemConfig::standard();
+  baseline.detection.enabled = false;
+  baseline.detection.simulate_checkers = false;
+  sweep.enable_baselines(baseline, bench::kInstructionBudget);
+
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        SystemConfig config = SystemConfig::standard();
+        config.checker.freq_mhz = freqs_mhz[point];
+        return sim::run_program(config, image, bench::kInstructionBudget);
+      });
+
+  runtime::TableSpec spec;
   for (const auto freq : freqs_mhz) {
-    SystemConfig config = SystemConfig::standard();
-    config.checker.freq_mhz = freq;
-    sweeps.push_back(bench::run_suite(options, config));
+    spec.columns.push_back(std::to_string(freq) + "MHz");
   }
-  if (sweeps.empty() || sweeps[0].empty()) return 0;
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) std::printf(" %10.3f", sweep[b].slowdown());
-    std::printf("\n");
-  }
-  std::printf("%-14s", "mean");
-  for (const auto& sweep : sweeps) {
-    std::printf(" %10.3f", bench::mean_slowdown(sweep));
-  }
-  std::printf("\n");
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.slowdown(p, b);
+  });
+  bench::print_shard_note(result.artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

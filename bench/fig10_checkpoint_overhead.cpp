@@ -3,13 +3,22 @@
 // timeouts. Paper: the default 36KiB/5000 keeps overhead <= 2%; a 10x
 // smaller log/timeout costs up to 15%; a 10x larger one (or an infinite
 // timeout) is negligible.
+//
+// Runs as one runtime::SweepCampaign over (log point x workload) cells
+// with per-workload unchecked baselines, so the figure takes
+// --jobs/--shard/--out/--checkpoint like every other campaign driver.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/sweep_campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 10: checkpoint-only slowdown vs log size / timeout",
       "3.6KiB/500: up to ~1.15; 36KiB/5000: <= ~1.02; 360KiB/50000 and "
@@ -27,28 +36,37 @@ int main(int argc, char** argv) {
       {"360KiB/inf", 360 * 1024, 0},
   };
 
-  std::printf("%-14s", "benchmark");
-  for (const auto& point : points) std::printf(" %13s", point.label);
-  std::printf("\n");
+  runtime::SweepCampaign sweep(std::size(points), bench::suite_or_fail(options),
+                               /*seed=*/0xF160010);
+  SystemConfig baseline = SystemConfig::standard();
+  baseline.detection.enabled = false;
+  baseline.detection.simulate_checkers = false;
+  sweep.enable_baselines(baseline, bench::kInstructionBudget);
 
-  std::vector<std::vector<bench::SuiteRun>> sweeps;
-  for (const auto& point : points) {
-    SystemConfig config = SystemConfig::standard();
-    config.detection.simulate_checkers = false;  // checkpointing cost only.
-    config.log.total_bytes = point.log_bytes;
-    config.log.instruction_timeout = point.timeout;
-    sweeps.push_back(bench::run_suite(options, config));
-  }
-  if (sweeps.empty() || sweeps[0].empty()) return 0;
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) std::printf(" %13.4f", sweep[b].slowdown());
-    std::printf("\n");
-  }
-  std::printf("%-14s", "mean");
-  for (const auto& sweep : sweeps) {
-    std::printf(" %13.4f", bench::mean_slowdown(sweep));
-  }
-  std::printf("\n");
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        SystemConfig config = SystemConfig::standard();
+        config.detection.simulate_checkers = false;  // checkpoint cost only.
+        config.log.total_bytes = points[point].log_bytes;
+        config.log.instruction_timeout = points[point].timeout;
+        return sim::run_program(config, image, bench::kInstructionBudget);
+      });
+
+  runtime::TableSpec spec;
+  for (const auto& point : points) spec.columns.push_back(point.label);
+  spec.width = 13;
+  spec.precision = 4;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.slowdown(p, b);
+  });
+  bench::print_shard_note(result.artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -3,52 +3,64 @@
 // doubling until the segment fill time (set by the main core) becomes the
 // limit; maxima are dictated by outliers (cache-miss bursts) and move
 // less deterministically.
+//
+// Runs as one runtime::SweepCampaign over (frequency x workload) cells.
+// Delay statistics need no baseline, so the unchecked runs the old serial
+// harness also simulated are gone; the sweep shards across processes and
+// its artifact merges back with merge_results.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/sweep_campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 11: detection delay vs checker frequency (12 cores)",
       "(a) mean ns halves per doubling, flattening at high freq; "
       "(b) max us less deterministic");
 
   const std::uint64_t freqs_mhz[] = {125, 250, 500, 1000, 2000};
-  std::vector<std::vector<bench::SuiteRun>> sweeps;
-  for (const auto freq : freqs_mhz) {
-    SystemConfig config = SystemConfig::standard();
-    config.checker.freq_mhz = freq;
-    sweeps.push_back(bench::run_suite(options, config));
-  }
-  if (sweeps.empty() || sweeps[0].empty()) return 0;
+  runtime::SweepCampaign sweep(std::size(freqs_mhz),
+                               bench::suite_or_fail(options),
+                               /*seed=*/0xF160011);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        SystemConfig config = SystemConfig::standard();
+        config.checker.freq_mhz = freqs_mhz[point];
+        return sim::run_program(config, image, bench::kInstructionBudget);
+      });
 
-  std::printf("(a) mean detection delay, ns\n%-14s", "benchmark");
+  runtime::TableSpec spec;
   for (const auto freq : freqs_mhz) {
-    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
+    spec.columns.push_back(std::to_string(freq) + "MHz");
   }
-  std::printf("\n");
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) {
-      std::printf(" %10.0f", sweep[b].result.delay_ns.summary().mean());
-    }
-    std::printf("\n");
-  }
+  spec.mean_row = false;
 
-  std::printf("\n(b) maximum detection delay, us\n%-14s", "benchmark");
-  for (const auto freq : freqs_mhz) {
-    std::printf(" %7lluMHz", static_cast<unsigned long long>(freq));
-  }
-  std::printf("\n");
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) {
-      std::printf(" %10.1f",
-                  sweep[b].result.delay_ns.summary().max() / 1000.0);
-    }
-    std::printf("\n");
-  }
+  std::printf("(a) mean detection delay, ns\n");
+  spec.precision = 0;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.cell(p, b)->delay_ns.summary().mean();
+  });
+
+  std::printf("\n(b) maximum detection delay, us\n");
+  spec.precision = 1;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.cell(p, b)->delay_ns.summary().max() / 1000.0;
+  });
+  bench::print_shard_note(result.artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

@@ -4,13 +4,21 @@
 // ~10x delay); with an infinite timeout, benchmarks with long memory-
 // quiet stretches (bitcount) see maxima explode -- a 50,000-instruction
 // timeout cuts bitcount's max by ~250x at no performance cost.
+//
+// Runs as one runtime::SweepCampaign over (log point x workload) cells;
+// no baselines (delay statistics only), shardable and checkpointable
+// like every other campaign driver.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "runtime/sweep_campaign.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace paradet;
-  const auto options = bench::Options::parse(argc, argv);
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 12: detection delay vs log size / instruction timeout",
       "(a) mean scales ~linearly with log size; (b) infinite timeouts let "
@@ -31,36 +39,40 @@ int main(int argc, char** argv) {
 
   // The delay histogram tops out at 5us for figure 8; maxima here reach
   // ms, which Summary tracks exactly regardless of binning.
-  std::vector<std::vector<bench::SuiteRun>> sweeps;
-  for (const auto& point : points) {
-    SystemConfig config = SystemConfig::standard();
-    config.log.total_bytes = point.log_bytes;
-    config.log.instruction_timeout = point.timeout;
-    sweeps.push_back(bench::run_suite(options, config));
-  }
-  if (sweeps.empty() || sweeps[0].empty()) return 0;
+  runtime::SweepCampaign sweep(std::size(points), bench::suite_or_fail(options),
+                               /*seed=*/0xF160012);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        SystemConfig config = SystemConfig::standard();
+        config.log.total_bytes = points[point].log_bytes;
+        config.log.instruction_timeout = points[point].timeout;
+        return sim::run_program(config, image, bench::kInstructionBudget);
+      });
 
-  std::printf("(a) mean detection delay, ns\n%-14s", "benchmark");
-  for (const auto& point : points) std::printf(" %13s", point.label);
-  std::printf("\n");
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) {
-      std::printf(" %13.0f", sweep[b].result.delay_ns.summary().mean());
-    }
-    std::printf("\n");
-  }
+  runtime::TableSpec spec;
+  for (const auto& point : points) spec.columns.push_back(point.label);
+  spec.width = 13;
+  spec.mean_row = false;
 
-  std::printf("\n(b) maximum detection delay, us\n%-14s", "benchmark");
-  for (const auto& point : points) std::printf(" %13s", point.label);
-  std::printf("\n");
-  for (std::size_t b = 0; b < sweeps[0].size(); ++b) {
-    std::printf("%-14s", sweeps[0][b].name.c_str());
-    for (const auto& sweep : sweeps) {
-      std::printf(" %13.1f",
-                  sweep[b].result.delay_ns.summary().max() / 1000.0);
-    }
-    std::printf("\n");
-  }
+  std::printf("(a) mean detection delay, ns\n");
+  spec.precision = 0;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.cell(p, b)->delay_ns.summary().mean();
+  });
+
+  std::printf("\n(b) maximum detection delay, us\n");
+  spec.precision = 1;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.cell(p, b)->delay_ns.summary().max() / 1000.0;
+  });
+  bench::print_shard_note(result.artifact);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
 }

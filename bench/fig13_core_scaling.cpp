@@ -4,18 +4,18 @@
 // with a one-to-one segment mapping only n-1 of n checkers can ever be
 // busy -- more segments mean better utilisation.
 //
-// The sweep fans out on the runtime worker pool: the unchecked baseline
-// is simulated once per workload (it does not depend on the checker
-// configuration), then every (config point x workload) pair runs as one
-// runtime::Campaign task — so the sweep shards across processes
-// (--shard=K/N --out=...) and checkpoints/restarts; a shard prints the
-// table cells it owns and merge_results reunites the artifacts.
+// Runs as one runtime::SweepCampaign over (config point x workload)
+// cells: the unchecked baseline is recomputed per shard-touched workload
+// (it does not depend on the checker configuration), every kernel is
+// assembled once through the runtime AssemblyCache, and the sweep shards
+// across processes (--shard=K/N --out=...) and checkpoints/restarts; a
+// shard prints the table cells it owns and merge_results reunites the
+// artifacts.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "runtime/campaign.h"
-#include "runtime/parallel_runner.h"
+#include "runtime/sweep_campaign.h"
 
 namespace {
 
@@ -24,7 +24,7 @@ int run(int argc, char** argv) {
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   bench::print_header(
       "Figure 13: slowdown vs checker core count x frequency",
-      "3@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
+      "3c@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
       "ones at equal aggregate GHz (n-1 utilisation)");
 
   struct Point {
@@ -37,92 +37,31 @@ int run(int argc, char** argv) {
       {"6c@1GHz", 6, 1000},   {"12c@500MHz", 12, 500},
       {"12c@1GHz", 12, 1000},
   };
-  const std::size_t num_points = std::size(points);
 
-  const auto suite = bench::suite(options);
-  if (suite.empty()) return 0;
-  const auto runner = options.runner();
-
-  // Which workloads this shard touches at all: the baseline (the table's
-  // normalisation denominator) is only simulated for those.
-  auto campaign_options = options.campaign_options();
-  std::vector<char> workload_owned(suite.size(), 0);
-  for (std::size_t i = 0; i < num_points * suite.size(); ++i) {
-    if (campaign_options.shard.owns(i)) workload_owned[i % suite.size()] = 1;
-  }
-
-  // Assemble each workload once; the image is immutable and shared by the
-  // baseline run and all sweep-point runs.
-  struct BaselineRun {
-    isa::Assembled assembled;
-    sim::RunResult result;
-  };
-  const auto baselines = runner.map(suite.size(), [&](std::size_t b) {
-    BaselineRun run;
-    run.assembled = workloads::assemble_or_die(suite[b]);
-    if (workload_owned[b]) {
-      run.result = sim::run_program(SystemConfig::baseline_unchecked(),
-                                    run.assembled, bench::kInstructionBudget);
-    }
-    return run;
-  });
-
-  // One task per (point, workload) pair; index = point * |suite| + workload.
-  const runtime::Campaign campaign(num_points * suite.size(),
-                                   /*seed=*/0xF160013);
-  campaign_options.keep_runs = true;  // the table below reads per-run cells.
-  const auto artifact = campaign.run_sharded(
-      runner, campaign_options, [&](std::size_t i, std::uint64_t) {
-        const auto& point = points[i / suite.size()];
+  runtime::SweepCampaign sweep(std::size(points), bench::suite_or_fail(options),
+                               /*seed=*/0xF160013);
+  sweep.enable_baselines(SystemConfig::baseline_unchecked(),
+                         bench::kInstructionBudget);
+  const auto result = sweep.run(
+      options.runner(), options.campaign_options(),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
         SystemConfig config = SystemConfig::standard();
-        config.checker.num_cores = point.cores;
-        config.checker.freq_mhz = point.freq_mhz;
+        config.checker.num_cores = points[point].cores;
+        config.checker.freq_mhz = points[point].freq_mhz;
         // One-to-one mapping: the log is partitioned per checker core; the
         // total log SRAM stays fixed as in the paper's sweep.
-        config.log.segments = point.cores;
-        return sim::run_program(config, baselines[i % suite.size()].assembled,
-                                bench::kInstructionBudget);
+        config.log.segments = points[point].cores;
+        return sim::run_program(config, image, bench::kInstructionBudget);
       });
 
-  std::vector<const sim::RunResult*> cell(num_points * suite.size(), nullptr);
-  for (const auto& record : artifact.runs) cell[record.index] = &record.result;
-
-  const auto slowdown = [&](std::size_t point, std::size_t b) {
-    return static_cast<double>(cell[point * suite.size() + b]->main_done_cycle) /
-           static_cast<double>(baselines[b].result.main_done_cycle);
-  };
-
-  std::printf("%-14s", "benchmark");
-  for (const auto& point : points) std::printf(" %12s", point.label);
-  std::printf("\n");
-  for (std::size_t b = 0; b < suite.size(); ++b) {
-    std::printf("%-14s", suite[b].name.c_str());
-    for (std::size_t p = 0; p < num_points; ++p) {
-      if (cell[p * suite.size() + b] == nullptr) {
-        std::printf(" %12s", "-");  // task owned by another shard.
-      } else {
-        std::printf(" %12.3f", slowdown(p, b));
-      }
-    }
-    std::printf("\n");
-  }
-  std::printf("%-14s", "mean");
-  for (std::size_t p = 0; p < num_points; ++p) {
-    double sum = 0;
-    unsigned cells = 0;
-    for (std::size_t b = 0; b < suite.size(); ++b) {
-      if (cell[p * suite.size() + b] == nullptr) continue;
-      sum += slowdown(p, b);
-      ++cells;
-    }
-    if (cells == 0) {
-      std::printf(" %12s", "-");
-    } else {
-      std::printf(" %12.3f", sum / static_cast<double>(cells));
-    }
-  }
-  std::printf("\n");
-  bench::print_shard_note(artifact);
+  runtime::TableSpec spec;
+  for (const auto& point : points) spec.columns.push_back(point.label);
+  spec.width = 12;
+  runtime::print_transposed(result, spec, [&](std::size_t p, std::size_t b) {
+    return result.slowdown(p, b);
+  });
+  bench::print_shard_note(result.artifact);
   return 0;
 }
 

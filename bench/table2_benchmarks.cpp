@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %8s %9s  %s\n", "benchmark", "instructions", "ipc",
               "mem-frac", "description");
   const SystemConfig base = SystemConfig::baseline_unchecked();
-  for (const auto& workload : bench::suite(options)) {
+  for (const auto& workload : bench::suite_or_fail(options)) {
     const auto assembled = workloads::assemble_or_die(workload);
     const auto run =
         sim::run_program(base, assembled, bench::kInstructionBudget);

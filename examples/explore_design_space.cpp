@@ -6,17 +6,23 @@
 // (b) the log size at fixed core count, reporting slowdown, mean/max
 // detection delay and the area cost of each point; then prints the
 // "cheapest configuration meeting a 2 us mean-delay, 2% slowdown budget".
-// Every swept point is an independent simulation, so the sweep fans out
-// on the runtime worker pool (`--jobs=N`, default all cores).
+// The sweep runs as one runtime::SweepCampaign (one workload, one cell
+// per design point), so it fans out on the worker pool (`--jobs=N`),
+// shards across processes (`--shard=K/N --out=artifact.json`, merged
+// back with merge_results) and checkpoints/restarts
+// (`--checkpoint=ckpt.json`) exactly like the figure reproductions.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "model/area_power.h"
-#include "runtime/parallel_runner.h"
+#include "runtime/sweep_campaign.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
 namespace {
+
+constexpr std::uint64_t kBudget = 2'000'000;
 
 struct SweepSpec {
   unsigned cores;
@@ -24,31 +30,13 @@ struct SweepSpec {
   std::uint64_t log_bytes;
 };
 
-struct Point {
-  SweepSpec spec;
-  double slowdown = 0.0;
-  double mean_delay_ns = 0.0;
-  double max_delay_us = 0.0;
-  double area_mm2 = 0.0;
-};
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace paradet;
-  const runtime::ParallelRunner runner(
-      RuntimeOptions::from_args(argc, argv).jobs);
+  const RuntimeOptions host =
+      RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
+  const runtime::ParallelRunner runner(host.jobs);
   const auto workload =
       workloads::make_facesim(workloads::Scale{.factor = 0.4});
-  const auto assembled = workloads::assemble_or_die(workload);
-  const auto baseline = sim::run_program(SystemConfig::baseline_unchecked(),
-                                         assembled, 2'000'000);
-
-  std::printf("design-space sweep on %s (baseline: %llu cycles, "
-              "%u workers)\n\n",
-              workload.name.c_str(),
-              static_cast<unsigned long long>(baseline.main_done_cycle),
-              runner.jobs());
 
   // (a) cores x frequency at constant aggregate 12 core-GHz, then
   // (b) log size at the default 12 cores @ 1 GHz.
@@ -63,22 +51,54 @@ int main(int argc, char** argv) {
     specs.push_back({12, 1000, kib * 1024});
   }
 
-  const auto points = runner.map(specs.size(), [&](std::size_t i) {
+  const auto config_for = [&](std::size_t i) {
     SystemConfig config = SystemConfig::standard();
     config.checker.num_cores = specs[i].cores;
     config.checker.freq_mhz = specs[i].freq_mhz;
     config.log.segments = specs[i].cores;
     config.log.total_bytes = specs[i].log_bytes;
-    const auto run = sim::run_program(config, assembled, 2'000'000);
-    Point point;
-    point.spec = specs[i];
-    point.slowdown = static_cast<double>(run.main_done_cycle) /
-                     static_cast<double>(baseline.main_done_cycle);
-    point.mean_delay_ns = run.delay_ns.summary().mean();
-    point.max_delay_us = run.delay_ns.summary().max() / 1000.0;
-    point.area_mm2 = model::estimate_area(config).detection_mm2();
-    return point;
-  });
+    return config;
+  };
+
+  runtime::SweepCampaign sweep(specs.size(), {workload}, /*seed=*/0xDE5160);
+  sweep.enable_baselines(SystemConfig::baseline_unchecked(), kBudget);
+  const auto result = sweep.run(
+      runner, runtime::CampaignRunOptions::from_runtime(host),
+      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+          std::uint64_t) {
+        return sim::run_program(config_for(point), image, kBudget);
+      });
+
+  const sim::RunResult* baseline = result.baseline(0);
+  std::printf("design-space sweep on %s (%u workers)\n",
+              workload.name.c_str(), runner.jobs());
+  if (baseline != nullptr) {
+    std::printf("baseline: %llu cycles\n\n",
+                static_cast<unsigned long long>(baseline->main_done_cycle));
+  } else {
+    std::printf("baseline: (no design point on this shard)\n\n");
+  }
+
+  struct Point {
+    SweepSpec spec;
+    double slowdown = 0.0;
+    double mean_delay_ns = 0.0;
+    double max_delay_us = 0.0;
+    double area_mm2 = 0.0;
+    bool owned = false;
+  };
+  std::vector<Point> points(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    points[i].spec = specs[i];
+    const sim::RunResult* cell = result.cell(i, 0);
+    if (cell == nullptr) continue;  // design point owned by another shard.
+    points[i].owned = true;
+    points[i].slowdown = static_cast<double>(cell->main_done_cycle) /
+                         static_cast<double>(baseline->main_done_cycle);
+    points[i].mean_delay_ns = cell->delay_ns.summary().mean();
+    points[i].max_delay_us = cell->delay_ns.summary().max() / 1000.0;
+    points[i].area_mm2 = model::estimate_area(config_for(i)).detection_mm2();
+  }
 
   std::printf("%6s %8s %8s %9s %12s %11s %9s\n", "cores", "MHz", "logKiB",
               "slowdown", "mean_ns", "max_us", "mm2");
@@ -88,7 +108,14 @@ int main(int argc, char** argv) {
     } else if (i == log_sweep_begin) {
       std::printf("-- log size sweep (12 cores @ 1 GHz) --\n");
     }
-    const auto& point = points[i];
+    const Point& point = points[i];
+    if (!point.owned) {
+      std::printf("%6u %8llu %8llu %9s %12s %11s %9s\n", point.spec.cores,
+                  static_cast<unsigned long long>(point.spec.freq_mhz),
+                  static_cast<unsigned long long>(point.spec.log_bytes / 1024),
+                  "-", "-", "-", "-");
+      continue;
+    }
     std::printf("%6u %8llu %8llu %9.4f %12.0f %11.1f %9.3f\n",
                 point.spec.cores,
                 static_cast<unsigned long long>(point.spec.freq_mhz),
@@ -97,9 +124,12 @@ int main(int argc, char** argv) {
                 point.area_mm2);
   }
 
-  // Pick the cheapest point meeting the latency/overhead budget.
+  // Pick the cheapest point meeting the latency/overhead budget (among the
+  // points this shard ran; a sharded sweep compares notes via the merged
+  // artifact).
   const Point* best = nullptr;
   for (const auto& point : points) {
+    if (!point.owned) continue;
     if (point.slowdown > 1.02 || point.mean_delay_ns > 2000.0) continue;
     if (best == nullptr || point.area_mm2 < best->area_mm2) best = &point;
   }
@@ -114,5 +144,26 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nno swept point met the budget\n");
   }
+  if (!result.artifact.shard.whole()) {
+    std::printf("shard %llu/%llu: %zu of %llu design points ran here; merge "
+                "--out artifacts with merge_results\n",
+                static_cast<unsigned long long>(result.artifact.shard.index),
+                static_cast<unsigned long long>(result.artifact.shard.count),
+                result.artifact.runs.size(),
+                static_cast<unsigned long long>(result.artifact.tasks));
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // A checkpoint from another campaign or an unwritable --out path
+    // should end as a readable error, not std::terminate.
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
 }

@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for cross-process campaign sharding: run the fault
-# campaign example as two shard processes, merge their artifacts with
-# merge_results, and require the merged file to be byte-identical to the
-# file an unsharded run writes. Exercises the real CLI surface
+# campaign example and the fig09 sweep reproduction as two shard processes
+# each, merge their artifacts with merge_results, and require the merged
+# file to be byte-identical to the file an unsharded run writes. Also
+# checks the sweep drivers' usage-error paths (empty --benchmark filter,
+# --checkpoint-every without --checkpoint). Exercises the real CLI surface
 # (--shard/--out parsing, artifact I/O, the merge tool) rather than the
 # library entry points the unit tests already cover.
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: $0 <example_fault_campaign> <merge_results>" >&2
+if [[ $# -ne 3 ]]; then
+  echo "usage: $0 <example_fault_campaign> <merge_results> <bench_fig09>" >&2
   exit 2
 fi
 fault_campaign=$1
 merge_results=$2
+fig09=$3
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -32,4 +35,41 @@ if ! cmp "$workdir/merged.json" "$workdir/whole.json"; then
   echo "FAIL: merged shard artifact differs from the unsharded artifact" >&2
   exit 1
 fi
-echo "OK: 2-shard merge is byte-identical to the unsharded artifact"
+echo "OK: 2-shard fault-campaign merge is byte-identical to the unsharded artifact"
+
+# The fig09 sweep (a SweepCampaign grid of frequency x workload cells)
+# through the same sharded path: 5 points over one kernel at a small scale.
+fig09_flags=(--scale=0.02 --benchmark=randacc)
+"$fig09" "${fig09_flags[@]}" --jobs=2 --shard=0/2 \
+    --out="$workdir/fig09_0.json" > "$workdir/fig09_0.log"
+"$fig09" "${fig09_flags[@]}" --jobs=2 --shard=1/2 \
+    --out="$workdir/fig09_1.json" > "$workdir/fig09_1.log"
+"$merge_results" --out="$workdir/fig09_merged.json" \
+    "$workdir/fig09_0.json" "$workdir/fig09_1.json" > "$workdir/fig09_merge.log"
+"$fig09" "${fig09_flags[@]}" --jobs=2 --out="$workdir/fig09_whole.json" \
+    > "$workdir/fig09_whole.log"
+
+if ! cmp "$workdir/fig09_merged.json" "$workdir/fig09_whole.json"; then
+  echo "FAIL: merged fig09 sweep artifact differs from the unsharded artifact" >&2
+  exit 1
+fi
+echo "OK: 2-shard fig09 sweep merge is byte-identical to the unsharded artifact"
+
+# An over-narrow filter must be a loud error (exit 1 + diagnostic), not an
+# empty table with exit 0.
+if "$fig09" --benchmark=no_such_kernel > /dev/null 2> "$workdir/empty.err"; then
+  echo "FAIL: empty suite filter exited 0" >&2
+  exit 1
+fi
+if ! grep -q "matches no" "$workdir/empty.err"; then
+  echo "FAIL: empty suite filter printed no diagnostic" >&2
+  exit 1
+fi
+echo "OK: empty --benchmark filter fails loudly"
+
+# --checkpoint-every without --checkpoint is a usage error (exit 2).
+if "$fig09" --checkpoint-every=4 > /dev/null 2> "$workdir/every.err"; then
+  echo "FAIL: --checkpoint-every without --checkpoint exited 0" >&2
+  exit 1
+fi
+echo "OK: --checkpoint-every without --checkpoint fails loudly"

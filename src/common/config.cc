@@ -48,6 +48,7 @@ unsigned parse_jobs(const char* flag, const char* text) {
 RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
                                          bool campaign_flags) {
   RuntimeOptions options;
+  const char* checkpoint_every_flag = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (!campaign_flags && (std::strncmp(arg, "--shard", 7) == 0 ||
@@ -90,6 +91,7 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
         bad_flag(arg, "--checkpoint-every=M with M >= 1");
       }
       options.checkpoint_every = every;
+      checkpoint_every_flag = arg;
     } else if (std::strcmp(arg, "--shard") == 0 ||
                std::strcmp(arg, "--out") == 0 ||
                std::strcmp(arg, "--checkpoint") == 0 ||
@@ -98,6 +100,13 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
       // the next driver's positional parsing misread "0/2".
       bad_flag(arg, "the --flag=value form");
     }
+  }
+  // A checkpoint interval without a checkpoint file would silently
+  // checkpoint nothing; that is an operator error, not a default.
+  if (checkpoint_every_flag != nullptr && options.checkpoint_path.empty()) {
+    bad_flag(checkpoint_every_flag,
+             "--checkpoint=PATH alongside it (an interval without a "
+             "checkpoint file checkpoints nothing)");
   }
   return options;
 }

@@ -164,6 +164,8 @@ struct RuntimeOptions {
   std::string checkpoint_path;
 
   /// `--checkpoint-every=M`: completed tasks between checkpoint writes.
+  /// Only meaningful with `--checkpoint=PATH`; given alone it exits 2
+  /// (an interval without a checkpoint file checkpoints nothing).
   std::uint64_t checkpoint_every = 16;
 
   /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and — when

@@ -1,0 +1,34 @@
+#include "runtime/assembly_cache.h"
+
+#include <utility>
+
+namespace paradet::runtime {
+
+AssemblyCache& AssemblyCache::instance() {
+  // Leaked on purpose: workers may still hold images at static-destruction
+  // time, and the images themselves are shared_ptr-owned anyway.
+  static AssemblyCache* cache = new AssemblyCache;
+  return *cache;
+}
+
+AssemblyCache::Image AssemblyCache::get(const workloads::Workload& workload) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Entry>& slot = entries_[workload.source];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  // The assembly itself runs outside the map lock: a slow first assembly
+  // of one kernel must not serialise lookups of every other kernel.
+  // call_once makes racing callers of the *same* kernel wait for the one
+  // winner and then read the image it published.
+  std::call_once(entry->once, [&] {
+    assemblies_.fetch_add(1, std::memory_order_relaxed);
+    entry->image = std::make_shared<const isa::Assembled>(
+        workloads::assemble_or_die(workload));
+  });
+  return entry->image;
+}
+
+}  // namespace paradet::runtime

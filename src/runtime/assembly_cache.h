@@ -1,0 +1,69 @@
+// AssemblyCache: a thread-safe, assemble-once cache of workload images.
+//
+// Every figure reproduction and campaign driver runs the same handful of
+// Table II kernels many times — once per sweep point, per fault trial,
+// per baseline/checked pair. Assembling a kernel is pure (the image is a
+// function of the source text alone) and the result is immutable once
+// built, so there is never a reason to assemble the same source twice in
+// one process. Before this cache each driver grew its own ad-hoc
+// image-sharing scheme (fig07/fig13/coverage_campaign all had one);
+// AssemblyCache centralises the pattern: the first caller to ask for a
+// workload assembles it, concurrent callers for the same workload block
+// until that one assembly finishes, and everyone shares the same
+// immutable image object across the worker pool and across sweep points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "isa/assembler.h"
+#include "workloads/workloads.h"
+
+namespace paradet::runtime {
+
+class AssemblyCache {
+ public:
+  /// Shared immutable image: safe to read concurrently from every worker
+  /// and to outlive the cache lookup that produced it.
+  using Image = std::shared_ptr<const isa::Assembled>;
+
+  AssemblyCache() = default;
+  AssemblyCache(const AssemblyCache&) = delete;
+  AssemblyCache& operator=(const AssemblyCache&) = delete;
+
+  /// The process-wide cache all drivers and SweepCampaign share, so
+  /// repeated sweeps (or several sweeps in one driver) reuse each other's
+  /// images. Tests construct their own instances.
+  static AssemblyCache& instance();
+
+  /// Returns the assembled image for `workload`, assembling at most once
+  /// per distinct source text: concurrent lookups of the same workload
+  /// serialise on the one assembly and then return pointers to the same
+  /// image object. Keyed by the source text — the only input assembly
+  /// depends on — so two Workload objects at the same scale share an
+  /// image no matter which driver built them.
+  Image get(const workloads::Workload& workload);
+
+  /// Total assemble() invocations so far. A sweep that shares images
+  /// correctly leaves this at one per distinct workload, no matter how
+  /// many config points or worker threads touched it.
+  std::uint64_t assemblies() const {
+    return assemblies_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Image image;
+  };
+
+  std::mutex mutex_;  ///< guards the map only; assembly runs outside it.
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> assemblies_{0};
+};
+
+}  // namespace paradet::runtime

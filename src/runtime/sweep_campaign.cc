@@ -1,0 +1,152 @@
+#include "runtime/sweep_campaign.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace paradet::runtime {
+
+SweepCampaign::SweepCampaign(std::size_t points,
+                             std::vector<workloads::Workload> workloads,
+                             std::uint64_t seed)
+    : points_(points), workloads_(std::move(workloads)), seed_(seed) {
+  cell_workload_.reserve(points_ * workloads_.size());
+  for (std::size_t cell = 0; cell < points_ * workloads_.size(); ++cell) {
+    cell_workload_.push_back(cell % workloads_.size());
+  }
+}
+
+SweepCampaign SweepCampaign::flat(std::vector<std::size_t> cell_workloads,
+                                  std::vector<workloads::Workload> workloads,
+                                  std::uint64_t seed) {
+  SweepCampaign sweep;
+  sweep.workloads_ = std::move(workloads);
+  for (const std::size_t w : cell_workloads) {
+    if (w >= sweep.workloads_.size()) {
+      throw std::invalid_argument(
+          "SweepCampaign::flat: cell names a workload index out of range");
+    }
+  }
+  sweep.cell_workload_ = std::move(cell_workloads);
+  sweep.points_ = sweep.cell_workload_.size();
+  sweep.seed_ = seed;
+  sweep.grid_ = false;
+  return sweep;
+}
+
+void SweepCampaign::enable_baselines(const SystemConfig& config,
+                                     std::uint64_t max_instructions) {
+  baselines_ = true;
+  baseline_config_ = config;
+  baseline_budget_ = max_instructions;
+}
+
+SweepResult SweepCampaign::run(const ParallelRunner& runner,
+                               CampaignRunOptions options,
+                               const CellFn& cell) const {
+  const ShardSpec shard = options.shard;
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("ShardSpec: need 0 <= index < count");
+  }
+
+  const std::size_t workload_count = workloads_.size();
+  SweepResult result;
+  result.points = points_;
+  result.workload_count = workload_count;
+  result.workload_names.reserve(workload_count);
+  for (const auto& workload : workloads_) {
+    result.workload_names.push_back(workload.name);
+  }
+
+  // Which workloads this shard touches at all: images and baselines are
+  // only materialised for those.
+  result.workload_touched.assign(workload_count, 0);
+  for (std::size_t c = 0; c < cell_workload_.size(); ++c) {
+    if (shard.owns(c)) result.workload_touched[cell_workload_[c]] = 1;
+  }
+
+  // One immutable image per touched workload via the process-wide cache,
+  // and (when enabled) its paired baseline run — computed before the
+  // campaign so a resumed checkpoint still has its normalisation
+  // denominators. Both fan out on the worker pool; each baseline is a
+  // single deterministic simulation, so scheduling order cannot change
+  // any number.
+  std::vector<AssemblyCache::Image> images(workload_count);
+  result.baselines.assign(workload_count, sim::RunResult{});
+  result.baseline_done.assign(workload_count, 0);
+  runner.for_each(workload_count, [&](std::size_t w) {
+    if (!result.workload_touched[w]) return;
+    images[w] = AssemblyCache::instance().get(workloads_[w]);
+    if (baselines_) {
+      result.baselines[w] =
+          sim::run_program(baseline_config_, *images[w], baseline_budget_);
+      result.baseline_done[w] = 1;
+    }
+  });
+
+  // The campaign proper. keep_runs is forced on: the per-cell slots (and
+  // any table printed from them) read the records.
+  const Campaign campaign(cell_workload_.size(), seed_);
+  options.keep_runs = true;
+  result.artifact = campaign.run_sharded(
+      runner, options, [&](std::size_t i, std::uint64_t task_seed) {
+        const std::size_t w = cell_workload_[i];
+        return cell(point_of(i), w, *images[w], task_seed);
+      });
+
+  result.record_of_cell.assign(cell_workload_.size(), -1);
+  for (std::size_t record = 0; record < result.artifact.runs.size();
+       ++record) {
+    result.record_of_cell[result.artifact.runs[record].index] =
+        static_cast<std::ptrdiff_t>(record);
+  }
+  return result;
+}
+
+void print_transposed(
+    const SweepResult& result, const TableSpec& spec,
+    const std::function<double(std::size_t point, std::size_t workload)>&
+        value) {
+  if (spec.columns.size() != result.points) {
+    throw std::invalid_argument(
+        "print_transposed: one column label per sweep point required");
+  }
+  std::printf("%-*s", spec.corner_width, spec.corner);
+  for (const std::string& column : spec.columns) {
+    std::printf(" %*s", spec.width, column.c_str());
+  }
+  std::printf("\n");
+
+  for (std::size_t w = 0; w < result.workload_count; ++w) {
+    std::printf("%-*s", spec.corner_width, result.workload_names[w].c_str());
+    for (std::size_t p = 0; p < result.points; ++p) {
+      if (result.cell(p, w) == nullptr) {
+        std::printf(" %*s", spec.width, "-");  // cell owned by another shard.
+      } else {
+        std::printf(" %*.*f", spec.width, spec.precision, value(p, w));
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!spec.mean_row) return;
+  std::printf("%-*s", spec.corner_width, "mean");
+  for (std::size_t p = 0; p < result.points; ++p) {
+    double sum = 0;
+    unsigned cells = 0;
+    for (std::size_t w = 0; w < result.workload_count; ++w) {
+      if (result.cell(p, w) == nullptr) continue;
+      sum += value(p, w);
+      ++cells;
+    }
+    if (cells == 0) {
+      std::printf(" %*s", spec.width, "-");
+    } else {
+      std::printf(" %*.*f", spec.width, spec.precision,
+                  sum / static_cast<double>(cells));
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace paradet::runtime

@@ -352,6 +352,16 @@ TEST(RuntimeOptionsFlagsDeathTest, MalformedShardSpecsExit) {
               "invalid argument");
   EXPECT_EXIT(parse_args({"--jobs=-1"}), testing::ExitedWithCode(2),
               "invalid argument");
+  // A checkpoint interval without a checkpoint file checkpoints nothing;
+  // that must be a loud usage error, not a silently ignored flag.
+  EXPECT_EXIT(parse_args({"--checkpoint-every=4"}), testing::ExitedWithCode(2),
+              "--checkpoint=PATH alongside");
+  EXPECT_EXIT(parse_args({"--checkpoint-every=4", "--jobs=2"}),
+              testing::ExitedWithCode(2), "--checkpoint=PATH alongside");
+  // With the checkpoint path present — in either order — it parses.
+  EXPECT_EQ(parse_args({"--checkpoint-every=4", "--checkpoint=ck.json"})
+                .checkpoint_every,
+            4u);
 }
 
 TEST(RuntimeOptionsFlagsDeathTest, NonCampaignDriversRejectCampaignFlags) {
