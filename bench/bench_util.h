@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/hash.h"
 #include "runtime/campaign.h"
 #include "runtime/parallel_runner.h"
 #include "runtime/sweep_campaign.h"
@@ -45,7 +46,8 @@ struct Options {
         std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]%s\n",
                     argv[0],
                     campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
-                               "\n          [--checkpoint=ckpt.json]"
+                               "\n          [--checkpoint=ckpt.json |"
+                               " --journal=ckpt.json]"
                                " [--checkpoint-every=M]"
                              : "");
         std::exit(0);
@@ -58,23 +60,16 @@ struct Options {
     return runtime::ParallelRunner(runtime.jobs);
   }
 
-  /// Hash (FNV-1a) of the options that give campaign task indices their
-  /// meaning. Stored in artifacts so a checkpoint or shard file produced
-  /// at a different --scale / --benchmark — same task count, different
-  /// simulations — cannot silently resume or merge.
+  /// Hash (FNV-1a, common/hash.h) of the options that give campaign task
+  /// indices their meaning. Stored in artifacts so a checkpoint or shard
+  /// file produced at a different --scale / --benchmark — same task
+  /// count, different simulations — cannot silently resume or merge.
   std::uint64_t config_fingerprint() const {
-    std::uint64_t hash = 0xCBF29CE484222325ULL;
-    const auto mix_byte = [&hash](unsigned char byte) {
-      hash ^= byte;
-      hash *= 0x100000001B3ULL;
-    };
-    const auto mix_u64 = [&](std::uint64_t value) {
-      for (int i = 0; i < 8; ++i) mix_byte((value >> (8 * i)) & 0xFF);
-    };
-    mix_u64(std::bit_cast<std::uint64_t>(scale));
-    for (const char c : only) mix_byte(static_cast<unsigned char>(c));
-    mix_u64(kInstructionBudget);
-    return hash;
+    Fnv1a64 hash;
+    hash.mix_u64(std::bit_cast<std::uint64_t>(scale));
+    hash.mix_bytes(only);
+    hash.mix_u64(kInstructionBudget);
+    return hash.value();
   }
 
   /// Campaign execution options from the shared CLI flags (shard slice,

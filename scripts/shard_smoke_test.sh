@@ -2,23 +2,33 @@
 # End-to-end smoke test for cross-process campaign sharding: run the fault
 # campaign example and the fig09 sweep reproduction as two shard processes
 # each, merge their artifacts with merge_results, and require the merged
-# file to be byte-identical to the file an unsharded run writes. Also
-# checks the sweep drivers' usage-error paths (empty --benchmark filter,
-# --checkpoint-every without --checkpoint). Exercises the real CLI surface
-# (--shard/--out parsing, artifact I/O, the merge tool) rather than the
-# library entry points the unit tests already cover.
+# file to be byte-identical to the file an unsharded run writes; then run
+# the same fig09 sweep through campaign_orchestrator (3 shards, one
+# injected SIGKILL + checkpoint restart) and require *its* merged artifact
+# to be byte-identical too. Also checks the sweep drivers' usage-error
+# paths (empty --benchmark filter, --checkpoint-every without
+# --checkpoint, --checkpoint alongside --journal). Exercises the real CLI
+# surface (flag parsing, artifact I/O, the merge tool, the subprocess
+# orchestrator) rather than the library entry points the unit tests
+# already cover.
 set -euo pipefail
 
-if [[ $# -ne 3 ]]; then
-  echo "usage: $0 <example_fault_campaign> <merge_results> <bench_fig09>" >&2
+if [[ $# -ne 4 ]]; then
+  echo "usage: $0 <example_fault_campaign> <merge_results> <bench_fig09>" \
+       "<campaign_orchestrator>" >&2
   exit 2
 fi
 fault_campaign=$1
 merge_results=$2
 fig09=$3
+orchestrator=$4
 
+# Everything below lands in one fresh temp dir, removed on *every* exit —
+# success, failure or signal — so a failed step can never leave stale
+# artifacts behind to confuse the next run.
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT HUP INT TERM
 
 trials=2  # trials per fault site: 10 campaign tasks total.
 
@@ -54,6 +64,48 @@ if ! cmp "$workdir/fig09_merged.json" "$workdir/fig09_whole.json"; then
   exit 1
 fi
 echo "OK: 2-shard fig09 sweep merge is byte-identical to the unsharded artifact"
+
+# The orchestrator on the same sweep: 3 shard subprocesses, one injected
+# SIGKILL after checkpoint progress (then a restart that resumes from the
+# journal), auto-merge — and the merged file must still match the
+# unsharded artifact byte for byte.
+"$orchestrator" --shards=3 --jobs-per-shard=2 --run-dir="$workdir/orch" \
+    --inject-kill=1 --out="$workdir/orch_merged.json" \
+    -- "$fig09" "${fig09_flags[@]}" --checkpoint-every=1 \
+    > "$workdir/orch.out" 2> "$workdir/orch.log"
+
+if ! cmp "$workdir/orch_merged.json" "$workdir/fig09_whole.json"; then
+  echo "FAIL: orchestrator-merged artifact differs from the unsharded one" >&2
+  exit 1
+fi
+# Either the kill landed mid-run ("restarting from its checkpoint") or
+# the shard outran it and was relaunched once anyway ("relaunching once");
+# both exercise the checkpoint-resume path.
+if ! grep -qE "restarting from its checkpoint|relaunching once" \
+    "$workdir/orch.log"; then
+  echo "FAIL: orchestrator log shows no restart (injected kill never hit)" >&2
+  cat "$workdir/orch.log" >&2
+  exit 1
+fi
+echo "OK: orchestrator (3 shards, injected kill + restart) merge is" \
+     "byte-identical to the unsharded artifact"
+
+# --journal is the same checkpoint mechanism under another name: a run
+# journaled under --journal resumes and completes like any checkpoint.
+"$fig09" "${fig09_flags[@]}" --journal="$workdir/fig09_j.ckpt.json" \
+    --out="$workdir/fig09_j.json" > /dev/null
+if ! cmp "$workdir/fig09_j.json" "$workdir/fig09_whole.json"; then
+  echo "FAIL: --journal run artifact differs from the plain run" >&2
+  exit 1
+fi
+echo "OK: --journal alias produces the identical artifact"
+
+# Both spellings at once is ambiguous and must exit 2.
+if "$fig09" --checkpoint=a.json --journal=b.json > /dev/null 2>&1; then
+  echo "FAIL: --checkpoint alongside --journal exited 0" >&2
+  exit 1
+fi
+echo "OK: --checkpoint alongside --journal fails loudly"
 
 # An over-narrow filter must be a loud error (exit 1 + diagnostic), not an
 # empty table with exit 0.

@@ -158,25 +158,29 @@ struct RuntimeOptions {
   /// aggregate, versioned JSON) for tools/merge_results.
   std::string out_path;
 
-  /// `--checkpoint=PATH`: periodically persist completed runs + the
-  /// partial aggregate; an interrupted campaign restarted with the same
-  /// flag resumes without re-running finished tasks.
+  /// `--checkpoint=PATH` (alias `--journal=PATH`; giving both exits 2):
+  /// persist every completed run — an O(record) append to the journal at
+  /// PATH.journal, compacted periodically into a snapshot at PATH — so an
+  /// interrupted campaign restarted with the same flag resumes without
+  /// re-running finished tasks.
   std::string checkpoint_path;
 
-  /// `--checkpoint-every=M`: completed tasks between checkpoint writes.
+  /// `--checkpoint-every=M`: minimum journaled records between snapshot
+  /// compactions (completions are journaled immediately regardless).
   /// Only meaningful with `--checkpoint=PATH`; given alone it exits 2
   /// (an interval without a checkpoint file checkpoints nothing).
   std::uint64_t checkpoint_every = 16;
 
   /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and — when
   /// `campaign_flags` is true — `--shard=K/N`, `--out=PATH`,
-  /// `--checkpoint=PATH` and `--checkpoint-every=M`. Drivers that do not
-  /// execute through Campaign::run_sharded must leave `campaign_flags`
-  /// false: the campaign flags then exit with status 2 instead of being
-  /// silently swallowed (a sharding run that quietly executes the whole
-  /// campaign and writes no artifact is worse than an error). Malformed
-  /// values for recognised flags exit with status 2; unrelated arguments
-  /// are ignored, so drivers can layer their own parsing on top.
+  /// `--checkpoint=PATH`/`--journal=PATH` and `--checkpoint-every=M`.
+  /// Drivers that do not execute through Campaign::run_sharded must leave
+  /// `campaign_flags` false: the campaign flags then exit with status 2
+  /// instead of being silently swallowed (a sharding run that quietly
+  /// executes the whole campaign and writes no artifact is worse than an
+  /// error). Malformed values for recognised flags exit with status 2;
+  /// unrelated arguments are ignored, so drivers can layer their own
+  /// parsing on top.
   static RuntimeOptions from_args(int argc, char** argv,
                                   bool campaign_flags = false);
 };

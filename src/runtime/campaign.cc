@@ -1,9 +1,8 @@
 #include "runtime/campaign.h"
 
-#include <atomic>
-#include <cerrno>
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -53,25 +52,6 @@ CampaignRunOptions CampaignRunOptions::from_runtime(
   return options;
 }
 
-namespace {
-
-/// True if the checkpoint is there to resume from, false only when it
-/// genuinely does not exist. Any other open failure (permissions, fd
-/// exhaustion, transient I/O error) throws: silently treating an existing
-/// checkpoint as absent would re-run the whole campaign and then clobber
-/// the file.
-bool checkpoint_exists(const std::string& path) {
-  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
-    std::fclose(f);
-    return true;
-  }
-  if (errno == ENOENT) return false;
-  throw std::runtime_error("cannot open checkpoint '" + path +
-                           "': " + std::strerror(errno));
-}
-
-}  // namespace
-
 CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
                                        const CampaignRunOptions& options,
                                        const Task& task) const {
@@ -92,41 +72,8 @@ CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
   std::vector<sim::RunResult> results(owned.size());
   std::vector<char> done(owned.size(), 0);
 
-  // Resume: a checkpoint left by an interrupted run of this same shard
-  // pre-fills its completed slots. A checkpoint for a different campaign
-  // or slice is an operator error, never silently absorbed.
-  if (!options.checkpoint_path.empty() &&
-      checkpoint_exists(options.checkpoint_path)) {
-    CampaignArtifact checkpoint =
-        read_artifact_file(options.checkpoint_path);
-    if (checkpoint.seed != seed_ ||
-        checkpoint.tasks != static_cast<std::uint64_t>(tasks_) ||
-        checkpoint.fingerprint != options.fingerprint ||
-        !(checkpoint.shard == shard)) {
-      throw std::runtime_error(
-          "checkpoint '" + options.checkpoint_path +
-          "' belongs to a different campaign, configuration or shard "
-          "(seed/tasks/fingerprint/shard mismatch)");
-    }
-    for (TaskRecord& record : checkpoint.runs) {
-      const std::size_t slot =
-          static_cast<std::size_t>((record.index - shard.index) / shard.count);
-      results[slot] = std::move(record.result);
-      done[slot] = 1;
-    }
-  }
-
-  std::vector<std::size_t> pending;
-  for (std::size_t slot = 0; slot < owned.size(); ++slot) {
-    if (!done[slot]) pending.push_back(slot);
-  }
-
   // Builds the checkpoint artifact for a set of completed slots
-  // (ascending), absorbing in task-index order. A completed result is
-  // immutable, so this runs *outside* state_mutex: the caller collected
-  // `slots` while holding the lock, and each done[slot]=1 it observed was
-  // stored (under the same lock) after that result's slot was written,
-  // which orders those writes before this read.
+  // (ascending), absorbing in task-index order.
   const auto artifact_over = [&](const std::vector<std::size_t>& slots) {
     CampaignArtifact artifact;
     artifact.seed = seed_;
@@ -141,18 +88,62 @@ CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
     return artifact;
   };
 
-  // Checkpointing uses two locks so the pool never stalls on the
-  // checkpoint's deep copy or file I/O: state_mutex guards done[] and the
-  // completion counter and is only ever held to flip a flag or collect
-  // the completed slot indices; the RunResult copying, serialization and
-  // write all happen outside it, serialised by write_mutex. Snapshots are
-  // sequence-numbered so a writer that lost the race to a newer snapshot
-  // skips its stale write instead of rolling the file backwards.
-  std::mutex state_mutex;
-  std::mutex write_mutex;
-  std::uint64_t completions_since_checkpoint = 0;
-  std::uint64_t snapshot_seq = 0;
-  std::atomic<std::uint64_t> written_seq{0};
+  // Resume: the checkpoint's snapshot plus its journal (either may be a
+  // legacy whole-file checkpoint, a compaction, or an append tail from an
+  // interrupted run) pre-fill this shard's completed slots. A checkpoint
+  // for a different campaign or slice is an operator error, never
+  // silently absorbed — load_checkpoint_state validates and throws.
+  const JournalHeader header{seed_, tasks_, options.fingerprint, shard};
+  std::unique_ptr<JournalWriter> journal;
+  std::uint64_t snapshot_records = 0;
+  if (!options.checkpoint_path.empty()) {
+    CampaignArtifact checkpoint;
+    std::uint64_t journal_file_records = 0;
+    const bool resumed = load_checkpoint_state(
+        options.checkpoint_path, header, &checkpoint, &journal_file_records);
+    for (TaskRecord& record : checkpoint.runs) {
+      const std::size_t slot =
+          static_cast<std::size_t>((record.index - shard.index) / shard.count);
+      results[slot] = std::move(record.result);
+      done[slot] = 1;
+    }
+    if (journal_file_records > 0) {
+      // Normalise to a fresh snapshot + empty journal: replaying the same
+      // journal across repeated restarts would otherwise grow it without
+      // bound, and the compaction trigger below wants clean counts. A
+      // journal with no records means the snapshot alone already is the
+      // resume state — rewriting it would be pure redundant I/O.
+      std::vector<std::size_t> completed;
+      for (std::size_t slot = 0; slot < owned.size(); ++slot) {
+        if (done[slot]) completed.push_back(slot);
+      }
+      write_artifact_file(options.checkpoint_path, artifact_over(completed));
+      snapshot_records = completed.size();
+      std::remove(journal_path_for(options.checkpoint_path).c_str());
+    } else if (resumed) {
+      snapshot_records = checkpoint.runs.size();
+    }
+    journal = std::make_unique<JournalWriter>(
+        journal_path_for(options.checkpoint_path), header);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t slot = 0; slot < owned.size(); ++slot) {
+    if (!done[slot]) pending.push_back(slot);
+  }
+
+  // Checkpointing is an O(record) journal append per completion plus a
+  // snapshot compaction whenever the journal holds at least
+  // max(checkpoint_every, snapshot records) records. The geometric
+  // trigger means each compaction roughly doubles the snapshot, so total
+  // checkpoint serialization over an n-task shard is O(n) — n appends
+  // plus a ~2n geometric sum of snapshot writes — instead of the
+  // O(n²/interval) of rewriting every completed run each interval.
+  // Compactions are rare enough (O(log n) of them) that holding one mutex
+  // across append-and-maybe-compact is cheaper than the lock juggling a
+  // per-interval full rewrite used to need.
+  std::mutex checkpoint_mutex;
+  std::uint64_t journal_records = 0;
 
   runner.for_each(pending.size(), [&](std::size_t p) {
     const std::size_t slot = pending[p];
@@ -160,26 +151,27 @@ CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
                          task_seed(static_cast<std::size_t>(owned[slot])));
     // Without checkpointing nothing reads done[] after this point: the
     // final artifact walks every owned slot unconditionally.
-    if (options.checkpoint_path.empty()) return;
-    std::vector<std::size_t> completed;
-    std::uint64_t seq = 0;
-    {
-      const std::lock_guard<std::mutex> lock(state_mutex);
-      done[slot] = 1;
-      if (++completions_since_checkpoint < options.checkpoint_every) return;
-      completions_since_checkpoint = 0;
-      for (std::size_t s = 0; s < owned.size(); ++s) {
-        if (done[s]) completed.push_back(s);
-      }
-      seq = ++snapshot_seq;
+    if (journal == nullptr) return;
+    // Frame the record outside the mutex — the JSON encode of a big
+    // RunResult is the expensive part of an append, and this worker owns
+    // results[slot] until done[slot] is published below.
+    const std::string line =
+        journal_record_line(owned[slot], results[slot]);
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+    done[slot] = 1;
+    journal->append_line(line);
+    if (++journal_records <
+        std::max<std::uint64_t>(options.checkpoint_every, snapshot_records)) {
+      return;
     }
-    // Already superseded? Skip before paying for the deep copy.
-    if (seq <= written_seq.load(std::memory_order_acquire)) return;
-    const CampaignArtifact to_write = artifact_over(completed);
-    const std::lock_guard<std::mutex> lock(write_mutex);
-    if (seq <= written_seq.load(std::memory_order_relaxed)) return;
-    written_seq.store(seq, std::memory_order_release);
-    write_artifact_file(options.checkpoint_path, to_write);
+    std::vector<std::size_t> completed;
+    for (std::size_t s = 0; s < owned.size(); ++s) {
+      if (done[s]) completed.push_back(s);
+    }
+    write_artifact_file(options.checkpoint_path, artifact_over(completed));
+    journal->reset();
+    snapshot_records = completed.size();
+    journal_records = 0;
   });
 
   CampaignArtifact artifact;
@@ -195,8 +187,12 @@ CampaignArtifact Campaign::run_sharded(const ParallelRunner& runner,
     artifact.aggregate.absorb(record.result);
   }
 
-  if (!options.checkpoint_path.empty()) {
+  if (journal != nullptr) {
+    // The finished checkpoint is a plain snapshot — the same bytes the
+    // artifact file carries — with no journal beside it, so a re-run (or
+    // any pre-journal reader) loads it directly and re-runs nothing.
     write_artifact_file(options.checkpoint_path, artifact);
+    journal->remove_file();
   }
   if (!options.out_path.empty()) {
     write_artifact_file(options.out_path, artifact);

@@ -22,9 +22,12 @@
 // run_sharded() can persist its runs as a versioned JSON artifact
 // (runtime/serialize.h) that tools/merge_results folds back — in task
 // order — into the bit-identical single-machine aggregate. The same
-// artifact format doubles as a checkpoint: an interrupted campaign
-// restarted with the same --checkpoint path resumes without re-running
-// finished tasks and still produces byte-identical final output.
+// artifact format doubles as a checkpoint snapshot: an interrupted
+// campaign restarted with the same --checkpoint path resumes without
+// re-running finished tasks and still produces byte-identical final
+// output. Between snapshots, completions persist as O(1) appends to a
+// checksummed journal beside the snapshot (serialize.h), so total
+// checkpoint cost is O(n) over the campaign.
 #pragma once
 
 #include <cstdint>
@@ -124,10 +127,19 @@ struct CampaignRunOptions {
   /// Write the completed artifact here (for tools/merge_results).
   std::string out_path;
 
-  /// Checkpoint file: loaded (if present) before running to skip finished
-  /// tasks, rewritten every `checkpoint_every` completions and once more
-  /// when the shard finishes.
+  /// Checkpoint path: loaded (if present) before running to skip finished
+  /// tasks. Persistence is an append-only journal of completed runs at
+  /// `<path>.journal` (one checksummed record per completion, O(record)
+  /// each) folded periodically — and once more when the shard finishes —
+  /// into a whole-artifact snapshot at `<path>`, so total checkpoint cost
+  /// over the campaign is O(n). A pre-journal checkpoint file is exactly
+  /// a snapshot with no journal; it resumes unchanged.
   std::string checkpoint_path;
+
+  /// Compaction floor: the journal is folded into the snapshot once it
+  /// holds at least max(checkpoint_every, current snapshot records)
+  /// completed runs (the second term keeps total compaction cost linear).
+  /// Completions are journaled immediately regardless.
   std::uint64_t checkpoint_every = 16;
 
   /// Lifts the host-side CLI flags (--shard/--out/--checkpoint/...) into

@@ -6,9 +6,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "common/hash.h"
 
 namespace paradet::runtime {
 namespace {
@@ -723,6 +726,128 @@ CampaignArtifact read_artifact(const Json& j) {
   return artifact;
 }
 
+// --- Journal helpers -------------------------------------------------------
+
+/// One framed journal line: 16 lowercase-hex checksum chars, a space, the
+/// payload, a newline. The checksum covers exactly the payload bytes.
+std::string frame_journal_line(std::string_view payload) {
+  static const char* kHex = "0123456789abcdef";
+  const std::uint64_t sum = fnv1a64(payload);
+  std::string line;
+  line.reserve(payload.size() + 18);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    line += kHex[(sum >> shift) & 0xF];
+  }
+  line += ' ';
+  line += payload;
+  line += '\n';
+  return line;
+}
+
+std::string journal_header_payload(const JournalHeader& header) {
+  std::string out;
+  out += "{\"format\":\"";
+  out += kJournalFormatName;
+  out += "\",\"version\":";
+  append_u64(out, kJournalFormatVersion);
+  out += ",\"seed\":";
+  append_u64(out, header.seed);
+  out += ",\"tasks\":";
+  append_u64(out, header.tasks);
+  out += ",\"fingerprint\":";
+  append_u64(out, header.fingerprint);
+  out += ",\"shard\":{\"index\":";
+  append_u64(out, header.shard.index);
+  out += ",\"count\":";
+  append_u64(out, header.shard.count);
+  out += "}}";
+  return out;
+}
+
+void read_journal_header(const Json& j, const std::string& path,
+                         const JournalHeader& expected) {
+  const Json* format =
+      j.kind == Json::Kind::kObject ? j.find("format") : nullptr;
+  if (format == nullptr || format->kind != Json::Kind::kString ||
+      format->text != kJournalFormatName) {
+    throw std::runtime_error(
+        path + ": not a paradet checkpoint journal (missing or wrong "
+               "\"format\")");
+  }
+  const std::uint64_t version = j.at("version").as_u64();
+  if (version != kJournalFormatVersion) {
+    throw std::runtime_error(
+        path + ": unsupported checkpoint journal version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kJournalFormatVersion) + ")");
+  }
+  JournalHeader header;
+  header.seed = j.at("seed").as_u64();
+  header.tasks = j.at("tasks").as_u64();
+  header.fingerprint = j.at("fingerprint").as_u64();
+  const Json& shard = j.at("shard");
+  header.shard.index = shard.at("index").as_u64();
+  header.shard.count = shard.at("count").as_u64();
+  if (!(header == expected)) {
+    throw std::runtime_error(
+        path + ": journal belongs to a different campaign, configuration or "
+               "shard (seed/tasks/fingerprint/shard mismatch)");
+  }
+}
+
+/// Parses the hex checksum prefix of a framed line; returns false on any
+/// framing defect (short line, missing separator, non-hex digit).
+bool parse_frame_checksum(std::string_view line, std::uint64_t* sum) {
+  if (line.size() < 17 || line[16] != ' ') return false;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char h = line[static_cast<std::size_t>(i)];
+    value <<= 4;
+    if (h >= '0' && h <= '9') {
+      value |= static_cast<std::uint64_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      value |= static_cast<std::uint64_t>(h - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *sum = value;
+  return true;
+}
+
+/// True when `path` is openable; false only on ENOENT. Any other failure
+/// (permissions, fd exhaustion) throws: silently treating an existing
+/// checkpoint as absent would re-run the campaign and clobber the file.
+bool file_exists_or_throw(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  if (errno == ENOENT) return false;
+  throw std::runtime_error("cannot open checkpoint '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw std::runtime_error("error reading '" + path + "'");
+  }
+  return text;
+}
+
 }  // namespace
 
 // --- Public writers --------------------------------------------------------
@@ -843,27 +968,232 @@ void write_artifact_file(const std::string& path,
 }
 
 CampaignArtifact read_artifact_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot open '" + path +
-                             "': " + std::strerror(errno));
-  }
-  std::string text;
-  char buf[1 << 16];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
-    text.append(buf, got);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    throw std::runtime_error("error reading '" + path + "'");
-  }
+  const std::string text = read_whole_file(path);
   try {
     return artifact_from_json(text);
   } catch (const std::exception& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
+}
+
+// --- Append-only checkpoint journal ----------------------------------------
+
+std::string journal_path_for(const std::string& checkpoint_path) {
+  return checkpoint_path + ".journal";
+}
+
+std::string journal_record_line(std::uint64_t index,
+                                const sim::RunResult& result) {
+  std::string payload;
+  payload += "{\"index\":";
+  append_u64(payload, index);
+  payload += ",\"result\":";
+  append_run_result(payload, result);
+  payload += '}';
+  return frame_journal_line(payload);
+}
+
+JournalReplay replay_journal_file(const std::string& path,
+                                  const JournalHeader& expected) {
+  JournalReplay replay;
+  if (!file_exists_or_throw(path)) return replay;
+  const std::string text = read_whole_file(path);
+
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: no terminator.
+    const std::string_view line(text.data() + pos, nl - pos);
+    // A checksum-bad *final* line (the file ends at its newline) is a
+    // torn append; anywhere else it is corruption.
+    const bool is_last_line = nl + 1 == text.size();
+    std::uint64_t sum = 0;
+    if (!parse_frame_checksum(line, &sum) ||
+        sum != fnv1a64(line.substr(17))) {
+      // A torn append is always the final bytes of the file; a bad line
+      // with intact lines after it is real corruption.
+      if (is_last_line) break;
+      throw std::runtime_error(path + ": corrupt journal record at line " +
+                               std::to_string(line_no + 1));
+    }
+    const std::string_view payload = line.substr(17);
+    try {
+      const Json j = parse(payload);
+      if (line_no == 0) {
+        read_journal_header(j, path, expected);
+        replay.header_valid = true;
+      } else {
+        TaskRecord record;
+        record.index = j.at("index").as_u64();
+        record.result = read_run_result(j.at("result"));
+        replay.records.push_back(std::move(record));
+      }
+    } catch (const std::runtime_error&) {
+      if (line_no == 0) throw;  // a checksummed-but-foreign header is fatal.
+      throw std::runtime_error(path +
+                               ": journal record " + std::to_string(line_no) +
+                               " has a valid checksum but malformed payload");
+    }
+    pos = nl + 1;
+    valid_end = pos;
+    ++line_no;
+  }
+
+  if (valid_end < text.size()) {
+    replay.dropped_bytes = text.size() - valid_end;
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_end, ec);
+    if (ec) {
+      throw std::runtime_error("cannot truncate torn journal tail of '" +
+                               path + "': " + ec.message());
+    }
+  }
+  return replay;
+}
+
+JournalWriter::JournalWriter(std::string path, const JournalHeader& header)
+    : path_(std::move(path)),
+      header_line_(frame_journal_line(journal_header_payload(header))) {
+  open_appending_();
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JournalWriter::open_appending_() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open journal '" + path_ +
+                             "' for appending: " + std::strerror(errno));
+  }
+  // "a" leaves the initial position implementation-defined; measure the
+  // real size to know whether the header line is still owed.
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    throw std::runtime_error("cannot seek journal '" + path_ + "'");
+  }
+  if (std::ftell(file_) == 0) {
+    const std::size_t n =
+        std::fwrite(header_line_.data(), 1, header_line_.size(), file_);
+    if (n != header_line_.size() || std::fflush(file_) != 0) {
+      throw std::runtime_error("cannot write journal header to '" + path_ +
+                               "'");
+    }
+  }
+}
+
+void JournalWriter::append(const TaskRecord& record) {
+  append_line(journal_record_line(record.index, record.result));
+}
+
+void JournalWriter::append_line(const std::string& line) {
+  if (file_ == nullptr) {
+    // A failed reset() closed the file and threw; a concurrent worker
+    // landing here afterwards must get the same catchable error, not
+    // fwrite-on-null undefined behavior.
+    throw std::runtime_error("journal '" + path_ +
+                             "' is not open (an earlier compaction failed)");
+  }
+  const std::size_t n = std::fwrite(line.data(), 1, line.size(), file_);
+  if (n != line.size() || std::fflush(file_) != 0) {
+    throw std::runtime_error("cannot append to journal '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+void JournalWriter::reset() {
+  // Fresh header-only journal written beside, then renamed over: a crash
+  // at any point leaves either the old records (already folded into the
+  // snapshot — replay deduplicates) or the clean reset file.
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string tmp_path = path_ + ".tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) {
+    throw std::runtime_error("cannot open '" + tmp_path +
+                             "' for writing: " + std::strerror(errno));
+  }
+  const std::size_t n =
+      std::fwrite(header_line_.data(), 1, header_line_.size(), tmp);
+  const bool flushed = std::fclose(tmp) == 0;
+  if (n != header_line_.size() || !flushed) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("short write to '" + tmp_path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("cannot rename '" + tmp_path + "' to '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+  open_appending_();
+}
+
+void JournalWriter::remove_file() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(path_.c_str());
+}
+
+bool load_checkpoint_state(const std::string& checkpoint_path,
+                           const JournalHeader& expected,
+                           CampaignArtifact* state,
+                           std::uint64_t* journal_records) {
+  state->seed = expected.seed;
+  state->tasks = expected.tasks;
+  state->fingerprint = expected.fingerprint;
+  state->shard = expected.shard;
+  state->runs.clear();
+  state->aggregate = CampaignAggregate{};
+
+  bool found = false;
+  if (file_exists_or_throw(checkpoint_path)) {
+    CampaignArtifact snapshot = read_artifact_file(checkpoint_path);
+    if (snapshot.seed != expected.seed || snapshot.tasks != expected.tasks ||
+        snapshot.fingerprint != expected.fingerprint ||
+        !(snapshot.shard == expected.shard)) {
+      throw std::runtime_error(
+          "checkpoint '" + checkpoint_path +
+          "' belongs to a different campaign, configuration or shard "
+          "(seed/tasks/fingerprint/shard mismatch)");
+    }
+    state->runs = std::move(snapshot.runs);
+    found = true;
+  }
+
+  JournalReplay replay =
+      replay_journal_file(journal_path_for(checkpoint_path), expected);
+  found = found || replay.header_valid;
+  if (journal_records != nullptr) *journal_records = replay.records.size();
+
+  // Fold journal records in, skipping indices the snapshot already holds
+  // (a crash between compaction's snapshot write and journal reset leaves
+  // the folded records behind in the journal).
+  std::vector<char> present(expected.tasks, 0);
+  for (const TaskRecord& record : state->runs) present[record.index] = 1;
+  for (TaskRecord& record : replay.records) {
+    if (record.index >= expected.tasks ||
+        !expected.shard.owns(record.index)) {
+      throw std::runtime_error(journal_path_for(checkpoint_path) +
+                               ": journal record for task " +
+                               std::to_string(record.index) +
+                               " is outside this campaign slice");
+    }
+    if (present[record.index]) continue;
+    present[record.index] = 1;
+    state->runs.push_back(std::move(record));
+  }
+  std::sort(state->runs.begin(), state->runs.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.index < b.index;
+            });
+  for (const TaskRecord& record : state->runs) {
+    state->aggregate.absorb(record.result);
+  }
+  return found;
 }
 
 // --- Merging ---------------------------------------------------------------

@@ -1,17 +1,25 @@
 // Portable, versioned serialization for campaign results.
 //
-// A shard's output file, a checkpoint, and the merge tool's output are all
-// one shape — CampaignArtifact — written as canonical JSON: fixed key
-// order, fixed number formatting (std::to_chars shortest round-trip for
-// doubles, so serialize∘deserialize is the identity down to the last bit),
-// and a format/version header that readers reject loudly when unknown.
-// Canonical bytes are the point: "merging N shard files reproduces the
-// single-machine run" is checked with cmp/==, not with tolerances.
+// A shard's output file, a checkpoint snapshot, and the merge tool's
+// output are all one shape — CampaignArtifact — written as canonical
+// JSON: fixed key order, fixed number formatting (std::to_chars shortest
+// round-trip for doubles, so serialize∘deserialize is the identity down
+// to the last bit), and a format/version header that readers reject
+// loudly when unknown. Canonical bytes are the point: "merging N shard
+// files reproduces the single-machine run" is checked with cmp/==, not
+// with tolerances.
+//
+// Checkpoints add a second file: an append-only journal of completed
+// TaskRecords (one checksummed line each) next to the snapshot, so
+// checkpoint cost over a whole campaign is O(n) record serializations
+// instead of O(n²/interval) snapshot rewrites — see the journal section
+// below.
 //
 // Non-finite doubles (an empty Summary's min/max are ±inf) are encoded as
 // the JSON strings "inf" / "-inf" / "nan"; everything else is plain JSON.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +63,124 @@ CampaignArtifact artifact_from_json(std::string_view text);
 void write_artifact_file(const std::string& path,
                          const CampaignArtifact& artifact);
 CampaignArtifact read_artifact_file(const std::string& path);
+
+// --- Append-only checkpoint journal ----------------------------------------
+//
+// A checkpoint at PATH is two files:
+//
+//   PATH           the snapshot: a whole CampaignArtifact (the format
+//                  above — a pre-journal checkpoint file is exactly a
+//                  snapshot, so legacy checkpoints resume unchanged).
+//   PATH.journal   TaskRecords completed since that snapshot, appended
+//                  one line at a time:  <fnv1a64-hex16> SP <payload> LF
+//                  where payload is one-line canonical JSON and the
+//                  checksum covers the payload bytes. Line 1's payload is
+//                  a header naming the campaign slice (format/version/
+//                  seed/tasks/fingerprint/shard); every further line is
+//                  {"index":I,"result":{...}}.
+//
+// Appending a record is O(record); a crash mid-append leaves a torn final
+// line whose checksum cannot match, and replay truncates it away (the
+// interrupted task simply re-runs). Compaction folds the journal back
+// into the snapshot: write the full artifact to PATH (atomic tmp+rename),
+// then atomically reset PATH.journal to just its header line. A crash
+// between those two steps leaves journal records that are already in the
+// snapshot; replay deduplicates by task index, so every crash window
+// resumes cleanly.
+
+inline constexpr const char* kJournalFormatName = "paradet-campaign-journal";
+inline constexpr std::uint64_t kJournalFormatVersion = 1;
+
+/// The journal file that extends the checkpoint snapshot at
+/// `checkpoint_path`.
+std::string journal_path_for(const std::string& checkpoint_path);
+
+/// Identity of the campaign slice a journal extends. Stored in the
+/// journal's header line and validated on replay, exactly like the
+/// snapshot's seed/tasks/fingerprint/shard fields.
+struct JournalHeader {
+  std::uint64_t seed = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t fingerprint = 0;
+  ShardSpec shard;
+  bool operator==(const JournalHeader&) const = default;
+};
+
+/// Replay of an existing journal file: every intact record in append
+/// order, plus how many torn trailing bytes were truncated away.
+struct JournalReplay {
+  bool header_valid = false;  ///< false only for an empty/torn-header file.
+  std::vector<TaskRecord> records;
+  std::uint64_t dropped_bytes = 0;  ///< torn tail removed from the file.
+};
+
+/// Reads and validates the journal at `path`, truncating a torn tail (a
+/// crash mid-append) in place so later appends extend a clean file. A
+/// missing file replays empty; a header for a different campaign slice, a
+/// checksum failure before the final line, or an unreadable file throws.
+JournalReplay replay_journal_file(const std::string& path,
+                                  const JournalHeader& expected);
+
+/// The framed journal line for one completed task — checksum, space,
+/// payload, newline. Building it (a full RunResult JSON encode) is the
+/// expensive part of an append; callers that append under a contended
+/// lock should frame outside it and pass the line to
+/// JournalWriter::append_line.
+std::string journal_record_line(std::uint64_t index,
+                                const sim::RunResult& result);
+
+/// Appends TaskRecords to the journal at `path`, one checksummed line
+/// each, flushed per record. Opens in append mode, writing the header
+/// line first when the file is new or empty (replay any existing content
+/// *before* constructing a writer — construction does not validate).
+class JournalWriter {
+ public:
+  JournalWriter(std::string path, const JournalHeader& header);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Appends one completed task. Throws on write failure (a checkpoint
+  /// that silently stops persisting is worse than a crashed campaign).
+  void append(const TaskRecord& record);
+
+  /// Appends a line built by journal_record_line. Same failure contract
+  /// as append; also throws when the file is not open (a previous
+  /// reset() failed mid-compaction).
+  void append_line(const std::string& line);
+
+  /// Atomically resets the file to just the header line (called after a
+  /// compaction folded the records into the snapshot).
+  void reset();
+
+  /// Closes and deletes the journal file (the campaign finished; the
+  /// final snapshot alone is the completed checkpoint).
+  void remove_file();
+
+ private:
+  void open_appending_();
+
+  std::string path_;
+  std::string header_line_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Everything the checkpoint at `checkpoint_path` currently holds: the
+/// snapshot artifact (a legacy whole-file checkpoint or the last
+/// compaction) with the journal's intact records folded in — validated
+/// against `expected`, deduplicated by task index, sorted ascending, and
+/// with the aggregate re-absorbed in task order. Returns false when
+/// neither file exists; throws when either belongs to a different
+/// campaign slice or is corrupt (beyond a torn journal tail, which is
+/// truncated in place). `journal_records`, when given, receives the
+/// number of intact records physically in the journal file (pre-dedupe)
+/// — zero means the snapshot alone already is the whole resume state.
+bool load_checkpoint_state(const std::string& checkpoint_path,
+                           const JournalHeader& expected,
+                           CampaignArtifact* state,
+                           std::uint64_t* journal_records = nullptr);
 
 // --- Merging ---------------------------------------------------------------
 

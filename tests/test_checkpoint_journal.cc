@@ -1,0 +1,450 @@
+// The append-only checkpoint journal, proven at the failure boundaries
+// the design exists for: a crash mid-append (torn final line) truncates
+// cleanly and resumes; compaction cadence never changes the final bytes;
+// a resume from journal-only, snapshot-only (legacy pre-journal
+// checkpoint) or snapshot+journal state re-runs exactly the unfinished
+// tasks and reproduces the uninterrupted campaign's artifact byte for
+// byte; and the compaction crash window (records in both snapshot and
+// journal) deduplicates instead of double-counting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/campaign.h"
+#include "runtime/parallel_runner.h"
+#include "runtime/serialize.h"
+
+namespace paradet::runtime {
+namespace {
+
+constexpr std::size_t kTasks = 48;
+constexpr std::uint64_t kSeed = 0x10A7;
+
+/// A cheap, fully deterministic stand-in for a simulation: every field a
+/// pure function of the task seed, so byte-identity checks carry exactly
+/// as they would for real RunResults (which test_shard_merge covers).
+sim::RunResult synthetic_result(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  sim::RunResult r;
+  r.instructions = rng.next() % 100'000;
+  r.uops = rng.next() % 200'000;
+  r.main_done_cycle = rng.next() % 1'000'000 + 1;
+  r.all_checked_cycle = r.main_done_cycle + rng.next() % 1'000;
+  r.ipc = rng.next_double() * 3.0;
+  r.error_detected = (rng.next() & 1) != 0;
+  r.segments = rng.next() % 50;
+  r.delay_ns = Histogram(50.0, 20);
+  for (int k = 0; k < 5; ++k) r.delay_ns.add(rng.next_double() * 1200.0);
+  r.counters.inc("synthetic.ticks", rng.next() % 1000);
+  return r;
+}
+
+sim::RunResult synthetic_task(std::size_t, std::uint64_t task_seed) {
+  return synthetic_result(task_seed);
+}
+
+/// The uninterrupted unsharded artifact's bytes: the ground truth every
+/// crashed/resumed/compacted variant must reproduce.
+const std::string& reference_json() {
+  static const std::string* text = [] {
+    const Campaign campaign(kTasks, kSeed);
+    CampaignRunOptions options;
+    options.keep_runs = true;
+    return new std::string(to_json(
+        campaign.run_sharded(ParallelRunner(1), options, synthetic_task)));
+  }();
+  return *text;
+}
+
+/// A temp checkpoint path with no stale snapshot/journal next to it.
+std::string fresh_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove(journal_path_for(path).c_str());
+  return path;
+}
+
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return static_cast<std::uint64_t>(size);
+}
+
+void append_raw(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+void truncate_to(const std::string& path, std::uint64_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[1 << 12];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  ASSERT_LE(size, text.size());
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, size, f);
+  std::fclose(f);
+}
+
+JournalHeader header_for(const Campaign& campaign,
+                         ShardSpec shard = ShardSpec{}) {
+  return JournalHeader{campaign.seed(), campaign.tasks(), 0, shard};
+}
+
+// --- The journal file itself -----------------------------------------------
+
+TEST(CheckpointJournal, AppendReplayRoundTripsRecords) {
+  const std::string ckpt = fresh_path("journal_roundtrip.json");
+  const std::string journal = journal_path_for(ckpt);
+  const JournalHeader header{kSeed, kTasks, 0x50FA, ShardSpec{1, 3}};
+
+  std::vector<TaskRecord> written;
+  {
+    JournalWriter writer(journal, header);
+    for (const std::uint64_t index : {1u, 7u, 4u}) {  // append order ≠ sorted.
+      TaskRecord record{index, synthetic_result(900 + index)};
+      writer.append(record);
+      written.push_back(std::move(record));
+    }
+  }
+  const JournalReplay replay = replay_journal_file(journal, header);
+  EXPECT_TRUE(replay.header_valid);
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  ASSERT_EQ(replay.records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replay.records[i].index, written[i].index);
+    EXPECT_EQ(to_json(replay.records[i].result), to_json(written[i].result));
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(CheckpointJournal, MissingJournalReplaysEmpty) {
+  const std::string ckpt = fresh_path("journal_missing.json");
+  const JournalReplay replay =
+      replay_journal_file(journal_path_for(ckpt), JournalHeader{});
+  EXPECT_FALSE(replay.header_valid);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(CheckpointJournal, TornTailIsTruncatedInPlaceAndAppendable) {
+  const std::string ckpt = fresh_path("journal_torn.json");
+  const std::string journal = journal_path_for(ckpt);
+  const JournalHeader header{kSeed, kTasks, 0, ShardSpec{}};
+
+  {
+    JournalWriter writer(journal, header);
+    writer.append({0, synthetic_result(1)});
+    writer.append({1, synthetic_result(2)});
+  }
+  const std::uint64_t intact_size = file_size(journal);
+
+  // A crash mid-append leaves a checksum-framed prefix with no newline.
+  append_raw(journal, "a1b2c3d4e5f60718 {\"index\":2,\"result\":{\"trunc");
+  JournalReplay replay = replay_journal_file(journal, header);
+  EXPECT_TRUE(replay.header_valid);
+  EXPECT_EQ(replay.records.size(), 2u);
+  EXPECT_GT(replay.dropped_bytes, 0u);
+  EXPECT_EQ(file_size(journal), intact_size);  // tail gone from disk too.
+
+  // The truncated file keeps accepting appends and replays all three.
+  {
+    JournalWriter writer(journal, header);
+    writer.append({2, synthetic_result(3)});
+  }
+  replay = replay_journal_file(journal, header);
+  EXPECT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.dropped_bytes, 0u);
+  std::remove(journal.c_str());
+}
+
+TEST(CheckpointJournal, TornBytesMidFinalRecordAreDropped) {
+  const std::string ckpt = fresh_path("journal_torn_mid.json");
+  const std::string journal = journal_path_for(ckpt);
+  const JournalHeader header{kSeed, kTasks, 0, ShardSpec{}};
+  {
+    JournalWriter writer(journal, header);
+    writer.append({0, synthetic_result(1)});
+    writer.append({1, synthetic_result(2)});
+  }
+  truncate_to(journal, file_size(journal) - 9);  // cut into the last line.
+  const JournalReplay replay = replay_journal_file(journal, header);
+  EXPECT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].index, 0u);
+  EXPECT_GT(replay.dropped_bytes, 0u);
+  std::remove(journal.c_str());
+}
+
+TEST(CheckpointJournal, CorruptInteriorRecordThrows) {
+  const std::string ckpt = fresh_path("journal_corrupt.json");
+  const std::string journal = journal_path_for(ckpt);
+  const JournalHeader header{kSeed, kTasks, 0, ShardSpec{}};
+  {
+    JournalWriter writer(journal, header);
+    writer.append({0, synthetic_result(1)});
+    writer.append({1, synthetic_result(2)});
+  }
+  // Flip one payload byte of the *first* record: a bad line with intact
+  // lines after it is corruption, not a torn append.
+  std::FILE* f = std::fopen(journal.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[1 << 12];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  const std::size_t record_start = text.find('\n') + 1;
+  text[record_start + 30] ^= 0x01;
+  f = std::fopen(journal.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+
+  EXPECT_THROW(replay_journal_file(journal, header), std::runtime_error);
+  std::remove(journal.c_str());
+}
+
+TEST(CheckpointJournal, ForeignJournalHeaderIsRejected) {
+  const std::string ckpt = fresh_path("journal_foreign.json");
+  const std::string journal = journal_path_for(ckpt);
+  const JournalHeader theirs{kSeed + 1, kTasks, 0, ShardSpec{}};
+  { JournalWriter writer(journal, theirs); }
+  const JournalHeader ours{kSeed, kTasks, 0, ShardSpec{}};
+  EXPECT_THROW(replay_journal_file(journal, ours), std::runtime_error);
+  std::remove(journal.c_str());
+}
+
+// --- load_checkpoint_state -------------------------------------------------
+
+TEST(CheckpointJournal, LoadDeduplicatesTheCompactionCrashWindow) {
+  // Crash between "snapshot written" and "journal reset": records 0 and 2
+  // exist in both files. The resume state must count each task once.
+  const std::string ckpt = fresh_path("journal_dedupe.json");
+  const Campaign campaign(6, kSeed);
+  CampaignArtifact snapshot;
+  snapshot.seed = campaign.seed();
+  snapshot.tasks = campaign.tasks();
+  for (const std::uint64_t index : {0u, 2u}) {
+    snapshot.runs.push_back({index, synthetic_result(index)});
+    snapshot.aggregate.absorb(snapshot.runs.back().result);
+  }
+  write_artifact_file(ckpt, snapshot);
+  {
+    JournalWriter writer(journal_path_for(ckpt), header_for(campaign));
+    writer.append({0, synthetic_result(0)});
+    writer.append({2, synthetic_result(2)});
+    writer.append({3, synthetic_result(3)});
+  }
+
+  CampaignArtifact state;
+  ASSERT_TRUE(load_checkpoint_state(ckpt, header_for(campaign), &state));
+  ASSERT_EQ(state.runs.size(), 3u);
+  EXPECT_EQ(state.runs[0].index, 0u);
+  EXPECT_EQ(state.runs[1].index, 2u);
+  EXPECT_EQ(state.runs[2].index, 3u);
+  EXPECT_EQ(state.aggregate.runs, 3u);
+  std::remove(ckpt.c_str());
+  std::remove(journal_path_for(ckpt).c_str());
+}
+
+TEST(CheckpointJournal, JournalRecordOutsideTheSliceIsRejected) {
+  const std::string ckpt = fresh_path("journal_foreign_record.json");
+  const Campaign campaign(8, kSeed);
+  const JournalHeader header = header_for(campaign, ShardSpec{0, 2});
+  {
+    JournalWriter writer(journal_path_for(ckpt), header);
+    writer.append({3, synthetic_result(3)});  // 3 % 2 != 0: not shard 0's.
+  }
+  CampaignArtifact state;
+  EXPECT_THROW(load_checkpoint_state(ckpt, header, &state),
+               std::runtime_error);
+  std::remove(journal_path_for(ckpt).c_str());
+}
+
+// --- End-to-end campaign recovery ------------------------------------------
+
+/// Runs the campaign with a task that throws after `crash_after`
+/// completions, leaving whatever checkpoint state accumulated on disk.
+void crash_campaign(const Campaign& campaign, const CampaignRunOptions& options,
+                    unsigned crash_after) {
+  std::atomic<unsigned> launched{0};
+  EXPECT_THROW(
+      campaign.run_sharded(ParallelRunner(1), options,
+                           [&](std::size_t i, std::uint64_t seed) {
+                             if (launched.fetch_add(1) >= crash_after) {
+                               throw std::runtime_error("injected crash");
+                             }
+                             return synthetic_task(i, seed);
+                           }),
+      std::runtime_error);
+}
+
+TEST(CheckpointJournal, ResumeFromJournalOnlyMatchesUninterrupted) {
+  // checkpoint_every larger than the campaign: no compaction ever runs,
+  // so at the crash *all* persisted state is journal appends.
+  const std::string ckpt = fresh_path("journal_only_resume.json");
+  const Campaign campaign(kTasks, kSeed);
+  CampaignRunOptions options;
+  options.keep_runs = true;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every = 10'000;
+
+  constexpr unsigned kCrashAfter = 17;
+  crash_campaign(campaign, options, kCrashAfter);
+  EXPECT_FALSE(file_exists(ckpt));  // never compacted...
+  EXPECT_TRUE(file_exists(journal_path_for(ckpt)));  // ...only journaled.
+
+  std::atomic<unsigned> resumed{0};
+  const CampaignArtifact artifact = campaign.run_sharded(
+      ParallelRunner(1), options, [&](std::size_t i, std::uint64_t seed) {
+        ++resumed;
+        return synthetic_task(i, seed);
+      });
+  EXPECT_EQ(resumed.load(), kTasks - kCrashAfter);
+  EXPECT_EQ(to_json(artifact), reference_json());
+  // A finished checkpoint is a plain snapshot, journal gone.
+  EXPECT_FALSE(file_exists(journal_path_for(ckpt)));
+  EXPECT_TRUE(file_exists(ckpt));
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointJournal, CrashMidAppendResumesAndRerunsTheTornTask) {
+  const std::string ckpt = fresh_path("journal_torn_resume.json");
+  const Campaign campaign(kTasks, kSeed);
+  CampaignRunOptions options;
+  options.keep_runs = true;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every = 10'000;  // journal-only state at the crash.
+
+  constexpr unsigned kCrashAfter = 12;
+  crash_campaign(campaign, options, kCrashAfter);
+  // Tear the last append mid-record, as a crash inside fwrite would.
+  const std::string journal = journal_path_for(ckpt);
+  truncate_to(journal, file_size(journal) - 25);
+
+  std::atomic<unsigned> resumed{0};
+  const CampaignArtifact artifact = campaign.run_sharded(
+      ParallelRunner(1), options, [&](std::size_t i, std::uint64_t seed) {
+        ++resumed;
+        return synthetic_task(i, seed);
+      });
+  // The torn record's task re-runs (its append never became durable).
+  EXPECT_EQ(resumed.load(), kTasks - kCrashAfter + 1);
+  EXPECT_EQ(to_json(artifact), reference_json());
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointJournal, CompactionCadenceNeverChangesTheBytes) {
+  // The same crash+resume at aggressive, default-ish and never-compacting
+  // cadences: identical final bytes, so compaction ≡ no compaction.
+  for (const std::uint64_t every : {1ull, 5ull, 10'000ull}) {
+    const std::string ckpt =
+        fresh_path("journal_cadence_" + std::to_string(every) + ".json");
+    const Campaign campaign(kTasks, kSeed);
+    CampaignRunOptions options;
+    options.keep_runs = true;
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = every;
+    crash_campaign(campaign, options, 23);
+    const CampaignArtifact artifact =
+        campaign.run_sharded(ParallelRunner(1), options, synthetic_task);
+    EXPECT_EQ(to_json(artifact), reference_json()) << "every=" << every;
+    std::remove(ckpt.c_str());
+  }
+}
+
+TEST(CheckpointJournal, CompletedCheckpointEqualsTheArtifactBytes) {
+  const std::string ckpt = fresh_path("journal_final_snapshot.json");
+  const std::string out = fresh_path("journal_final_out.json");
+  const Campaign campaign(kTasks, kSeed);
+  CampaignRunOptions options;
+  options.checkpoint_path = ckpt;
+  options.checkpoint_every = 3;
+  options.out_path = out;
+  campaign.run_sharded(ParallelRunner(4), options, synthetic_task);
+  // The finished checkpoint is byte-for-byte the --out artifact: any
+  // pre-journal reader (or merge tooling) can consume it directly.
+  EXPECT_EQ(to_json(read_artifact_file(ckpt)), reference_json());
+  EXPECT_EQ(to_json(read_artifact_file(out)), reference_json());
+  EXPECT_FALSE(file_exists(journal_path_for(ckpt)));
+  std::remove(ckpt.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CheckpointJournal, LegacySnapshotCheckpointStillLoads) {
+  // A pre-journal checkpoint is a whole artifact at the checkpoint path
+  // with nothing beside it. Resume must honour it unchanged.
+  const std::string ckpt = fresh_path("journal_legacy.json");
+  const Campaign campaign(kTasks, kSeed);
+
+  const CampaignArtifact reference = artifact_from_json(reference_json());
+  CampaignArtifact legacy;
+  legacy.seed = reference.seed;
+  legacy.tasks = reference.tasks;
+  constexpr std::size_t kAlreadyDone = 20;
+  for (std::size_t i = 0; i < kAlreadyDone; ++i) {
+    legacy.runs.push_back(reference.runs[i]);
+    legacy.aggregate.absorb(legacy.runs.back().result);
+  }
+  write_artifact_file(ckpt, legacy);
+
+  CampaignRunOptions options;
+  options.keep_runs = true;
+  options.checkpoint_path = ckpt;
+  std::atomic<unsigned> resumed{0};
+  const CampaignArtifact artifact = campaign.run_sharded(
+      ParallelRunner(1), options, [&](std::size_t i, std::uint64_t seed) {
+        ++resumed;
+        return synthetic_task(i, seed);
+      });
+  EXPECT_EQ(resumed.load(), kTasks - kAlreadyDone);
+  EXPECT_EQ(to_json(artifact), reference_json());
+  std::remove(ckpt.c_str());
+}
+
+TEST(CheckpointJournal, ShardedCrashResumeStillMergesByteIdentically) {
+  // The journal under the full distributed story: every shard crashes
+  // once mid-run at a different point, resumes, and the merged artifacts
+  // still reproduce the unsharded bytes.
+  constexpr std::uint64_t kShards = 3;
+  const Campaign campaign(kTasks, kSeed);
+  std::vector<CampaignArtifact> shards;
+  for (std::uint64_t k = 0; k < kShards; ++k) {
+    const std::string ckpt =
+        fresh_path("journal_shard_" + std::to_string(k) + ".json");
+    CampaignRunOptions options;
+    options.shard = ShardSpec{k, kShards};
+    options.keep_runs = true;
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 2;
+    crash_campaign(campaign, options, static_cast<unsigned>(3 + k));
+    shards.push_back(
+        campaign.run_sharded(ParallelRunner(2), options, synthetic_task));
+    std::remove(ckpt.c_str());
+  }
+  EXPECT_EQ(to_json(merge_artifacts(std::move(shards))), reference_json());
+}
+
+}  // namespace
+}  // namespace paradet::runtime

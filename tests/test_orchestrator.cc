@@ -1,0 +1,132 @@
+// The orchestrator's policy pieces — shard argv/path construction, the
+// straggler decision and checkpoint-progress detection — as pure unit
+// tests. The spawn/kill/restart/merge machinery runs for real in the
+// `shard_cli_smoke` CTest (scripts/shard_smoke_test.sh drives
+// campaign_orchestrator with an injected shard kill and cmp-checks the
+// merged artifact) and in the CI orchestrator-smoke job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.h"
+#include "runtime/orchestrator.h"
+#include "runtime/serialize.h"
+
+namespace paradet::runtime {
+namespace {
+
+OrchestratorOptions options_under(const std::string& run_dir) {
+  OrchestratorOptions options;
+  options.shards = 3;
+  options.jobs_per_shard = 4;
+  options.run_dir = run_dir;
+  return options;
+}
+
+TEST(Orchestrator, ShardArgvAppendsTheCampaignFlagsLast) {
+  const OrchestratorOptions options = options_under("/tmp/run");
+  const std::vector<std::string> argv =
+      shard_argv({"./bench_fig09", "--scale=0.05", "--checkpoint-every=1"},
+                 options, 1);
+  const std::vector<std::string> expected = {
+      "./bench_fig09",          "--scale=0.05",
+      "--checkpoint-every=1",   "--jobs=4",
+      "--shard=1/3",            "--out=/tmp/run/shard_1.json",
+      "--checkpoint=/tmp/run/shard_1.ckpt.json",
+  };
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(Orchestrator, ShardArgvDropsCallerCampaignFlags) {
+  // The orchestrator owns sharding/artifact/checkpoint paths. A caller's
+  // own spellings — --journal especially, which drivers reject alongside
+  // the appended --checkpoint — must be dropped, not passed through to
+  // make every shard exit 2.
+  const OrchestratorOptions options = options_under("/tmp/run");
+  const std::vector<std::string> argv = shard_argv(
+      {"./bench_fig09", "--journal=mine.json", "--scale=0.05",
+       "--shard=0/9", "--out=mine.json", "--checkpoint=mine.ckpt"},
+      options, 0);
+  const std::vector<std::string> expected = {
+      "./bench_fig09", "--scale=0.05",
+      "--jobs=4",      "--shard=0/3",
+      "--out=/tmp/run/shard_0.json",
+      "--checkpoint=/tmp/run/shard_0.ckpt.json",
+  };
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(Orchestrator, RunDirectoryLayoutIsPerShard) {
+  const OrchestratorOptions options = options_under("dir");
+  EXPECT_EQ(shard_out_path(options, 0), "dir/shard_0.json");
+  EXPECT_EQ(shard_checkpoint_path(options, 2), "dir/shard_2.ckpt.json");
+  EXPECT_EQ(shard_log_path(options, 1), "dir/shard_1.log");
+}
+
+TEST(Orchestrator, StragglerPolicyWaitsForAQuorum) {
+  // Disabled entirely at factor 0.
+  EXPECT_FALSE(is_straggler(100.0, {1.0, 1.0}, 3, 0.0));
+  // No finished shards: nothing to compare against.
+  EXPECT_FALSE(is_straggler(100.0, {}, 3, 3.0));
+  // 1 of 3 finished is under the half-quorum.
+  EXPECT_FALSE(is_straggler(100.0, {1.0}, 3, 3.0));
+  // Quorum reached: 3x the median flags, under it does not.
+  EXPECT_TRUE(is_straggler(3.5, {1.0, 1.1}, 3, 3.0));
+  EXPECT_FALSE(is_straggler(2.5, {1.0, 1.1}, 3, 3.0));
+  // Near-instant medians don't brand everything a straggler: the
+  // threshold has an absolute floor.
+  EXPECT_FALSE(is_straggler(0.05, {0.001, 0.001}, 2, 2.0));
+}
+
+TEST(Orchestrator, CheckpointProgressSeesSnapshotOrJournaledRecord) {
+  const std::string ckpt =
+      testing::TempDir() + "/paradet_orch_progress.json";
+  const std::string journal = journal_path_for(ckpt);
+  std::remove(ckpt.c_str());
+  std::remove(journal.c_str());
+
+  // Nothing on disk: no progress.
+  EXPECT_FALSE(checkpoint_has_progress(ckpt));
+
+  // A header-only journal is an empty checkpoint: still no progress.
+  const JournalHeader header{1, 8, 0, ShardSpec{}};
+  JournalWriter writer(journal, header);
+  EXPECT_FALSE(checkpoint_has_progress(ckpt));
+
+  // One journaled record is resumable progress.
+  writer.append({0, sim::RunResult{}});
+  EXPECT_TRUE(checkpoint_has_progress(ckpt));
+
+  // A snapshot alone (legacy or compacted) is progress too.
+  std::remove(journal.c_str());
+  CampaignArtifact snapshot;
+  snapshot.seed = 1;
+  snapshot.tasks = 8;
+  write_artifact_file(ckpt, snapshot);
+  EXPECT_TRUE(checkpoint_has_progress(ckpt));
+  std::remove(ckpt.c_str());
+}
+
+TEST(Orchestrator, SetupErrorsThrowBeforeAnythingSpawns) {
+  OrchestratorOptions options = options_under(testing::TempDir() + "/orch");
+  EXPECT_THROW(orchestrate({}, options), std::invalid_argument);
+
+  options.shards = 0;
+  EXPECT_THROW(orchestrate({"/bin/true"}, options), std::invalid_argument);
+
+  options = options_under("");
+  EXPECT_THROW(orchestrate({"/bin/true"}, options), std::invalid_argument);
+
+  options = options_under(testing::TempDir() + "/orch");
+  options.inject_kill = 3;  // shards are 0..2.
+  EXPECT_THROW(orchestrate({"/bin/true"}, options), std::invalid_argument);
+
+  options.inject_kill = -1;
+  EXPECT_THROW(orchestrate({"/no/such/driver"}, options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paradet::runtime

@@ -126,6 +126,7 @@ TEST(ShardMerge, ShardArtifactFilesSurviveTheDiskTrip) {
 TEST(ShardMerge, CheckpointResumeIsByteIdenticalToUninterrupted) {
   const std::string path = testing::TempDir() + "/paradet_checkpoint.json";
   std::remove(path.c_str());
+  std::remove(journal_path_for(path).c_str());
 
   const Campaign campaign(kTasks, kSeed);
   const ParallelRunner serial(1);
@@ -147,10 +148,13 @@ TEST(ShardMerge, CheckpointResumeIsByteIdenticalToUninterrupted) {
                            }),
       std::runtime_error);
 
-  // The checkpoint on disk holds the partial campaign: with jobs=1 the
-  // completions are a prefix, and every checkpoint_every of them was
-  // persisted with its partial aggregate.
-  const CampaignArtifact checkpoint = read_artifact_file(path);
+  // The checkpoint on disk holds the whole partial campaign: every
+  // completion was journaled immediately (some already compacted into the
+  // snapshot, the rest appended at <path>.journal), so the resume state
+  // covers all 20 with the partial aggregate re-absorbed.
+  CampaignArtifact checkpoint;
+  ASSERT_TRUE(load_checkpoint_state(
+      path, JournalHeader{kSeed, kTasks, 0, ShardSpec{}}, &checkpoint));
   EXPECT_EQ(checkpoint.runs.size(), kCrashAfter);
   EXPECT_EQ(checkpoint.aggregate.runs, kCrashAfter);
   EXPECT_EQ(checkpoint.seed, kSeed);
@@ -313,6 +317,14 @@ TEST(RuntimeOptionsFlags, ParsesShardOutAndCheckpoint) {
   EXPECT_EQ(options.checkpoint_every, 7u);
 }
 
+TEST(RuntimeOptionsFlags, JournalIsAnAliasForCheckpoint) {
+  EXPECT_EQ(parse_args({"--journal=ckpt.json"}).checkpoint_path, "ckpt.json");
+  // --checkpoint-every pairs with either spelling.
+  EXPECT_EQ(parse_args({"--journal=ckpt.json", "--checkpoint-every=9"})
+                .checkpoint_every,
+            9u);
+}
+
 TEST(RuntimeOptionsFlags, DefaultsToTheWholeCampaign) {
   const RuntimeOptions options = parse_args({});
   EXPECT_EQ(options.shard_index, 0u);
@@ -352,6 +364,11 @@ TEST(RuntimeOptionsFlagsDeathTest, MalformedShardSpecsExit) {
               "invalid argument");
   EXPECT_EXIT(parse_args({"--jobs=-1"}), testing::ExitedWithCode(2),
               "invalid argument");
+  // Two spellings of the same checkpoint path must not silently race.
+  EXPECT_EXIT(parse_args({"--checkpoint=a.json", "--journal=b.json"}),
+              testing::ExitedWithCode(2), "only one of");
+  EXPECT_EXIT(parse_args({"--journal"}), testing::ExitedWithCode(2),
+              "invalid argument");
   // A checkpoint interval without a checkpoint file checkpoints nothing;
   // that must be a loud usage error, not a silently ignored flag.
   EXPECT_EXIT(parse_args({"--checkpoint-every=4"}), testing::ExitedWithCode(2),
@@ -373,6 +390,8 @@ TEST(RuntimeOptionsFlagsDeathTest, NonCampaignDriversRejectCampaignFlags) {
   EXPECT_EXIT(parse_args({"--out=x.json"}, /*campaign_flags=*/false),
               testing::ExitedWithCode(2), "not supported by this driver");
   EXPECT_EXIT(parse_args({"--checkpoint=ck.json"}, /*campaign_flags=*/false),
+              testing::ExitedWithCode(2), "not supported by this driver");
+  EXPECT_EXIT(parse_args({"--journal=ck.json"}, /*campaign_flags=*/false),
               testing::ExitedWithCode(2), "not supported by this driver");
   // --jobs stays available everywhere.
   EXPECT_EQ(parse_args({"--jobs=3"}, /*campaign_flags=*/false).jobs, 3u);
