@@ -1,0 +1,153 @@
+// Minimal JSON emitter (and one-field reader) for BENCH_*.json perf
+// trajectories. Every perf benchmark writes the same envelope:
+//
+//   {
+//     "format": "paradet-bench",
+//     "version": 1,
+//     "bench": "<name>",
+//     ... driver fields ...,
+//     "results": [ {...}, ... ],
+//     "summary": { ... }
+//   }
+//
+// so a future sweep over commits can parse any of them uniformly. This is
+// deliberately not runtime/serialize: bench files are operator-facing
+// trajectories, free to grow fields, and never merged or resumed — none of
+// the canonical-bytes machinery applies.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace paradet::bench {
+
+inline constexpr const char* kBenchFormatName = "paradet-bench";
+inline constexpr std::uint64_t kBenchFormatVersion = 1;
+
+/// Order-preserving JSON object/array builder. No escaping beyond the
+/// basics: bench field names and workload names are plain identifiers.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return punct('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return punct('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    out_ += '"';
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(double number) {
+    separate();
+    char buffer[64];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof buffer, number);
+    out_.append(buffer, end);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& punct(char open) {
+    separate();
+    out_ += open;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& close(char close_char) {
+    out_ += close_char;
+    first_ = false;
+    return *this;
+  }
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+/// Writes `json` to `path` ('\n'-terminated). Throws on I/O failure.
+inline void write_bench_file(const std::string& path,
+                             const std::string& json) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                      json.size() &&
+                  std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || !ok) {
+    throw std::runtime_error("failed writing " + path);
+  }
+}
+
+/// Reads the numeric value of the first occurrence of `"key":` in `text`.
+/// Enough of a reader for comparing one summary field of a committed
+/// BENCH_*.json baseline; throws when the key is missing or non-numeric.
+inline double read_bench_number(std::string_view text, std::string_view key) {
+  const std::string needle = '"' + std::string(key) + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string_view::npos) {
+    throw std::runtime_error("bench baseline lacks field \"" +
+                             std::string(key) + '"');
+  }
+  const char* begin = text.data() + at + needle.size();
+  const char* end = text.data() + text.size();
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) {
+    throw std::runtime_error("bench baseline field \"" + std::string(key) +
+                             "\" is not a number");
+  }
+  return value;
+}
+
+/// Slurps a whole file. Throws when unreadable.
+inline std::string read_file_or_throw(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    text.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) throw std::runtime_error("failed reading " + path);
+  return text;
+}
+
+}  // namespace paradet::bench

@@ -1,0 +1,256 @@
+// Hot-loop throughput benchmark: simulated MIPS (million simulated
+// instructions per host second) for unchecked-baseline and checked
+// execution across the Table II suite. This is the simulator's own speed,
+// not the modelled hardware's — the number every figure reproduction and
+// coverage campaign is bottlenecked by.
+//
+// Emits BENCH_hotloop.json (see bench_json.h for the envelope) so the
+// repo records a perf trajectory per change; scripts/record_bench.sh
+// regenerates the committed baseline and the CI perf-smoke job compares
+// against it.
+//
+//   perf_hotloop [--scale=X] [--benchmark=name] [--repeat=N]
+//                [--json=PATH]            default BENCH_hotloop.json
+//                [--compare=PATH]         exit 3 when checked-mode MIPS
+//                [--max-regress=F]          drops more than F (default
+//                                           0.30) below PATH's summary
+//                [--verify-predecode]     exit 1 unless every workload
+//                                           runs >= 99% of instructions
+//                                           from the predecoded image
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/interpreter.h"
+#include "bench_json.h"
+#include "bench_util.h"
+#include "runtime/assembly_cache.h"
+#include "sim/checked_system.h"
+
+namespace {
+
+using namespace paradet;
+
+constexpr double kMinPredecodedFraction = 0.99;
+
+struct ModeRun {
+  std::string workload;
+  const char* mode = "";
+  std::uint64_t instructions = 0;
+  double seconds = 0;
+  double mips() const {
+    return seconds > 0 ? instructions / seconds / 1e6 : 0.0;
+  }
+};
+
+double total_mips(const std::vector<ModeRun>& runs, const char* mode) {
+  double instructions = 0;
+  double seconds = 0;
+  for (const auto& run : runs) {
+    if (std::strcmp(run.mode, mode) != 0) continue;
+    instructions += static_cast<double>(run.instructions);
+    seconds += run.seconds;
+  }
+  return seconds > 0 ? instructions / seconds / 1e6 : 0.0;
+}
+
+/// Runs one workload image under `config` `repeat` times, accumulating
+/// simulated instructions and wall time.
+ModeRun time_mode(const std::string& name, const char* mode,
+                  const SystemConfig& config, const isa::Assembled& image,
+                  unsigned repeat) {
+  ModeRun run;
+  run.workload = name;
+  run.mode = mode;
+  for (unsigned r = 0; r < repeat; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const sim::RunResult result =
+        sim::run_program(config, image, bench::kInstructionBudget);
+    const auto stop = std::chrono::steady_clock::now();
+    run.instructions += result.instructions;
+    run.seconds += std::chrono::duration<double>(stop - start).count();
+  }
+  return run;
+}
+
+/// Golden-interpreter run that counts how many instruction fetches were
+/// served by the predecoded image vs the per-pc fallback map. Catches a
+/// silently mis-built image (wrong base, wrong span, invalid slots): the
+/// simulation would still be correct, just quietly slow.
+bool verify_predecode(const workloads::Workload& workload,
+                      const isa::Assembled& image) {
+  sim::LoadedProgram program = sim::load_program(image);
+  arch::ArchState state;
+  state.pc = program.entry;
+  std::uint64_t cycle = 0;
+  arch::MemoryDataPort port(program.memory, cycle);
+  arch::Machine machine(program.memory, port, &program.predecoded);
+  machine.run(state, bench::kInstructionBudget);
+  const auto& decode = machine.decode_cache();
+  const std::uint64_t total =
+      decode.predecoded_hits() + decode.fallback_decodes();
+  const double fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(decode.predecoded_hits()) /
+                       static_cast<double>(total);
+  std::printf("%-14s predecoded %llu / %llu fetches (%.4f)\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(decode.predecoded_hits()),
+              static_cast<unsigned long long>(total), fraction);
+  if (fraction < kMinPredecodedFraction) {
+    std::fprintf(stderr,
+                 "%s: only %.2f%% of instruction fetches hit the predecoded "
+                 "image (want >= %.0f%%) — the fast path regressed\n",
+                 workload.name.c_str(), fraction * 100,
+                 kMinPredecodedFraction * 100);
+    return false;
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  const auto options = bench::Options::parse(argc, argv, /*campaign=*/false);
+  std::string json_path = "BENCH_hotloop.json";
+  std::string compare_path;
+  double max_regress = 0.30;
+  unsigned repeat = 1;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--compare=", 10) == 0) {
+      compare_path = arg + 10;
+    } else if (std::strncmp(arg, "--max-regress=", 14) == 0) {
+      char* end = nullptr;
+      max_regress = std::strtod(arg + 14, &end);
+      if (end == arg + 14 || *end != '\0' || max_regress < 0 ||
+          max_regress >= 1) {
+        std::fprintf(stderr, "%s: want --max-regress=F with 0 <= F < 1\n",
+                     arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(arg + 9, &end, 10);
+      if (end == arg + 9 || *end != '\0' || parsed == 0) {
+        std::fprintf(stderr, "%s: want --repeat=N with N >= 1\n", arg);
+        return 2;
+      }
+      repeat = static_cast<unsigned>(parsed);
+    } else if (std::strcmp(arg, "--verify-predecode") == 0) {
+      verify = true;
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      ++i;  // detached worker count, consumed by RuntimeOptions above.
+    } else if (std::strncmp(arg, "--scale=", 8) == 0 ||
+               std::strncmp(arg, "--benchmark=", 12) == 0 ||
+               std::strncmp(arg, "--jobs=", 7) == 0 ||
+               std::strncmp(arg, "-j", 2) == 0) {
+      // Parsed by bench::Options / RuntimeOptions above.
+    } else {
+      // A misspelled or space-form flag silently ignored here could mean
+      // the CI regression gate never ran — reject loudly instead.
+      std::fprintf(stderr, "unknown argument '%s' (see --help)\n", arg);
+      return 2;
+    }
+  }
+
+  const std::vector<workloads::Workload> suite = bench::suite_or_fail(options);
+
+  if (verify) {
+    bool all_fast = true;
+    for (const auto& workload : suite) {
+      const auto image = runtime::AssemblyCache::instance().get(workload);
+      all_fast = verify_predecode(workload, *image) && all_fast;
+    }
+    if (!all_fast) return 1;
+    std::printf("predecode coverage ok (>= %.0f%% on every workload)\n",
+                kMinPredecodedFraction * 100);
+    return 0;
+  }
+
+  bench::print_header("Hot-loop throughput (simulated MIPS)",
+                      "simulator speed, not modelled hardware");
+  const SystemConfig checked = SystemConfig::standard();
+  const SystemConfig baseline = SystemConfig::baseline_unchecked();
+
+  std::vector<ModeRun> runs;
+  for (const auto& workload : suite) {
+    const auto image = runtime::AssemblyCache::instance().get(workload);
+    runs.push_back(
+        time_mode(workload.name, "baseline", baseline, *image, repeat));
+    runs.push_back(time_mode(workload.name, "checked", checked, *image,
+                             repeat));
+  }
+
+  std::printf("%-14s %10s %12s %10s %10s\n", "benchmark", "mode",
+              "instructions", "seconds", "MIPS");
+  for (const auto& run : runs) {
+    std::printf("%-14s %10s %12llu %10.3f %10.3f\n", run.workload.c_str(),
+                run.mode, static_cast<unsigned long long>(run.instructions),
+                run.seconds, run.mips());
+  }
+  const double baseline_mips = total_mips(runs, "baseline");
+  const double checked_mips = total_mips(runs, "checked");
+  std::printf("%-14s %10s %12s %10s %10.3f\n", "suite", "baseline", "-", "-",
+              baseline_mips);
+  std::printf("%-14s %10s %12s %10s %10.3f\n", "suite", "checked", "-", "-",
+              checked_mips);
+
+  if (!json_path.empty()) {
+    bench::JsonWriter json;
+    json.begin_object();
+    json.key("format").value(bench::kBenchFormatName);
+    json.key("version").value(bench::kBenchFormatVersion);
+    json.key("bench").value("hotloop");
+    json.key("scale").value(options.scale);
+    json.key("budget").value(bench::kInstructionBudget);
+    json.key("repeat").value(std::uint64_t{repeat});
+    json.key("results").begin_array();
+    for (const auto& run : runs) {
+      json.begin_object();
+      json.key("workload").value(run.workload);
+      json.key("mode").value(run.mode);
+      json.key("instructions").value(run.instructions);
+      json.key("seconds").value(run.seconds);
+      json.key("mips").value(run.mips());
+      json.end_object();
+    }
+    json.end_array();
+    json.key("summary").begin_object();
+    json.key("baseline_mips").value(baseline_mips);
+    json.key("checked_mips").value(checked_mips);
+    json.key("checked_over_baseline")
+        .value(baseline_mips > 0 ? checked_mips / baseline_mips : 0.0);
+    json.end_object();
+    json.end_object();
+    bench::write_bench_file(json_path, json.str());
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+
+  if (!compare_path.empty()) {
+    const std::string reference = bench::read_file_or_throw(compare_path);
+    const double reference_checked =
+        bench::read_bench_number(reference, "checked_mips");
+    const double floor = reference_checked * (1.0 - max_regress);
+    std::printf("# baseline %s: checked %.3f MIPS; floor at %.3f\n",
+                compare_path.c_str(), reference_checked, floor);
+    if (checked_mips < floor) {
+      std::fprintf(stderr,
+                   "checked-mode throughput regressed: %.3f MIPS < %.3f "
+                   "(%.0f%% of the committed baseline's %.3f)\n",
+                   checked_mips, floor, (1.0 - max_regress) * 100,
+                   reference_checked);
+      return 3;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return paradet::bench::cli_main(run, argc, argv);
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates the committed hot-loop perf baseline
+# (bench/baselines/BENCH_hotloop_baseline.json), which the CI perf-smoke
+# job compares fresh runs against. Run it on an otherwise idle machine
+# after a deliberate perf change, and commit the updated JSON with it.
+#
+# usage: scripts/record_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench_perf_hotloop" ]]; then
+  echo "building bench_perf_hotloop in $BUILD_DIR..." >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_perf_hotloop > /dev/null
+fi
+
+# Recording from an unoptimized build would make the committed floor
+# vacuous — refuse.
+build_type=$(grep -E '^CMAKE_BUILD_TYPE' "$BUILD_DIR/CMakeCache.txt" \
+             | cut -d= -f2 || true)
+if [[ "$build_type" != "Release" && "$build_type" != "RelWithDebInfo" ]]; then
+  echo "error: $BUILD_DIR is a '$build_type' build; record the baseline" \
+       "from Release or RelWithDebInfo" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench_perf_hotloop" --repeat=3 \
+  --json=bench/baselines/BENCH_hotloop_baseline.json
+echo "recorded bench/baselines/BENCH_hotloop_baseline.json"

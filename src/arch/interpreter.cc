@@ -283,7 +283,8 @@ StepResult execute(const Inst& inst, ArchState& state, DataPort& port) {
   return result;
 }
 
-const isa::Inst* DecodeCache::decode_at(Addr pc) {
+const isa::Inst* DecodeCache::decode_slow(Addr pc) {
+  ++fallback_decodes_;
   if ((pc & 3) != 0) return nullptr;
   const auto it = cache_.find(pc);
   if (it != cache_.end()) return &it->second;

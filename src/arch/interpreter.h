@@ -14,6 +14,7 @@
 #include "arch/memory.h"
 #include "arch/state.h"
 #include "isa/isa.h"
+#include "isa/predecode.h"
 
 namespace paradet::arch {
 
@@ -83,24 +84,53 @@ StepResult execute(const isa::Inst& inst, ArchState& state, DataPort& port);
 /// Decode cache over read-only instruction memory. The paper assumes the
 /// instruction stream is read-only (§IV-A), so cached decodes never need
 /// invalidation.
+///
+/// With a PredecodedImage (assembled programs carry one), the common case
+/// is a bounds check + array load into the shared immutable image; only
+/// PCs outside the image — wild jumps, hand-written raw memory — take the
+/// per-pc map that decodes from instruction memory on first touch.
 class DecodeCache {
  public:
-  explicit DecodeCache(const SparseMemory& imem) : imem_(imem) {}
+  explicit DecodeCache(const SparseMemory& imem,
+                       const isa::PredecodedImage* image = nullptr)
+      : imem_(imem),
+        image_(image != nullptr && !image->empty() ? image : nullptr) {}
 
   /// Decodes the instruction at `pc`. Returns nullptr for an undecodable
   /// word or misaligned pc.
-  const isa::Inst* decode_at(Addr pc);
+  const isa::Inst* decode_at(Addr pc) {
+    if (image_ != nullptr) {
+      if (const isa::Inst* inst = image_->lookup(pc)) {
+        ++predecoded_hits_;
+        return inst;
+      }
+    }
+    return decode_slow(pc);
+  }
+
+  /// Instructions served straight from the predecoded image.
+  std::uint64_t predecoded_hits() const { return predecoded_hits_; }
+  /// Instructions that took the per-pc fallback path (including repeats
+  /// served from the map). perf_hotloop --verify-predecode alarms when
+  /// this is more than a sliver of the total.
+  std::uint64_t fallback_decodes() const { return fallback_decodes_; }
 
  private:
+  const isa::Inst* decode_slow(Addr pc);
+
   const SparseMemory& imem_;
+  const isa::PredecodedImage* image_;
   std::unordered_map<Addr, isa::Inst> cache_;
+  std::uint64_t predecoded_hits_ = 0;
+  std::uint64_t fallback_decodes_ = 0;
 };
 
 /// Convenience executor: fetch + decode + execute against one memory.
 class Machine {
  public:
-  Machine(SparseMemory& memory, DataPort& port)
-      : decode_(memory), port_(port) {}
+  Machine(SparseMemory& memory, DataPort& port,
+          const isa::PredecodedImage* image = nullptr)
+      : decode_(memory, image), port_(port) {}
 
   /// Executes the instruction at state.pc. On success advances pc.
   StepResult step(ArchState& state);
@@ -109,6 +139,8 @@ class Machine {
   /// kNone in the latter case). Returns the final trap.
   Trap run(ArchState& state, std::uint64_t max_instructions,
            std::uint64_t* executed = nullptr);
+
+  const DecodeCache& decode_cache() const { return decode_; }
 
  private:
   DecodeCache decode_;

@@ -1,46 +1,102 @@
 #include "arch/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace paradet::arch {
 
+void SparseMemory::reserve_flat(Addr base, std::size_t bytes) {
+  if (bytes == 0) return;
+  const Addr lo = base & ~Addr{kPageBytes - 1};
+  const Addr hi = (base + bytes + kPageBytes - 1) & ~Addr{kPageBytes - 1};
+  flat_base_ = lo;
+  flat_.assign(static_cast<std::size_t>(hi - lo), 0);
+  // Absorb any pages already populated inside the window, so installing
+  // the flat backing is invisible to readers.
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    const Addr page_base = it->first << kPageBits;
+    if (page_base >= lo && page_base < hi) {
+      std::memcpy(flat_.data() + (page_base - lo), it->second.data(),
+                  kPageBytes);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cached_page_ = kNoPage;
+  cached_bytes_ = nullptr;
+  cached_page_mut_ = kNoPage;
+  cached_bytes_mut_ = nullptr;
+}
+
 const std::uint8_t* SparseMemory::page_ptr(Addr addr) const {
-  const auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.data();
+  const std::uint64_t page = addr >> kPageBits;
+  if (page == cached_page_) return cached_bytes_;
+  const std::uint8_t* bytes = nullptr;
+  const Addr page_base = page << kPageBits;
+  const Addr flat_offset = page_base - flat_base_;
+  if (flat_offset < flat_.size()) {
+    bytes = flat_.data() + flat_offset;
+  } else if (const auto it = pages_.find(page); it != pages_.end()) {
+    bytes = it->second.data();
+  }
+  if (bytes != nullptr) {
+    // Only hits are cached: a miss must re-probe, since the page may be
+    // created by a later write.
+    cached_page_ = page;
+    cached_bytes_ = bytes;
+  }
+  return bytes;
 }
 
 std::uint8_t* SparseMemory::page_ptr_mut(Addr addr) {
-  auto& page = pages_[addr >> kPageBits];
-  if (page.empty()) page.resize(kPageBytes, 0);
-  return page.data();
+  const std::uint64_t page = addr >> kPageBits;
+  if (page == cached_page_mut_) return cached_bytes_mut_;
+  std::uint8_t* bytes;
+  const Addr page_base = page << kPageBits;
+  const Addr flat_offset = page_base - flat_base_;
+  if (flat_offset < flat_.size()) {
+    bytes = flat_.data() + flat_offset;
+  } else {
+    Page& page_store = pages_[page];
+    if (page_store.empty()) page_store.resize(kPageBytes, 0);
+    bytes = page_store.data();
+  }
+  cached_page_mut_ = page;
+  cached_bytes_mut_ = bytes;
+  return bytes;
 }
 
-std::uint64_t SparseMemory::read(Addr addr, unsigned size) const {
+std::uint64_t SparseMemory::read_paged(Addr addr, unsigned size) const {
   const std::size_t offset = addr & (kPageBytes - 1);
+  std::uint64_t value = 0;
   if (offset + size <= kPageBytes) {
     const std::uint8_t* page = page_ptr(addr);
-    if (page == nullptr) return 0;
-    std::uint64_t value = 0;
-    std::memcpy(&value, page + offset, size);
+    if (page != nullptr) std::memcpy(&value, page + offset, size);
     return value;
   }
-  // Page-crossing access: assemble byte by byte.
-  std::uint64_t value = 0;
-  for (unsigned i = 0; i < size; ++i) {
-    value |= read(addr + i, 1) << (8 * i);
+  // Page-crossing access: one memcpy per side of the boundary.
+  const unsigned first = static_cast<unsigned>(kPageBytes - offset);
+  auto* out = reinterpret_cast<std::uint8_t*>(&value);
+  if (const std::uint8_t* page = page_ptr(addr)) {
+    std::memcpy(out, page + offset, first);
+  }
+  if (const std::uint8_t* page = page_ptr(addr + first)) {
+    std::memcpy(out + first, page, size - first);
   }
   return value;
 }
 
-void SparseMemory::write(Addr addr, std::uint64_t value, unsigned size) {
+void SparseMemory::write_paged(Addr addr, std::uint64_t value, unsigned size) {
   const std::size_t offset = addr & (kPageBytes - 1);
   if (offset + size <= kPageBytes) {
     std::memcpy(page_ptr_mut(addr) + offset, &value, size);
     return;
   }
-  for (unsigned i = 0; i < size; ++i) {
-    write(addr + i, (value >> (8 * i)) & 0xFF, 1);
-  }
+  const unsigned first = static_cast<unsigned>(kPageBytes - offset);
+  const auto* in = reinterpret_cast<const std::uint8_t*>(&value);
+  std::memcpy(page_ptr_mut(addr) + offset, in, first);
+  std::memcpy(page_ptr_mut(addr + first), in + first, size - first);
 }
 
 void SparseMemory::write_block(Addr addr, std::span<const std::uint8_t> bytes) {

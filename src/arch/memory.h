@@ -2,9 +2,23 @@
 // touch. Unmapped memory reads as zero, matching a zero-initialised
 // simulated DRAM. This is the *functional* memory; timing is modelled
 // separately in src/mem.
+//
+// Two fast paths keep the per-access cost off the page hash map:
+//   * reserve_flat() installs a contiguous zero-filled backing for a
+//     program's data window (load_program does this for every assembled
+//     image), so the common in-window access is a bounds check + memcpy;
+//   * a one-entry last-page translation cache short-circuits repeated
+//     accesses to the same 4 KiB page outside the flat window.
+// Semantics are byte-identical to the plain page map (zero-fill on cold
+// pages, page-crossing splits); only the lookup cost changes.
+//
+// The translation cache makes read() logically-const-but-stateful: a
+// SparseMemory must not be read concurrently from multiple threads
+// (campaign workers each own their memory, so this costs nothing today).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -25,24 +39,68 @@ class SparseMemory {
   SparseMemory(SparseMemory&&) = default;
   SparseMemory& operator=(SparseMemory&&) = default;
 
+  /// Installs a contiguous zero-filled flat backing over [base, base+bytes)
+  /// (rounded out to page boundaries). Existing page contents in the range
+  /// are absorbed into the flat store; accesses inside the window then skip
+  /// the page map entirely. Call before (or after) populating — semantics
+  /// are unchanged either way.
+  void reserve_flat(Addr base, std::size_t bytes);
+
   /// Reads `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
-  std::uint64_t read(Addr addr, unsigned size) const;
+  std::uint64_t read(Addr addr, unsigned size) const {
+    if (in_flat(addr, size)) {
+      std::uint64_t value = 0;
+      std::memcpy(&value, flat_.data() + (addr - flat_base_), size);
+      return value;
+    }
+    return read_paged(addr, size);
+  }
 
   /// Writes the low `size` bytes of `value` little-endian.
-  void write(Addr addr, std::uint64_t value, unsigned size);
+  void write(Addr addr, std::uint64_t value, unsigned size) {
+    if (in_flat(addr, size)) {
+      std::memcpy(flat_.data() + (addr - flat_base_), &value, size);
+      return;
+    }
+    write_paged(addr, value, size);
+  }
 
   void write_block(Addr addr, std::span<const std::uint8_t> bytes);
   void read_block(Addr addr, std::span<std::uint8_t> out) const;
 
+  /// Pages in the sparse map (the flat window is not counted: it is one
+  /// contiguous allocation, not demand-allocated pages).
   std::size_t pages_allocated() const { return pages_.size(); }
+
+  /// Size in bytes of the flat window (0 when none is installed).
+  std::size_t flat_bytes() const { return flat_.size(); }
 
  private:
   using Page = std::vector<std::uint8_t>;
 
+  bool in_flat(Addr addr, unsigned size) const {
+    const Addr offset = addr - flat_base_;  // wraps huge for addr < base.
+    return offset < flat_.size() && offset + size <= flat_.size();
+  }
+
+  std::uint64_t read_paged(Addr addr, unsigned size) const;
+  void write_paged(Addr addr, std::uint64_t value, unsigned size);
+
+  /// Backing bytes of the page containing `addr` (flat window included),
+  /// or nullptr when untouched. Cached per page: repeated same-page
+  /// lookups skip the hash probe.
   const std::uint8_t* page_ptr(Addr addr) const;
   std::uint8_t* page_ptr_mut(Addr addr);
 
+  Addr flat_base_ = 0;
+  std::vector<std::uint8_t> flat_;
   std::unordered_map<std::uint64_t, Page> pages_;
+
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+  mutable std::uint64_t cached_page_ = kNoPage;
+  mutable const std::uint8_t* cached_bytes_ = nullptr;
+  std::uint64_t cached_page_mut_ = kNoPage;
+  std::uint8_t* cached_bytes_mut_ = nullptr;
 };
 
 }  // namespace paradet::arch

@@ -1,7 +1,6 @@
 #include "baseline/rmt.h"
 
 #include "arch/interpreter.h"
-#include "isa/crack.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/prefetcher.h"
@@ -45,18 +44,6 @@ class CapturePort final : public arch::DataPort {
   std::vector<Access> accesses_;
 };
 
-CtrlKind control_kind(const isa::Inst& inst) {
-  if (isa::is_cond_branch(inst.op)) return CtrlKind::kCond;
-  if (inst.op == isa::Opcode::kJal) {
-    return inst.rd == 1 ? CtrlKind::kCall : CtrlKind::kJump;
-  }
-  if (inst.op == isa::Opcode::kJalr) {
-    return inst.rs1 == 1 && inst.rd == 0 ? CtrlKind::kRet
-                                         : CtrlKind::kIndirect;
-  }
-  return CtrlKind::kNone;
-}
-
 }  // namespace
 
 RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
@@ -74,7 +61,7 @@ RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
 
   arch::ArchState state;
   state.pc = program.entry;
-  arch::DecodeCache decode(program.memory);
+  arch::DecodeCache decode(program.memory, &program.predecoded);
   CapturePort port(program.memory);
 
   Cycle last_commit = 0;
@@ -95,28 +82,30 @@ RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
 
   RmtResult result;
   UopSeq seq = 0;
+  sim::InstStatic scratch_statics;  ///< fallback for out-of-image PCs only.
   while (result.instructions < max_instructions) {
     const isa::Inst* inst = decode.decode_at(state.pc);
     if (inst == nullptr) break;
-    const isa::CrackedInst cracked = isa::crack(*inst);
+    const sim::InstStatic* statics = sim::lookup_or_make(
+        &program.statics, state.pc, *inst, scratch_statics);
     port.begin_macro();
     const Addr pc = state.pc;
     const arch::StepResult step = arch::execute(*inst, state, port);
 
     std::size_t access_index = 0;
-    for (unsigned u = 0; u < cracked.count; ++u) {
-      const isa::Inst& uop_inst = cracked.uops[u].inst;
+    for (unsigned u = 0; u < statics->uop_count; ++u) {
+      const sim::UopStatic& uop = statics->uops[u];
       UopDesc leading;
-      leading.cls = isa::exec_class(uop_inst.op);
-      leading.regs = sim::uop_regs(uop_inst);
+      leading.cls = uop.cls;
+      leading.regs = uop.regs;
       leading.pc = pc;
       leading.seq = seq++;
       leading.first_of_macro = u == 0;
-      leading.ctrl = control_kind(uop_inst);
-      leading.taken = step.branch_taken || isa::is_jump(uop_inst.op);
+      leading.ctrl = uop.ctrl;
+      leading.taken = step.branch_taken || uop.is_jump;
       leading.target = step.next_pc;
-      leading.is_load = isa::is_load(uop_inst.op);
-      leading.is_store = isa::is_store(uop_inst.op);
+      leading.is_load = uop.is_load;
+      leading.is_store = uop.is_store;
       if ((leading.is_load || leading.is_store) &&
           access_index < port.accesses().size()) {
         leading.mem_addr = port.accesses()[access_index].addr;

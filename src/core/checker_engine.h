@@ -49,8 +49,11 @@ class CheckerFaultHook {
 class CheckerEngine {
  public:
   /// @param program read-only instruction memory shared with the main core.
-  explicit CheckerEngine(const arch::SparseMemory& program)
-      : decode_(program) {}
+  /// @param image optional predecoded code span shared with the main core;
+  ///   replay then fetches by array index instead of a per-pc map probe.
+  explicit CheckerEngine(const arch::SparseMemory& program,
+                         const isa::PredecodedImage* image = nullptr)
+      : decode_(program, image) {}
 
   struct Result {
     CheckOutcome outcome;

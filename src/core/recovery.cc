@@ -17,7 +17,8 @@ RecoveryOutcome recover_and_replay(arch::SparseMemory& memory,
                                    const UndoLog& undo_log,
                                    std::uint64_t from_ordinal,
                                    const RegisterCheckpoint& restore_point,
-                                   std::uint64_t max_instructions) {
+                                   std::uint64_t max_instructions,
+                                   const isa::PredecodedImage* image) {
   RecoveryOutcome outcome;
   outcome.stores_rolled_back = undo_log.rollback(memory, from_ordinal);
 
@@ -28,7 +29,7 @@ RecoveryOutcome recover_and_replay(arch::SparseMemory& memory,
   arch::ArchState state = restore_point.state;
   std::uint64_t cycle = 0;
   arch::MemoryDataPort port(memory, cycle);
-  arch::Machine machine(memory, port);
+  arch::Machine machine(memory, port, image);
   outcome.replay_trap =
       machine.run(state, max_instructions, &outcome.instructions_replayed);
   outcome.final_state = state;

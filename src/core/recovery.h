@@ -75,10 +75,13 @@ struct RecoveryOutcome {
 /// Rolls `memory` back to the start of `restore_point`'s segment and
 /// functionally re-executes until HALT/FAULT or `max_instructions`.
 /// `from_ordinal` is the first failing segment (DetectionEvent ordinal).
+/// `image`, when given (callers with a LoadedProgram have one), keeps the
+/// replay on the predecoded fetch path instead of the per-pc map.
 RecoveryOutcome recover_and_replay(arch::SparseMemory& memory,
                                    const UndoLog& undo_log,
                                    std::uint64_t from_ordinal,
                                    const RegisterCheckpoint& restore_point,
-                                   std::uint64_t max_instructions);
+                                   std::uint64_t max_instructions,
+                                   const isa::PredecodedImage* image = nullptr);
 
 }  // namespace paradet::core

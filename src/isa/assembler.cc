@@ -731,7 +731,9 @@ bool parse_register(std::string_view name, RegIndex& out, bool& is_fp) {
 }
 
 Assembled assemble(std::string_view source) {
-  return Assembler{}.run(source);
+  Assembled result = Assembler{}.run(source);
+  if (result.ok) result.predecoded = predecode(result);
+  return result;
 }
 
 }  // namespace paradet::isa

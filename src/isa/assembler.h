@@ -30,6 +30,7 @@
 
 #include "common/types.h"
 #include "isa/isa.h"
+#include "isa/predecode.h"
 
 namespace paradet::isa {
 
@@ -47,6 +48,10 @@ struct Assembled {
   Addr entry = 0;
   bool ok = false;
   std::vector<std::string> errors;
+  /// The code span decoded once at assembly time (empty on failure). Every
+  /// executor of this image — main core, checker replay, baselines, golden
+  /// interpreter — shares it instead of decoding per pc at run time.
+  PredecodedImage predecoded;
 };
 
 /// Assembles SRV64 source text. Never throws; diagnostics are returned.

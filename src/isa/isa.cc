@@ -185,35 +185,6 @@ ExecClass exec_class(Opcode op) {
   return info != nullptr ? info->cls : ExecClass::kIntAlu;
 }
 
-unsigned exec_latency(ExecClass cls) {
-  switch (cls) {
-    case ExecClass::kIntAlu:
-      return 1;
-    case ExecClass::kIntMul:
-      return 3;
-    case ExecClass::kIntDiv:
-      return 20;
-    case ExecClass::kFpAlu:
-      return 3;
-    case ExecClass::kFpMul:
-      return 4;
-    case ExecClass::kFpDiv:
-      return 12;
-    case ExecClass::kFpSqrt:
-      return 20;
-    case ExecClass::kLoad:
-      return 1;  // address generation; memory latency is added separately.
-    case ExecClass::kStore:
-      return 1;
-  }
-  return 1;
-}
-
-bool exec_unpipelined(ExecClass cls) {
-  return cls == ExecClass::kIntDiv || cls == ExecClass::kFpDiv ||
-         cls == ExecClass::kFpSqrt;
-}
-
 bool writes_int_reg(Opcode op) {
   if (is_store(op)) return false;
   if (is_cond_branch(op)) return false;

@@ -175,11 +175,39 @@ unsigned mem_access_bytes(Opcode op);
 bool load_is_signed(Opcode op);
 
 ExecClass exec_class(Opcode op);
+
 /// Execution latency of the class on the main out-of-order core, cycles.
-unsigned exec_latency(ExecClass cls);
+/// Inline: the timing models ask once per scheduled micro-op.
+inline constexpr unsigned exec_latency(ExecClass cls) {
+  switch (cls) {
+    case ExecClass::kIntAlu:
+      return 1;
+    case ExecClass::kIntMul:
+      return 3;
+    case ExecClass::kIntDiv:
+      return 20;
+    case ExecClass::kFpAlu:
+      return 3;
+    case ExecClass::kFpMul:
+      return 4;
+    case ExecClass::kFpDiv:
+      return 12;
+    case ExecClass::kFpSqrt:
+      return 20;
+    case ExecClass::kLoad:
+      return 1;  // address generation; memory latency is added separately.
+    case ExecClass::kStore:
+      return 1;
+  }
+  return 1;
+}
+
 /// True if the functional unit is occupied for the full latency
 /// (unpipelined divide / sqrt).
-bool exec_unpipelined(ExecClass cls);
+inline constexpr bool exec_unpipelined(ExecClass cls) {
+  return cls == ExecClass::kIntDiv || cls == ExecClass::kFpDiv ||
+         cls == ExecClass::kFpSqrt;
+}
 
 /// True if `op` writes an integer destination register.
 bool writes_int_reg(Opcode op);

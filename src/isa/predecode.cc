@@ -1,0 +1,86 @@
+#include "isa/predecode.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+
+namespace paradet::isa {
+namespace {
+
+struct Span {
+  Addr lo = 0;
+  Addr hi = 0;  ///< exclusive.
+  bool valid() const { return hi > lo; }
+  std::size_t words() const { return static_cast<std::size_t>(hi - lo) / 4; }
+};
+
+Span chunk_span(const Assembled::Chunk& chunk) {
+  return Span{chunk.base, chunk.base + chunk.bytes.size()};
+}
+
+/// Word-aligned span covering every non-empty chunk, or just the entry
+/// chunk when the full span would be too large to predecode flat.
+Span choose_span(const Assembled& assembled) {
+  Span all;
+  Span entry_chunk;
+  bool first = true;
+  for (const auto& chunk : assembled.chunks) {
+    if (chunk.bytes.empty()) continue;
+    const Span span = chunk_span(chunk);
+    if (first) {
+      all = span;
+      first = false;
+    } else {
+      all.lo = std::min(all.lo, span.lo);
+      all.hi = std::max(all.hi, span.hi);
+    }
+    if (span.lo <= assembled.entry && assembled.entry < span.hi) {
+      entry_chunk = span;
+    }
+  }
+  Span chosen = all.words() > kMaxPredecodeWords ? entry_chunk : all;
+  chosen.lo &= ~Addr{3};
+  chosen.hi = (chosen.hi + 3) & ~Addr{3};
+  return chosen;
+}
+
+}  // namespace
+
+PredecodedImage predecode(const Assembled& assembled) {
+  PredecodedImage image;
+  const Span span = choose_span(assembled);
+  if (!span.valid() || span.words() > kMaxPredecodeWords) return image;
+
+  // Materialise the span's bytes (gaps between chunks are zero, matching a
+  // fetch from zero-filled sparse memory), then decode word by word.
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(span.hi - span.lo),
+                                  0);
+  for (const auto& chunk : assembled.chunks) {
+    if (chunk.bytes.empty()) continue;
+    const Span cs = chunk_span(chunk);
+    if (cs.hi <= span.lo || cs.lo >= span.hi) continue;
+    const Addr lo = std::max(cs.lo, span.lo);
+    const Addr hi = std::min(cs.hi, span.hi);
+    std::memcpy(bytes.data() + (lo - span.lo),
+                chunk.bytes.data() + (lo - cs.lo),
+                static_cast<std::size_t>(hi - lo));
+  }
+
+  image.base = span.lo;
+  const std::size_t words = span.words();
+  image.insts.resize(words);
+  image.valid.assign(words, 0);
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint32_t word;
+    std::memcpy(&word, bytes.data() + i * 4, 4);
+    if (const auto decoded = decode(word)) {
+      image.insts[i] = *decoded;
+      image.valid[i] = 1;
+    }
+  }
+  return image;
+}
+
+}  // namespace paradet::isa

@@ -1,0 +1,60 @@
+// Predecoded program image: the whole code segment decoded once, at
+// assembly time, into a flat array indexed by word ((pc - base) >> 2).
+//
+// The instruction stream is read-only (the paper's §IV-A assumption, the
+// same one DecodeCache relies on), so a program's decode work is a pure
+// function of its assembled image — yet the interpreter used to pay an
+// unordered_map probe per executed instruction, on the main core AND again
+// on every checker replay. A PredecodedImage turns that per-instruction
+// cost into a bounds check plus an array load, shared by every run of the
+// image across sweep points, fault trials and worker threads.
+//
+// PCs outside the image (or words that do not decode) simply miss lookup()
+// and fall back to the caller's per-pc path, so wild jumps from fault
+// injection and raw hand-written memory images keep their old semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace paradet::isa {
+
+struct Assembled;
+
+struct PredecodedImage {
+  Addr base = 0;
+  /// One slot per 4-byte word of the covered span; insts[i] is meaningful
+  /// only where valid[i] is set (the word decodes).
+  std::vector<Inst> insts;
+  std::vector<std::uint8_t> valid;
+
+  bool empty() const { return insts.empty(); }
+
+  /// The predecoded instruction at `pc`, or nullptr when `pc` is outside
+  /// the covered span, misaligned, or an undecodable word.
+  const Inst* lookup(Addr pc) const {
+    const Addr offset = pc - base;  // wraps to huge for pc < base.
+    const std::size_t index = static_cast<std::size_t>(offset >> 2);
+    if ((offset & 3) == 0 && index < insts.size() && valid[index] != 0) {
+      return &insts[index];
+    }
+    return nullptr;
+  }
+};
+
+/// Spans larger than this (in 4-byte words) predecode only the chunk
+/// holding the entry point: a sparse image with far-apart chunks must not
+/// cost gigabytes of flat table. 1M words = 4 MiB of code, far beyond any
+/// workload kernel.
+inline constexpr std::size_t kMaxPredecodeWords = std::size_t{1} << 20;
+
+/// Decodes the whole code span of `assembled` (all non-empty chunks; the
+/// entry chunk alone if the span exceeds kMaxPredecodeWords). Bytes between
+/// chunks decode as zero words, exactly what a fetch from zero-filled
+/// sparse memory would see.
+PredecodedImage predecode(const Assembled& assembled);
+
+}  // namespace paradet::isa

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/hash.h"
+
 namespace paradet::runtime {
 
 AssemblyCache& AssemblyCache::instance() {
@@ -12,12 +14,22 @@ AssemblyCache& AssemblyCache::instance() {
 }
 
 AssemblyCache::Image AssemblyCache::get(const workloads::Workload& workload) {
+  const Key key{fnv1a64(workload.source), workload.source.size()};
   std::shared_ptr<Entry> entry;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    std::shared_ptr<Entry>& slot = entries_[workload.source];
-    if (!slot) slot = std::make_shared<Entry>();
-    entry = slot;
+    std::vector<std::shared_ptr<Entry>>& bucket = entries_[key];
+    for (const auto& candidate : bucket) {
+      if (candidate->source == workload.source) {
+        entry = candidate;
+        break;
+      }
+    }
+    if (!entry) {
+      entry = std::make_shared<Entry>();
+      entry->source = workload.source;
+      bucket.push_back(entry);
+    }
   }
   // The assembly itself runs outside the map lock: a slow first assembly
   // of one kernel must not serialise lookups of every other kernel.

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/assembler.h"
 #include "workloads/workloads.h"
@@ -43,9 +44,11 @@ class AssemblyCache {
   /// Returns the assembled image for `workload`, assembling at most once
   /// per distinct source text: concurrent lookups of the same workload
   /// serialise on the one assembly and then return pointers to the same
-  /// image object. Keyed by the source text — the only input assembly
-  /// depends on — so two Workload objects at the same scale share an
-  /// image no matter which driver built them.
+  /// image object. Keyed by (FNV-1a hash, length) of the source text — the
+  /// only input assembly depends on — so two Workload objects at the same
+  /// scale share an image no matter which driver built them; the full text
+  /// is compared on a key match, so a hash collision costs one string
+  /// compare, never a wrong image.
   Image get(const workloads::Workload& workload);
 
   /// Total assemble() invocations so far. A sweep that shares images
@@ -58,11 +61,29 @@ class AssemblyCache {
  private:
   struct Entry {
     std::once_flag once;
+    std::string source;  ///< collision check against the key's hash.
     Image image;
   };
 
+  /// Precomputed content key: hashing the source once at lookup replaces
+  /// the per-lookup std::hash re-hash plus full string equality walk of a
+  /// string-keyed map.
+  struct Key {
+    std::uint64_t hash = 0;
+    std::size_t length = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return static_cast<std::size_t>(key.hash ^ key.length);
+    }
+  };
+
   std::mutex mutex_;  ///< guards the map only; assembly runs outside it.
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  /// (hash, length) -> entries with that key. The vector holds one entry
+  /// in every realistic case; a genuine FNV collision chains.
+  std::unordered_map<Key, std::vector<std::shared_ptr<Entry>>, KeyHash>
+      entries_;
   std::atomic<std::uint64_t> assemblies_{0};
 };
 

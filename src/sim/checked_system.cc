@@ -9,7 +9,6 @@
 #include "core/checkpoint.h"
 #include "core/load_forwarding_unit.h"
 #include "core/load_store_log.h"
-#include "isa/crack.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/prefetcher.h"
@@ -22,7 +21,6 @@ namespace {
 using core::EntryKind;
 using core::FaultSite;
 using core::LogEntry;
-using isa::Opcode;
 
 /// DataPort for the main core's functional execution: reads/writes the real
 /// memory, captures every memory micro-op for the commit stage, and applies
@@ -109,17 +107,6 @@ class MainPort final : public arch::DataPort {
   std::uint64_t rdcycle_value_ = 0;
 };
 
-CtrlKind control_kind(const isa::Inst& inst) {
-  if (isa::is_cond_branch(inst.op)) return CtrlKind::kCond;
-  if (inst.op == Opcode::kJal) {
-    return inst.rd == 1 ? CtrlKind::kCall : CtrlKind::kJump;
-  }
-  if (inst.op == Opcode::kJalr) {
-    return inst.rs1 == 1 && inst.rd == 0 ? CtrlKind::kRet : CtrlKind::kIndirect;
-  }
-  return CtrlKind::kNone;
-}
-
 /// Commit-bandwidth tracker: at most commit_width micro-ops per cycle, in
 /// order, never earlier than the block cycle (checkpoint pauses and
 /// log-full stalls).
@@ -150,12 +137,38 @@ class CommitTracker {
 
 }  // namespace
 
+namespace {
+
+/// Slack past the last labelled object for the flat data window: workload
+/// tables extend beyond their label (randacc's is 2 MiB) and symbols only
+/// mark where they start.
+constexpr Addr kFlatDataSlack = Addr{4} << 20;
+/// Programs whose address footprint exceeds this stay purely page-backed.
+constexpr Addr kFlatDataWindowCap = Addr{32} << 20;
+
+}  // namespace
+
 LoadedProgram load_program(const isa::Assembled& assembled) {
   LoadedProgram program;
+  // Flat backing over the program's whole address footprint (chunks and
+  // labelled data, plus slack for the arrays that follow the last label):
+  // the hot-path load/store becomes a bounds check + memcpy.
+  Addr footprint = 0;
+  for (const auto& chunk : assembled.chunks) {
+    footprint = std::max(footprint, chunk.base + chunk.bytes.size());
+  }
+  for (const auto& [name, addr] : assembled.symbols) {
+    footprint = std::max(footprint, addr);
+  }
+  if (footprint > 0 && footprint + kFlatDataSlack <= kFlatDataWindowCap) {
+    program.memory.reserve_flat(0, footprint + kFlatDataSlack);
+  }
   for (const auto& chunk : assembled.chunks) {
     program.memory.write_block(chunk.base, chunk.bytes);
   }
   program.entry = assembled.entry;
+  program.predecoded = assembled.predecoded;
+  program.statics = ProgramStatics(program.predecoded);
   return program;
 }
 
@@ -183,7 +196,7 @@ RunResult CheckedSystem::run(LoadedProgram& program,
   core::CheckpointUnit checkpoint_unit(
       config_.main_core.checkpoint_latency_cycles);
   core::DetectionController controller(main_mhz);
-  core::CheckerEngine engine(program.memory);
+  core::CheckerEngine engine(program.memory, &program.predecoded);
 
   const ClockDomain checker_domain(config_.checker.freq_mhz, main_mhz);
   SharedCheckerIcache shared_icache(config_.checker.l1_icache_bytes);
@@ -201,7 +214,7 @@ RunResult CheckedSystem::run(LoadedProgram& program,
   // ---- Execution state ---------------------------------------------------
   arch::ArchState state;
   state.pc = program.entry;
-  arch::DecodeCache decode(program.memory);
+  arch::DecodeCache decode(program.memory, &program.predecoded);
   MainPort port(program.memory);
   CommitTracker commit(config_.main_core.commit_width);
 
@@ -259,8 +272,8 @@ RunResult CheckedSystem::run(LoadedProgram& program,
     Cycle completion;
     if (config_.detection.simulate_checkers) {
       CheckerCoreTiming& core_timing = checker_cores[index];
-      const auto walk =
-          core_timing.walk(check.trace, segment.entries.size());
+      const auto walk = core_timing.walk(check.trace, segment.entries.size(),
+                                         &program.statics);
       const Cycle start =
           std::max(segment_release[index],
                    seal_cycle + config_.main_core.checkpoint_latency_cycles);
@@ -313,6 +326,7 @@ RunResult CheckedSystem::run(LoadedProgram& program,
 
   // ---- Main loop: one macro-op per iteration ------------------------------
   arch::Trap exit_trap = arch::Trap::kNone;
+  InstStatic scratch_statics;  ///< fallback for out-of-image PCs only.
   while (result.instructions < max_instructions) {
     // Transient register-file faults trigger by first-uop sequence number.
     if (faults != nullptr) {
@@ -326,8 +340,11 @@ RunResult CheckedSystem::run(LoadedProgram& program,
       exit_trap = arch::Trap::kIllegal;
       break;  // undecodable: nothing commits.
     }
-    const isa::CrackedInst cracked = isa::crack(*inst);
-    const unsigned mem_uops = isa::mem_uop_count(inst->op);
+    // Crack/classification metadata: from the per-static-instruction table
+    // for predecoded PCs, computed on the spot for out-of-image ones.
+    const InstStatic* statics =
+        lookup_or_make(&program.statics, state.pc, *inst, scratch_statics);
+    const unsigned mem_uops = statics->mem_uops;
 
     // Segment management before this instruction commits (§IV-D): the
     // macro-op boundary rule, then opening a fresh segment if needed.
@@ -348,23 +365,22 @@ RunResult CheckedSystem::run(LoadedProgram& program,
     // Timing + commit of each micro-op.
     const auto& captured = port.captured();
     std::size_t capture_index = 0;
-    for (unsigned u = 0; u < cracked.count; ++u) {
-      const isa::Inst& uop_inst = cracked.uops[u].inst;
+    for (unsigned u = 0; u < statics->uop_count; ++u) {
+      const UopStatic& uop = statics->uops[u];
       UopDesc desc;
-      desc.cls = isa::exec_class(uop_inst.op);
-      desc.regs = uop_regs(uop_inst);
+      desc.cls = uop.cls;
+      desc.regs = uop.regs;
       desc.pc = pc;
       desc.seq = uop_seq;
       desc.first_of_macro = u == 0;
-      desc.ctrl = control_kind(uop_inst);
-      desc.taken = step.branch_taken || isa::is_jump(uop_inst.op);
+      desc.ctrl = uop.ctrl;
+      desc.taken = step.branch_taken || uop.is_jump;
       desc.target = step.next_pc;
-      desc.is_load = isa::is_load(uop_inst.op);
-      desc.is_store = isa::is_store(uop_inst.op);
+      desc.is_load = uop.is_load;
+      desc.is_store = uop.is_store;
       // Memory micro-ops and RDCYCLE each consume one captured access, in
       // execution order.
-      const bool consumes_capture =
-          desc.is_load || desc.is_store || uop_inst.op == Opcode::kRdcycle;
+      const bool consumes_capture = uop.consumes_capture;
       const MainPort::Captured* cap = nullptr;
       if (consumes_capture && capture_index < captured.size()) {
         cap = &captured[capture_index];

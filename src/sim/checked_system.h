@@ -23,13 +23,20 @@
 #include "core/fault_injection.h"
 #include "core/recovery.h"
 #include "isa/assembler.h"
+#include "sim/uop_info.h"
 
 namespace paradet::sim {
 
-/// A program image ready to execute: functional memory plus entry point.
+/// A program image ready to execute: functional memory plus entry point,
+/// the assembly-time predecoded code span, and its per-static-instruction
+/// crack/classification metadata. The memory gets a contiguous flat
+/// backing over the program's data window, so the common access is a
+/// bounds check + memcpy rather than a page-map probe.
 struct LoadedProgram {
   arch::SparseMemory memory;
   Addr entry = 0;
+  isa::PredecodedImage predecoded;
+  ProgramStatics statics;
 };
 
 /// Materialises an assembled image into simulator memory.

@@ -65,7 +65,7 @@ bool CheckerCoreTiming::l0_access(Addr line_addr) {
 
 CheckerCoreTiming::WalkResult CheckerCoreTiming::walk(
     const std::vector<core::CheckerInstRecord>& trace,
-    std::size_t total_entries) {
+    std::size_t total_entries, const ProgramStatics* statics) {
   WalkResult result;
   result.entry_check_cycles.assign(total_entries, 0);
 
@@ -76,6 +76,7 @@ CheckerCoreTiming::WalkResult CheckerCoreTiming::walk(
   Cycle last_complete = fetch_ready;
   Cycle unpipelined_busy = 0;
 
+  InstStatic scratch_statics;  ///< fallback for out-of-image PCs only.
   for (const auto& record : trace) {
     // Fetch: one L0 lookup per 64-byte line transition is approximated by
     // looking up every instruction (the L0 filters repeats cheaply).
@@ -87,14 +88,15 @@ CheckerCoreTiming::WalkResult CheckerCoreTiming::walk(
       }
     }
 
-    const isa::CrackedInst cracked = isa::crack(record.inst);
+    const InstStatic* inst_static =
+        lookup_or_make(statics, record.pc, record.inst, scratch_statics);
     std::uint32_t entry_cursor = record.first_entry;
     std::uint8_t entries_left = record.entries_consumed;
 
-    for (unsigned u = 0; u < cracked.count; ++u) {
-      const isa::Inst& uop = cracked.uops[u].inst;
-      const UopRegs regs = uop_regs(uop);
-      const auto cls = isa::exec_class(uop.op);
+    for (unsigned u = 0; u < inst_static->uop_count; ++u) {
+      const UopStatic& uop = inst_static->uops[u];
+      const UopRegs& regs = uop.regs;
+      const auto cls = uop.cls;
 
       Cycle issue = std::max<Cycle>(last_issue + 1, fetch_done);
       issue = std::max(issue, unpipelined_busy);
@@ -104,7 +106,7 @@ CheckerCoreTiming::WalkResult CheckerCoreTiming::walk(
 
       // Log-fed memory ops complete in one cycle (SRAM read + compare);
       // other classes use their execution latency.
-      const bool is_mem = isa::is_mem(uop.op);
+      const bool is_mem = uop.is_load || uop.is_store;
       const unsigned latency = is_mem ? 1 : isa::exec_latency(cls);
       const Cycle complete = issue + latency;
 

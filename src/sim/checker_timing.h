@@ -20,6 +20,7 @@
 #include "common/config.h"
 #include "common/types.h"
 #include "core/checker_engine.h"
+#include "sim/uop_info.h"
 
 namespace paradet::sim {
 
@@ -66,9 +67,12 @@ class CheckerCoreTiming {
   };
 
   /// Computes the pipeline timing of re-executing `trace` and checking
-  /// `total_entries` log entries.
+  /// `total_entries` log entries. `statics`, when given, supplies the
+  /// per-static-instruction crack/classification metadata for traced PCs
+  /// inside the predecoded image (out-of-image records recompute it).
   WalkResult walk(const std::vector<core::CheckerInstRecord>& trace,
-                  std::size_t total_entries);
+                  std::size_t total_entries,
+                  const ProgramStatics* statics = nullptr);
 
   std::uint64_t l0_hits() const { return l0_hits_; }
   std::uint64_t l0_misses() const { return l0_misses_; }

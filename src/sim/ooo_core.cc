@@ -23,47 +23,30 @@ void OoOCore::fetch_bubble(Cycle from, unsigned cycles) {
   }
 }
 
-Cycle OoOCore::apply_queue_limits(Cycle dispatch) const {
+/// One queue constraint: at the candidate dispatch cycle, fewer than
+/// `entries` occupants may remain (deadline still in the future); otherwise
+/// dispatch retries just past the earliest-releasing occupant. `heap` holds
+/// the deadlines of live occupants plus possibly-stale entries whose
+/// deadline already passed — draining `top() <= dispatch` removes both the
+/// released and the stale ones, so `size()` is exactly the occupancy a scan
+/// of the in-flight window would count.
+Cycle OoOCore::constrain_queue(DeadlineHeap& heap, unsigned entries,
+                               Cycle dispatch) {
+  for (;;) {
+    while (!heap.empty() && heap.top() <= dispatch) heap.pop();
+    if (heap.size() < entries) return dispatch;
+    dispatch = heap.top() + 1;
+  }
+}
+
+Cycle OoOCore::apply_queue_limits(Cycle dispatch) {
   // Issue queue: micro-ops dispatched but not yet issued occupy IQ slots.
-  for (;;) {
-    unsigned occupied = 0;
-    Cycle earliest_issue = kCycleNever;
-    for (const InFlight& uop : window_) {
-      if (uop.issue > dispatch) {
-        ++occupied;
-        earliest_issue = std::min(earliest_issue, uop.issue);
-      }
-    }
-    if (occupied < config_.iq_entries) break;
-    dispatch = earliest_issue + 1;
-  }
+  dispatch = constrain_queue(iq_issue_deadlines_, config_.iq_entries, dispatch);
   // Load queue: loads occupy LQ from dispatch to commit.
-  for (;;) {
-    unsigned occupied = 0;
-    Cycle earliest_commit = kCycleNever;
-    for (const InFlight& uop : window_) {
-      if (uop.is_load && uop.commit > dispatch) {
-        ++occupied;
-        earliest_commit = std::min(earliest_commit, uop.commit);
-      }
-    }
-    if (occupied < config_.lq_entries) break;
-    dispatch = earliest_commit + 1;
-  }
+  dispatch = constrain_queue(lq_commit_deadlines_, config_.lq_entries,
+                             dispatch);
   // Store queue likewise.
-  for (;;) {
-    unsigned occupied = 0;
-    Cycle earliest_commit = kCycleNever;
-    for (const InFlight& uop : window_) {
-      if (uop.is_store && uop.commit > dispatch) {
-        ++occupied;
-        earliest_commit = std::min(earliest_commit, uop.commit);
-      }
-    }
-    if (occupied < config_.sq_entries) break;
-    dispatch = earliest_commit + 1;
-  }
-  return dispatch;
+  return constrain_queue(sq_commit_deadlines_, config_.sq_entries, dispatch);
 }
 
 void OoOCore::resolve_control(const UopDesc& desc, const UopTiming& timing,
@@ -249,9 +232,15 @@ UopTiming OoOCore::schedule(const UopDesc& desc) {
 
 void OoOCore::retire(Cycle commit_cycle) {
   assert(pending_valid_);
+  assert(commit_cycle >= last_retired_commit_ &&
+         "in-order commit: retire cycles must be non-decreasing");
+  last_retired_commit_ = commit_cycle;
   pending_.commit = commit_cycle;
   window_.push_back(pending_);
   if (window_.size() > config_.rob_entries) window_.pop_front();
+  iq_issue_deadlines_.push(pending_.issue);
+  if (pending_.is_load) lq_commit_deadlines_.push(commit_cycle);
+  if (pending_.is_store) sq_commit_deadlines_.push(commit_cycle);
   pending_valid_ = false;
 }
 

@@ -19,6 +19,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/config.h"
@@ -30,16 +32,9 @@
 
 namespace paradet::sim {
 
-enum class CtrlKind : std::uint8_t {
-  kNone,
-  kCond,      ///< conditional branch.
-  kJump,      ///< direct jump (JAL rd=x0 or link unused for control).
-  kCall,      ///< direct jump that pushes a return address (JAL rd=ra).
-  kRet,       ///< indirect jump predicted by the RAS (JALR via ra).
-  kIndirect,  ///< other indirect jumps (BTB-predicted).
-};
-
 /// Everything the timing model needs to know about one micro-op.
+/// (CtrlKind lives in sim/uop_info.h with the rest of the static
+/// instruction metadata.)
 /// Register indices live in [0, 2*kNumArchRegs): the upper half is a
 /// second hardware thread context, used by the redundant-multithreading
 /// baseline (the paradet scheme itself only uses context 0).
@@ -82,6 +77,8 @@ class OoOCore {
 
   /// Informs the core of the micro-op's commit cycle (computed by the
   /// caller from complete + commit bandwidth + detection-side stalls).
+  /// Commit cycles must be non-decreasing across retires (in-order
+  /// commit); the incremental queue-occupancy tracking relies on it.
   void retire(Cycle commit_cycle);
 
   std::uint64_t branch_mispredicts() const { return mispredicts_; }
@@ -144,8 +141,18 @@ class OoOCore {
     std::array<Slot, kMask + 1> table_{};
   };
 
+  /// Min-heap of cycle deadlines with lazy removal: entries whose deadline
+  /// has passed the (monotonically rising) dispatch candidate are popped on
+  /// the next query instead of eagerly. Backs the incremental IQ/LQ/SQ
+  /// occupancy tracking in apply_queue_limits.
+  using DeadlineHeap =
+      std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>;
+
+  static Cycle constrain_queue(DeadlineHeap& heap, unsigned entries,
+                               Cycle dispatch);
+
   void fetch_bubble(Cycle from, unsigned cycles);
-  Cycle apply_queue_limits(Cycle dispatch) const;
+  Cycle apply_queue_limits(Cycle dispatch);
   void resolve_control(const UopDesc& desc, const UopTiming& timing,
                        UopTiming* out);
 
@@ -176,6 +183,17 @@ class OoOCore {
 
   // In-flight window (at most rob_entries micro-ops).
   std::deque<InFlight> window_;
+  // Queue-occupancy deadlines of window_ entries: issue cycles of every
+  // micro-op (IQ) and commit cycles of loads (LQ) / stores (SQ). Entries
+  // evicted from window_ always have commit <= every later dispatch
+  // candidate (commit cycles are monotone and a full ROB bounds dispatch
+  // below by front().commit + 1), so their stale heap entries drain before
+  // they could ever be counted — the heaps stay exactly equivalent to
+  // rescanning window_.
+  DeadlineHeap iq_issue_deadlines_;
+  DeadlineHeap lq_commit_deadlines_;
+  DeadlineHeap sq_commit_deadlines_;
+  Cycle last_retired_commit_ = 0;
   // Recent stores for forwarding/disambiguation (at most sq_entries).
   std::deque<StoreWindowEntry> store_window_;
   Cycle last_store_agu_ = 0;

@@ -62,4 +62,44 @@ UopRegs uop_regs(const isa::Inst& inst) {
   return regs;
 }
 
+CtrlKind control_kind(const isa::Inst& inst) {
+  if (isa::is_cond_branch(inst.op)) return CtrlKind::kCond;
+  if (inst.op == isa::Opcode::kJal) {
+    return inst.rd == 1 ? CtrlKind::kCall : CtrlKind::kJump;
+  }
+  if (inst.op == isa::Opcode::kJalr) {
+    return inst.rs1 == 1 && inst.rd == 0 ? CtrlKind::kRet : CtrlKind::kIndirect;
+  }
+  return CtrlKind::kNone;
+}
+
+InstStatic make_inst_static(const isa::Inst& inst) {
+  InstStatic statics;
+  const isa::CrackedInst cracked = isa::crack(inst);
+  statics.uop_count = static_cast<std::uint8_t>(cracked.count);
+  statics.mem_uops = static_cast<std::uint8_t>(isa::mem_uop_count(inst.op));
+  for (unsigned u = 0; u < cracked.count; ++u) {
+    UopStatic& uop = statics.uops[u];
+    uop.inst = cracked.uops[u].inst;
+    uop.regs = uop_regs(uop.inst);
+    uop.cls = isa::exec_class(uop.inst.op);
+    uop.ctrl = control_kind(uop.inst);
+    uop.is_load = isa::is_load(uop.inst.op);
+    uop.is_store = isa::is_store(uop.inst.op);
+    uop.is_jump = isa::is_jump(uop.inst.op);
+    uop.consumes_capture = uop.is_load || uop.is_store ||
+                           uop.inst.op == isa::Opcode::kRdcycle;
+  }
+  return statics;
+}
+
+ProgramStatics::ProgramStatics(const isa::PredecodedImage& image)
+    : base_(image.base) {
+  table_.resize(image.insts.size());
+  valid_.assign(image.valid.begin(), image.valid.end());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (valid_[i] != 0) table_[i] = make_inst_static(image.insts[i]);
+  }
+}
+
 }  // namespace paradet::sim

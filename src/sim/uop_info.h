@@ -1,10 +1,19 @@
-// Register-usage metadata for micro-ops, shared by the out-of-order
-// dependence tracker and the in-order checker pipeline model. Register
-// indices are in the unified [0, 64) space (int 0-31, fp 32-63); x0 never
-// appears (it is neither a dependency nor a destination).
+// Static (per-encoding) micro-op metadata shared by the out-of-order main
+// core model, the redundant-multithreading baseline and the in-order
+// checker pipeline model: register usage, execution class, control kind,
+// and — via ProgramStatics — the whole of it precomputed per static
+// instruction of a predecoded image. Register indices are in the unified
+// [0, 64) space (int 0-31, fp 32-63); x0 never appears (it is neither a
+// dependency nor a destination).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/crack.h"
 #include "isa/isa.h"
+#include "isa/predecode.h"
 
 namespace paradet::sim {
 
@@ -18,5 +27,91 @@ struct UopRegs {
 /// Computes the register usage of a *simple* (non-macro) instruction or a
 /// cracked micro-op. Macro-ops must be cracked first.
 UopRegs uop_regs(const isa::Inst& inst);
+
+enum class CtrlKind : std::uint8_t {
+  kNone,
+  kCond,      ///< conditional branch.
+  kJump,      ///< direct jump (JAL rd=x0 or link unused for control).
+  kCall,      ///< direct jump that pushes a return address (JAL rd=ra).
+  kRet,       ///< indirect jump predicted by the RAS (JALR via ra).
+  kIndirect,  ///< other indirect jumps (BTB-predicted).
+};
+
+/// How the front end treats this (micro-)instruction. A pure function of
+/// the encoding (JAL to ra is a call, JALR via ra is a return, ...).
+CtrlKind control_kind(const isa::Inst& inst);
+
+/// Everything about one cracked micro-op that is a pure function of the
+/// parent encoding: computed once per static instruction instead of once
+/// per dynamic execution.
+struct UopStatic {
+  isa::Inst inst;  ///< the cracked micro-op's own encoding.
+  UopRegs regs;
+  isa::ExecClass cls = isa::ExecClass::kIntAlu;
+  CtrlKind ctrl = CtrlKind::kNone;
+  bool is_load = false;
+  bool is_store = false;
+  bool is_jump = false;
+  /// Memory micro-ops and RDCYCLE each consume one captured access.
+  bool consumes_capture = false;
+};
+
+/// Static metadata of one macro instruction: its cracked micro-ops plus
+/// the per-uop facts above.
+struct InstStatic {
+  UopStatic uops[isa::kMaxUops];
+  std::uint8_t uop_count = 0;
+  std::uint8_t mem_uops = 0;  ///< isa::mem_uop_count of the macro-op.
+};
+
+/// Cracks `inst` and fills in every derived field.
+InstStatic make_inst_static(const isa::Inst& inst);
+
+class ProgramStatics;
+
+/// The static record for `pc` from `statics` (when non-null and covering
+/// `pc`), else `scratch` filled from `inst`. `scratch` lives in the caller
+/// so the predecoded-hit path — virtually every iteration — does no
+/// per-instruction construction; the returned pointer is only valid until
+/// the caller's next lookup with the same scratch.
+inline const InstStatic* lookup_or_make(const ProgramStatics* statics, Addr pc,
+                                        const isa::Inst& inst,
+                                        InstStatic& scratch);
+
+/// InstStatic for every valid slot of a predecoded image, indexed exactly
+/// like the image ((pc - base) >> 2). Built once per loaded program; the
+/// simulation loops then pay one bounds check per macro-op instead of
+/// re-cracking and re-classifying on every dynamic execution.
+class ProgramStatics {
+ public:
+  ProgramStatics() = default;
+  explicit ProgramStatics(const isa::PredecodedImage& image);
+
+  /// The static record for `pc`, or nullptr outside the image (callers
+  /// fall back to make_inst_static on the decoded instruction).
+  const InstStatic* lookup(Addr pc) const {
+    const Addr offset = pc - base_;  // wraps to huge for pc < base_.
+    const std::size_t index = static_cast<std::size_t>(offset >> 2);
+    if ((offset & 3) == 0 && index < table_.size() && valid_[index] != 0) {
+      return &table_[index];
+    }
+    return nullptr;
+  }
+
+ private:
+  Addr base_ = 0;
+  std::vector<InstStatic> table_;
+  std::vector<std::uint8_t> valid_;
+};
+
+inline const InstStatic* lookup_or_make(const ProgramStatics* statics, Addr pc,
+                                        const isa::Inst& inst,
+                                        InstStatic& scratch) {
+  if (statics != nullptr) {
+    if (const InstStatic* hit = statics->lookup(pc)) return hit;
+  }
+  scratch = make_inst_static(inst);
+  return &scratch;
+}
 
 }  // namespace paradet::sim

@@ -76,6 +76,27 @@ TEST(AssemblyCache, DistinctSourcesGetDistinctImages) {
   EXPECT_EQ(cache.assemblies(), 2u);
 }
 
+TEST(AssemblyCache, SameLengthDifferentSourcesStayIsolated) {
+  // The cache keys by (content hash, length): equal-length sources with
+  // different bytes must hash apart — and even a colliding key would be
+  // disambiguated by the stored source text.
+  AssemblyCache cache;
+  workloads::Workload a;
+  a.name = "a";
+  a.source = "_start:\n  addi x5, x0, 1\n  halt\n";
+  workloads::Workload b = a;
+  b.source = "_start:\n  addi x5, x0, 2\n  halt\n";
+  ASSERT_EQ(a.source.size(), b.source.size());
+
+  const auto image_a = cache.get(a);
+  const auto image_b = cache.get(b);
+  EXPECT_NE(image_a.get(), image_b.get());
+  EXPECT_EQ(cache.assemblies(), 2u);
+  EXPECT_EQ(cache.get(a).get(), image_a.get());
+  EXPECT_EQ(cache.get(b).get(), image_b.get());
+  EXPECT_EQ(cache.assemblies(), 2u);
+}
+
 TEST(AssemblyCache, SweepOverThreeConfigPointsDoesZeroReassembly) {
   // A 3-point sweep over 2 workloads: the sweep layer must fetch each
   // image once from the process-wide cache and share it across every

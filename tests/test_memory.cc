@@ -68,5 +68,111 @@ TEST(SparseMemory, SparseFootprint) {
   EXPECT_EQ(memory.pages_allocated(), 3u);
 }
 
+// ---- Flat-backing fast path -----------------------------------------------
+
+TEST(SparseMemoryFlat, ColdFlatReadsZeroAndAllocatesNoPages) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x10000);
+  EXPECT_EQ(memory.read(0x8000, 8), 0u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+  memory.write(0x8000, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(memory.read(0x8000, 8), 0x1122334455667788ULL);
+  // Writes inside the window land in the flat store, not in pages.
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+TEST(SparseMemoryFlat, AbsorbsExistingPages) {
+  SparseMemory memory;
+  memory.write(0x1000, 0xDEADBEEFCAFEF00DULL, 8);
+  memory.write(0x20000, 0xAA, 1);  // outside the future window.
+  ASSERT_EQ(memory.pages_allocated(), 2u);
+  memory.reserve_flat(0, 0x10000);
+  EXPECT_EQ(memory.read(0x1000, 8), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(memory.read(0x20000, 1), 0xAAu);
+  // The in-window page was folded into the flat store.
+  EXPECT_EQ(memory.pages_allocated(), 1u);
+}
+
+TEST(SparseMemoryFlat, SegmentBoundaryAccessesSplitCorrectly) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x2000);  // window = pages 0 and 1.
+  const Addr boundary = 0x2000;    // first address past the window.
+  // An 8-byte access straddling the window's end: low half flat, high half
+  // page-backed.
+  memory.write(boundary - 4, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(memory.read(boundary - 4, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.read(boundary - 4, 4), 0x55667788u);
+  EXPECT_EQ(memory.read(boundary, 4), 0x11223344u);
+  EXPECT_EQ(memory.pages_allocated(), 1u);
+  // Neighbouring bytes on both sides survive a partial overwrite.
+  memory.write(boundary - 1, 0xEE, 1);
+  EXPECT_EQ(memory.read(boundary - 4, 8), 0x11223344EE667788ULL);
+}
+
+TEST(SparseMemoryFlat, PageCrossingInsideFlatWindow) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x4000);
+  memory.write(0x0FFC, 0xA1B2C3D4E5F60718ULL, 8);  // crosses page 0 -> 1.
+  EXPECT_EQ(memory.read(0x0FFC, 8), 0xA1B2C3D4E5F60718ULL);
+  EXPECT_EQ(memory.read(0x1000, 4), 0xA1B2C3D4u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+TEST(SparseMemoryFlat, BlockTransfersSpanTheWindowEdge) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x2000);
+  std::array<std::uint8_t, 4096> in_buffer;
+  std::array<std::uint8_t, 4096> out_buffer{};
+  for (std::size_t i = 0; i < in_buffer.size(); ++i) {
+    in_buffer[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  memory.write_block(0x1800, in_buffer);  // half inside, half outside.
+  memory.read_block(0x1800, out_buffer);
+  EXPECT_EQ(in_buffer, out_buffer);
+  EXPECT_EQ(memory.read(0x17FF, 1), 0u);  // window below the block: cold.
+}
+
+TEST(SparseMemoryFlat, WindowIsRoundedOutToPages) {
+  SparseMemory memory;
+  memory.reserve_flat(0x1100, 0x100);  // interior of page 1.
+  EXPECT_EQ(memory.flat_bytes(), SparseMemory::kPageBytes);
+  memory.write(0x1000, 0x77, 1);  // page-aligned start of the window.
+  EXPECT_EQ(memory.read(0x1000, 1), 0x77u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+// ---- One-entry page-translation cache -------------------------------------
+
+TEST(SparseMemoryPageCache, AlternatingPagesStayCoherent) {
+  SparseMemory memory;
+  for (int round = 0; round < 4; ++round) {
+    memory.write(0x1000 + round, static_cast<std::uint64_t>(round), 1);
+    memory.write(0x9000 + round, static_cast<std::uint64_t>(round + 40), 1);
+  }
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(memory.read(0x1000 + round, 1),
+              static_cast<std::uint64_t>(round));
+    EXPECT_EQ(memory.read(0x9000 + round, 1),
+              static_cast<std::uint64_t>(round + 40));
+  }
+}
+
+TEST(SparseMemoryPageCache, ColdReadMissIsNotCachedAcrossTheCreatingWrite) {
+  SparseMemory memory;
+  // Read a cold page (miss: zero), create it with a write, read again: the
+  // second read must see the write, not a stale cached miss.
+  EXPECT_EQ(memory.read(0x5000, 8), 0u);
+  memory.write(0x5000, 0x55AA, 2);
+  EXPECT_EQ(memory.read(0x5000, 2), 0x55AAu);
+}
+
+TEST(SparseMemoryPageCache, PageCrossingReadAfterOneSidedWrite) {
+  SparseMemory memory;
+  memory.write(0x1FFF, 0x7B, 1);
+  EXPECT_EQ(memory.read(0x1FFC, 8), 0x7B000000ULL);
+  memory.write(0x2000, 0x1C, 1);
+  EXPECT_EQ(memory.read(0x1FFC, 8), 0x1C7B000000ULL);
+}
+
 }  // namespace
 }  // namespace paradet::arch
