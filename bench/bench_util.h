@@ -16,6 +16,7 @@
 #include "common/config.h"
 #include "common/hash.h"
 #include "runtime/campaign.h"
+#include "runtime/checker_pool.h"
 #include "runtime/parallel_runner.h"
 #include "runtime/sweep_campaign.h"
 #include "sim/checked_system.h"
@@ -43,7 +44,8 @@ struct Options {
       } else if (std::strncmp(arg, "--benchmark=", 12) == 0) {
         options.only = arg + 12;
       } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]%s\n",
+        std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]"
+                    " [--checker-threads=N]%s\n",
                     argv[0],
                     campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
                                "\n          [--checkpoint=ckpt.json |"
@@ -58,6 +60,15 @@ struct Options {
 
   runtime::ParallelRunner runner() const {
     return runtime::ParallelRunner(runtime.jobs);
+  }
+
+  /// Checker-replay workers each simulated run may spawn: the requested
+  /// --checker-threads, clamped so that --jobs concurrent runs plus their
+  /// absorbers cannot oversubscribe the host. Results are byte-identical
+  /// at any value, so the clamp never changes artifacts.
+  unsigned checker_threads() const {
+    return runtime::CheckerPool::bounded(runtime.checker_threads,
+                                         runtime.jobs);
   }
 
   /// Hash (FNV-1a, common/hash.h) of the options that give campaign task
@@ -160,13 +171,15 @@ inline std::vector<SuiteRun> run_suite(const Options& options,
   SystemConfig baseline_config = config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
+  const unsigned checker_threads = options.checker_threads();
   runtime::SweepCampaign sweep(1, suite(options), /*seed=*/0);
   sweep.enable_baselines(baseline_config, kInstructionBudget);
   const runtime::SweepResult swept = sweep.run(
       runner, runtime::CampaignRunOptions{},
       [&](std::size_t, std::size_t, const isa::Assembled& image,
           std::uint64_t) {
-        return sim::run_program(config, image, kInstructionBudget);
+        return sim::run_program(config, image, kInstructionBudget, nullptr,
+                                checker_threads);
       });
   std::vector<SuiteRun> runs;
   runs.reserve(swept.workload_count);

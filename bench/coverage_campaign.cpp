@@ -21,6 +21,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  const unsigned checker_threads = options.checker_threads();
   if (options.scale == 1.0) options.scale = 0.1;  // campaign is many runs.
   bench::print_header(
       "Fault-injection campaign: detection coverage by site",
@@ -105,7 +106,8 @@ int run(int argc, char** argv) {
         faults.add(spec);
 
         return sim::run_program(config, *references[kernel_index].assembled,
-                                bench::kInstructionBudget, &faults);
+                                bench::kInstructionBudget, &faults,
+                                checker_threads);
       });
 
   // Classification against the clean reference is pure post-processing,

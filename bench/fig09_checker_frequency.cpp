@@ -22,6 +22,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  const unsigned checker_threads = options.checker_threads();
   bench::print_header(
       "Figure 9: slowdown vs checker-core frequency (12 cores)",
       "125MHz: up to ~4.5x for compute-bound, ~1x for memory-bound; "
@@ -43,7 +44,8 @@ int run(int argc, char** argv) {
           std::uint64_t) {
         SystemConfig config = SystemConfig::standard();
         config.checker.freq_mhz = freqs_mhz[point];
-        return sim::run_program(config, image, bench::kInstructionBudget);
+        return sim::run_program(config, image, bench::kInstructionBudget,
+                                nullptr, checker_threads);
       });
 
   runtime::TableSpec spec;

@@ -20,6 +20,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  const unsigned checker_threads = options.checker_threads();
   bench::print_header(
       "Figure 11: detection delay vs checker frequency (12 cores)",
       "(a) mean ns halves per doubling, flattening at high freq; "
@@ -35,7 +36,8 @@ int run(int argc, char** argv) {
           std::uint64_t) {
         SystemConfig config = SystemConfig::standard();
         config.checker.freq_mhz = freqs_mhz[point];
-        return sim::run_program(config, image, bench::kInstructionBudget);
+        return sim::run_program(config, image, bench::kInstructionBudget,
+                                nullptr, checker_threads);
       });
 
   runtime::TableSpec spec;

@@ -19,6 +19,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  const unsigned checker_threads = options.checker_threads();
   bench::print_header(
       "Figure 12: detection delay vs log size / instruction timeout",
       "(a) mean scales ~linearly with log size; (b) infinite timeouts let "
@@ -48,7 +49,8 @@ int run(int argc, char** argv) {
         SystemConfig config = SystemConfig::standard();
         config.log.total_bytes = points[point].log_bytes;
         config.log.instruction_timeout = points[point].timeout;
-        return sim::run_program(config, image, bench::kInstructionBudget);
+        return sim::run_program(config, image, bench::kInstructionBudget,
+                                nullptr, checker_threads);
       });
 
   runtime::TableSpec spec;

@@ -22,6 +22,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  const unsigned checker_threads = options.checker_threads();
   bench::print_header(
       "Figure 13: slowdown vs checker core count x frequency",
       "3c@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
@@ -52,7 +53,8 @@ int run(int argc, char** argv) {
         // One-to-one mapping: the log is partitioned per checker core; the
         // total log SRAM stays fixed as in the paper's sweep.
         config.log.segments = points[point].cores;
-        return sim::run_program(config, image, bench::kInstructionBudget);
+        return sim::run_program(config, image, bench::kInstructionBudget,
+                                nullptr, checker_threads);
       });
 
   runtime::TableSpec spec;

@@ -10,6 +10,9 @@
 // against it.
 //
 //   perf_hotloop [--scale=X] [--benchmark=name] [--repeat=N]
+//                [--checker-threads=N]    replay workers for the
+//                                           checked-parallel mode
+//                                           (default 4, host-clamped)
 //                [--json=PATH]            default BENCH_hotloop.json
 //                [--compare=PATH]         exit 3 when checked-mode MIPS
 //                [--max-regress=F]          drops more than F (default
@@ -27,6 +30,7 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "runtime/assembly_cache.h"
+#include "runtime/checker_pool.h"
 #include "sim/checked_system.h"
 
 namespace {
@@ -60,14 +64,15 @@ double total_mips(const std::vector<ModeRun>& runs, const char* mode) {
 /// simulated instructions and wall time.
 ModeRun time_mode(const std::string& name, const char* mode,
                   const SystemConfig& config, const isa::Assembled& image,
-                  unsigned repeat) {
+                  unsigned repeat, unsigned checker_threads = 0) {
   ModeRun run;
   run.workload = name;
   run.mode = mode;
   for (unsigned r = 0; r < repeat; ++r) {
     const auto start = std::chrono::steady_clock::now();
     const sim::RunResult result =
-        sim::run_program(config, image, bench::kInstructionBudget);
+        sim::run_program(config, image, bench::kInstructionBudget, nullptr,
+                         checker_threads);
     const auto stop = std::chrono::steady_clock::now();
     run.instructions += result.instructions;
     run.seconds += std::chrono::duration<double>(stop - start).count();
@@ -147,6 +152,7 @@ int run(int argc, char** argv) {
     } else if (std::strncmp(arg, "--scale=", 8) == 0 ||
                std::strncmp(arg, "--benchmark=", 12) == 0 ||
                std::strncmp(arg, "--jobs=", 7) == 0 ||
+               std::strncmp(arg, "--checker-threads=", 18) == 0 ||
                std::strncmp(arg, "-j", 2) == 0) {
       // Parsed by bench::Options / RuntimeOptions above.
     } else {
@@ -176,6 +182,16 @@ int run(int argc, char** argv) {
   const SystemConfig checked = SystemConfig::standard();
   const SystemConfig baseline = SystemConfig::baseline_unchecked();
 
+  // Concurrent-replay worker count for the checked-parallel mode: the
+  // requested --checker-threads (default 4), clamped to what this host can
+  // actually run alongside the producer thread. On a host too small for
+  // any worker the mode degrades to inline replay (the rows still appear,
+  // with parallel_over_checked ~= 1).
+  const unsigned parallel_threads = runtime::CheckerPool::bounded(
+      options.runtime.checker_threads != 0 ? options.runtime.checker_threads
+                                           : 4,
+      /*host_jobs=*/1);
+
   std::vector<ModeRun> runs;
   for (const auto& workload : suite) {
     const auto image = runtime::AssemblyCache::instance().get(workload);
@@ -183,6 +199,8 @@ int run(int argc, char** argv) {
         time_mode(workload.name, "baseline", baseline, *image, repeat));
     runs.push_back(time_mode(workload.name, "checked", checked, *image,
                              repeat));
+    runs.push_back(time_mode(workload.name, "checked-parallel", checked,
+                             *image, repeat, parallel_threads));
   }
 
   std::printf("%-14s %10s %12s %10s %10s\n", "benchmark", "mode",
@@ -194,10 +212,13 @@ int run(int argc, char** argv) {
   }
   const double baseline_mips = total_mips(runs, "baseline");
   const double checked_mips = total_mips(runs, "checked");
+  const double parallel_mips = total_mips(runs, "checked-parallel");
   std::printf("%-14s %10s %12s %10s %10.3f\n", "suite", "baseline", "-", "-",
               baseline_mips);
   std::printf("%-14s %10s %12s %10s %10.3f\n", "suite", "checked", "-", "-",
               checked_mips);
+  std::printf("%-14s %10s %12s %10s %10.3f  # %u replay workers\n", "suite",
+              "ckd-parallel", "-", "-", parallel_mips, parallel_threads);
 
   if (!json_path.empty()) {
     bench::JsonWriter json;
@@ -222,8 +243,12 @@ int run(int argc, char** argv) {
     json.key("summary").begin_object();
     json.key("baseline_mips").value(baseline_mips);
     json.key("checked_mips").value(checked_mips);
+    json.key("checked_mips_parallel").value(parallel_mips);
+    json.key("checker_threads").value(std::uint64_t{parallel_threads});
     json.key("checked_over_baseline")
         .value(baseline_mips > 0 ? checked_mips / baseline_mips : 0.0);
+    json.key("parallel_over_checked")
+        .value(checked_mips > 0 ? parallel_mips / checked_mips : 0.0);
     json.end_object();
     json.end_object();
     bench::write_bench_file(json_path, json.str());

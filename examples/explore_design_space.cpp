@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "model/area_power.h"
+#include "runtime/checker_pool.h"
 #include "runtime/sweep_campaign.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
@@ -35,6 +36,8 @@ int run(int argc, char** argv) {
   const RuntimeOptions host =
       RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
   const runtime::ParallelRunner runner(host.jobs);
+  const unsigned checker_threads =
+      runtime::CheckerPool::bounded(host.checker_threads, host.jobs);
   const auto workload =
       workloads::make_facesim(workloads::Scale{.factor = 0.4});
 
@@ -66,7 +69,8 @@ int run(int argc, char** argv) {
       runner, runtime::CampaignRunOptions::from_runtime(host),
       [&](std::size_t point, std::size_t, const isa::Assembled& image,
           std::uint64_t) {
-        return sim::run_program(config_for(point), image, kBudget);
+        return sim::run_program(config_for(point), image, kBudget,
+                                nullptr, checker_threads);
       });
 
   const sim::RunResult* baseline = result.baseline(0);

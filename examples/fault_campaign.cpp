@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "runtime/campaign.h"
+#include "runtime/checker_pool.h"
 #include "sim/checked_system.h"
 #include "workloads/workloads.h"
 
@@ -53,6 +54,8 @@ int run(int argc, char** argv) {
   }
   const RuntimeOptions host_options = RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
   const runtime::ParallelRunner runner(host_options.jobs);
+  const unsigned checker_threads = runtime::CheckerPool::bounded(
+      host_options.checker_threads, host_options.jobs);
 
   const SystemConfig config = SystemConfig::standard();
   const auto workload =
@@ -99,7 +102,8 @@ int run(int argc, char** argv) {
         spec.alu_index = static_cast<unsigned>(
             rng.next_below(config.main_core.int_alus));
         faults.add(spec);
-        return sim::run_program(config, assembled, 500'000, &faults);
+        return sim::run_program(config, assembled, 500'000, &faults,
+                                checker_threads);
       });
 
   // Classification walks whichever (site, trial) records this shard owns.

@@ -288,7 +288,8 @@ const isa::Inst* DecodeCache::decode_slow(Addr pc) {
   if ((pc & 3) != 0) return nullptr;
   const auto it = cache_.find(pc);
   if (it != cache_.end()) return &it->second;
-  const auto word = static_cast<std::uint32_t>(imem_.read(pc, 4));
+  const auto word = static_cast<std::uint32_t>(
+      shared_imem_ ? imem_.read_shared(pc, 4) : imem_.read(pc, 4));
   const auto decoded = isa::decode(word);
   if (!decoded.has_value()) return nullptr;
   return &cache_.emplace(pc, *decoded).first->second;

@@ -91,10 +91,15 @@ StepResult execute(const isa::Inst& inst, ArchState& state, DataPort& port);
 /// per-pc map that decodes from instruction memory on first touch.
 class DecodeCache {
  public:
+  /// `shared_imem` selects the thread-safe fetch path: out-of-image decodes
+  /// read via SparseMemory::read_shared, so several DecodeCaches (each with
+  /// its own per-pc map) may fetch from one immutable memory concurrently.
   explicit DecodeCache(const SparseMemory& imem,
-                       const isa::PredecodedImage* image = nullptr)
+                       const isa::PredecodedImage* image = nullptr,
+                       bool shared_imem = false)
       : imem_(imem),
-        image_(image != nullptr && !image->empty() ? image : nullptr) {}
+        image_(image != nullptr && !image->empty() ? image : nullptr),
+        shared_imem_(shared_imem) {}
 
   /// Decodes the instruction at `pc`. Returns nullptr for an undecodable
   /// word or misaligned pc.
@@ -120,6 +125,7 @@ class DecodeCache {
 
   const SparseMemory& imem_;
   const isa::PredecodedImage* image_;
+  bool shared_imem_ = false;
   std::unordered_map<Addr, isa::Inst> cache_;
   std::uint64_t predecoded_hits_ = 0;
   std::uint64_t fallback_decodes_ = 0;

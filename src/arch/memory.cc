@@ -87,6 +87,36 @@ std::uint64_t SparseMemory::read_paged(Addr addr, unsigned size) const {
   return value;
 }
 
+std::uint64_t SparseMemory::read_paged_shared(Addr addr, unsigned size) const {
+  // Cache-free twin of read_paged: page lookups go straight to the flat
+  // window / page map without touching the mutable one-entry cache, so
+  // concurrent readers of an immutable memory never race.
+  const auto lookup = [this](Addr a) -> const std::uint8_t* {
+    const Addr page_base = a & ~Addr{kPageBytes - 1};
+    const Addr flat_offset = page_base - flat_base_;
+    if (flat_offset < flat_.size()) return flat_.data() + flat_offset;
+    const auto it = pages_.find(a >> kPageBits);
+    return it != pages_.end() ? it->second.data() : nullptr;
+  };
+  const std::size_t offset = addr & (kPageBytes - 1);
+  std::uint64_t value = 0;
+  auto* out = reinterpret_cast<std::uint8_t*>(&value);
+  if (offset + size <= kPageBytes) {
+    if (const std::uint8_t* page = lookup(addr)) {
+      std::memcpy(out, page + offset, size);
+    }
+    return value;
+  }
+  const unsigned first = static_cast<unsigned>(kPageBytes - offset);
+  if (const std::uint8_t* page = lookup(addr)) {
+    std::memcpy(out, page + offset, first);
+  }
+  if (const std::uint8_t* page = lookup(addr + first)) {
+    std::memcpy(out + first, page, size - first);
+  }
+  return value;
+}
+
 void SparseMemory::write_paged(Addr addr, std::uint64_t value, unsigned size) {
   const std::size_t offset = addr & (kPageBytes - 1);
   if (offset + size <= kPageBytes) {

@@ -56,6 +56,32 @@ class SparseMemory {
     return read_paged(addr, size);
   }
 
+  /// read(), but bypassing the mutable translation cache: safe to call from
+  /// any number of threads concurrently *as long as nothing writes* — the
+  /// contract for the frozen instruction-memory snapshots the concurrent
+  /// checker replay fetches from. Identical semantics, slightly slower
+  /// out-of-flat lookups (a hash probe per access instead of per page run).
+  std::uint64_t read_shared(Addr addr, unsigned size) const {
+    if (in_flat(addr, size)) {
+      std::uint64_t value = 0;
+      std::memcpy(&value, flat_.data() + (addr - flat_base_), size);
+      return value;
+    }
+    return read_paged_shared(addr, size);
+  }
+
+  /// Deep copy. Copying is deliberately explicit (the copy constructor is
+  /// deleted): a multi-MiB memory duplicated by accident is a perf bug,
+  /// but the checker pipeline legitimately needs a pristine fetch snapshot
+  /// per run.
+  SparseMemory clone() const {
+    SparseMemory copy;
+    copy.flat_base_ = flat_base_;
+    copy.flat_ = flat_;
+    copy.pages_ = pages_;
+    return copy;
+  }
+
   /// Writes the low `size` bytes of `value` little-endian.
   void write(Addr addr, std::uint64_t value, unsigned size) {
     if (in_flat(addr, size)) {
@@ -84,6 +110,7 @@ class SparseMemory {
   }
 
   std::uint64_t read_paged(Addr addr, unsigned size) const;
+  std::uint64_t read_paged_shared(Addr addr, unsigned size) const;
   void write_paged(Addr addr, std::uint64_t value, unsigned size);
 
   /// Backing bytes of the page containing `addr` (flat window included),

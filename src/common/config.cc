@@ -94,6 +94,15 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
       // (+ compacted snapshot); both spellings name the same files.
       options.checkpoint_path = arg + 10;
       journal_flag = arg;
+    } else if (std::strncmp(arg, "--checker-threads=", 18) == 0) {
+      const char* text = arg + 18;
+      char* end = nullptr;
+      const unsigned long long value = parse_u64(text, &end);
+      if (end == text || *end != '\0' || value > 65535) {
+        bad_flag(arg,
+                 "a replay thread count between 0 (inline replay) and 65535");
+      }
+      options.checker_threads = static_cast<unsigned>(value);
     } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
       char* end = nullptr;
       const unsigned long long every = parse_u64(arg + 19, &end);
@@ -106,6 +115,7 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
                std::strcmp(arg, "--out") == 0 ||
                std::strcmp(arg, "--checkpoint") == 0 ||
                std::strcmp(arg, "--journal") == 0 ||
+               std::strcmp(arg, "--checker-threads") == 0 ||
                std::strcmp(arg, "--checkpoint-every") == 0) {
       // Only the '=' forms exist; swallowing e.g. `--shard 0/2` would let
       // the next driver's positional parsing misread "0/2".

@@ -147,6 +147,14 @@ struct RuntimeOptions {
   /// hardware thread" (resolved at runner construction).
   unsigned jobs = 0;
 
+  /// `--checker-threads=N`: concurrent checker-replay workers *inside*
+  /// each simulated run (sim::SegmentPipeline). 0 means inline replay at
+  /// seal time (the legacy path). Results are byte-identical at any
+  /// value; this only changes host-side execution. Drivers should clamp
+  /// the request with runtime::CheckerPool::bounded so jobs × threads
+  /// cannot oversubscribe the host.
+  unsigned checker_threads = 0;
+
   /// Cross-process sharding (`--shard=K/N`): this process executes only
   /// campaign task indices with `index % shard_count == shard_index`.
   /// Per-task seeds are a pure function of (campaign seed, index), so the
@@ -171,8 +179,9 @@ struct RuntimeOptions {
   /// (an interval without a checkpoint file checkpoints nothing).
   std::uint64_t checkpoint_every = 16;
 
-  /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N` and — when
-  /// `campaign_flags` is true — `--shard=K/N`, `--out=PATH`,
+  /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N`,
+  /// `--checker-threads=N`, and — when `campaign_flags` is true —
+  /// `--shard=K/N`, `--out=PATH`,
   /// `--checkpoint=PATH`/`--journal=PATH` and `--checkpoint-every=M`.
   /// Drivers that do not execute through Campaign::run_sharded must leave
   /// `campaign_flags` false: the campaign flags then exit with status 2

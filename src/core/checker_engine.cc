@@ -99,7 +99,19 @@ class LogReplayPort final : public arch::DataPort {
 CheckerEngine::Result CheckerEngine::check(const Segment& segment,
                                            CheckerFaultHook* fault_hook) {
   Result result;
-  result.trace.reserve(segment.instruction_count);
+  check_into(segment, fault_hook, result);
+  return result;
+}
+
+void CheckerEngine::check_into(const Segment& segment,
+                               CheckerFaultHook* fault_hook, Result& out) {
+  Result& result = out;
+  result.outcome = CheckOutcome{};
+  result.trace.clear();
+  if (result.trace.capacity() < segment.instruction_count) {
+    ++trace_arena_grows_;
+    result.trace.reserve(segment.instruction_count);
+  }
   LogReplayPort port(segment);
   arch::ArchState state = segment.start.state;
   const auto expected_trap = static_cast<arch::Trap>(segment.end_trap);
@@ -125,7 +137,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
       event.actual = static_cast<std::uint64_t>(arch::Trap::kIllegal);
       event.expected = static_cast<std::uint64_t>(expected_trap);
       fail_here(event, pc);
-      return result;
+      return;
     }
 
     port.start_instruction();
@@ -134,7 +146,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
 
     if (step.trap == arch::Trap::kCheckFailed) {
       fail_here(port.event(), pc);
-      return result;
+      return;
     }
 
     CheckerInstRecord record;
@@ -158,7 +170,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
         event.actual = static_cast<std::uint64_t>(step.trap);
         event.expected = static_cast<std::uint64_t>(expected_trap);
         fail_here(event, pc);
-        return result;
+        return;
       }
       trapped_as_expected = true;
       break;  // expected terminal trap; proceed to final validation.
@@ -179,7 +191,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
     event.actual = static_cast<std::uint64_t>(arch::Trap::kNone);
     event.expected = static_cast<std::uint64_t>(expected_trap);
     fail_here(event, state.pc);
-    return result;
+    return;
   }
 
   // §IV-J: committed-instruction budget exhausted with log entries left
@@ -190,7 +202,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
     event.expected = segment.entries.size();
     event.actual = port.cursor();
     fail_here(event, state.pc);
-    return result;
+    return;
   }
 
   // End-of-segment architectural validation (§IV-B, §IV-I): register file
@@ -207,7 +219,7 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
     event.actual = r < kNumIntRegs ? state.x[r] : state.f[r - kNumIntRegs];
     event.around_seq = segment.end.seq;
     fail_here(event, state.pc);
-    return result;
+    return;
   }
   if (state.pc != expected.pc) {
     DetectionEvent event;
@@ -216,11 +228,11 @@ CheckerEngine::Result CheckerEngine::check(const Segment& segment,
     event.actual = state.pc;
     event.around_seq = segment.end.seq;
     fail_here(event, state.pc);
-    return result;
+    return;
   }
 
   result.outcome.passed = true;
-  return result;
+  return;
 }
 
 }  // namespace paradet::core

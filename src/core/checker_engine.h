@@ -51,9 +51,13 @@ class CheckerEngine {
   /// @param program read-only instruction memory shared with the main core.
   /// @param image optional predecoded code span shared with the main core;
   ///   replay then fetches by array index instead of a per-pc map probe.
+  /// @param shared_imem true when `program` is an immutable snapshot shared
+  ///   between several engines (one per checker-pool worker): out-of-image
+  ///   fetches then take SparseMemory's thread-safe read path.
   explicit CheckerEngine(const arch::SparseMemory& program,
-                         const isa::PredecodedImage* image = nullptr)
-      : decode_(program, image) {}
+                         const isa::PredecodedImage* image = nullptr,
+                         bool shared_imem = false)
+      : decode_(program, image, shared_imem) {}
 
   struct Result {
     CheckOutcome outcome;
@@ -63,8 +67,20 @@ class CheckerEngine {
   /// Re-executes and checks one sealed segment. `fault_hook` may be null.
   Result check(const Segment& segment, CheckerFaultHook* fault_hook = nullptr);
 
+  /// check(), but reusing `out` as a trace arena: the trace is cleared and
+  /// refilled in place, so a caller cycling a bounded set of Results (one
+  /// per pipeline slot / checker thread) reaches a steady state with zero
+  /// per-segment allocations. trace_arena_grows() counts the warmup
+  /// reallocations, so tests can prove the steady state is reached.
+  void check_into(const Segment& segment, CheckerFaultHook* fault_hook,
+                  Result& out);
+
+  /// Number of check_into calls that had to grow their trace arena.
+  std::uint64_t trace_arena_grows() const { return trace_arena_grows_; }
+
  private:
   arch::DecodeCache decode_;
+  std::uint64_t trace_arena_grows_ = 0;
 };
 
 }  // namespace paradet::core

@@ -1,0 +1,146 @@
+#include "runtime/checker_pool.h"
+
+#include <algorithm>
+
+namespace paradet::runtime {
+
+CheckerPool::CheckerPool(unsigned threads, std::size_t capacity, WorkFn work,
+                         AbsorbFn absorb)
+    : threads_(std::max(1u, threads)),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      work_(std::move(work)),
+      absorb_(std::move(absorb)),
+      checked_(capacity_, 0) {
+  workers_.reserve(threads_);
+  for (unsigned w = 0; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  absorber_ = std::thread([this] { absorber_loop(); });
+}
+
+CheckerPool::~CheckerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ticket_ready_.notify_all();
+  ticket_checked_.notify_all();
+  progress_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  absorber_.join();
+}
+
+void CheckerPool::rethrow_if_failed_locked() {
+  if (error_ != nullptr) std::rethrow_exception(error_);
+}
+
+void CheckerPool::fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_ == nullptr) error_ = std::move(error);
+  }
+  ticket_ready_.notify_all();
+  ticket_checked_.notify_all();
+  progress_.notify_all();
+}
+
+void CheckerPool::wait_slot(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  progress_.wait(lock, [&] {
+    return error_ != nullptr || absorbed_ + capacity_ > ticket;
+  });
+  rethrow_if_failed_locked();
+}
+
+void CheckerPool::publish(std::uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rethrow_if_failed_locked();
+    published_ = ticket + 1;
+  }
+  ticket_ready_.notify_one();
+}
+
+void CheckerPool::wait_absorbed(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  progress_.wait(lock,
+                 [&] { return error_ != nullptr || absorbed_ > ticket; });
+  rethrow_if_failed_locked();
+}
+
+void CheckerPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  progress_.wait(lock, [&] {
+    return error_ != nullptr || absorbed_ >= published_;
+  });
+  rethrow_if_failed_locked();
+}
+
+void CheckerPool::worker_loop(unsigned worker) {
+  try {
+    for (;;) {
+      std::uint64_t ticket;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ticket_ready_.wait(lock, [&] {
+          return error_ != nullptr || claimed_ < published_ || stop_;
+        });
+        if (error_ != nullptr) return;
+        if (claimed_ >= published_) {
+          if (stop_) return;
+          continue;
+        }
+        ticket = claimed_++;
+      }
+      work_(ticket, worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        checked_[ticket % capacity_] = 1;
+      }
+      ticket_checked_.notify_one();
+    }
+  } catch (...) {
+    fail(std::current_exception());
+  }
+}
+
+void CheckerPool::absorber_loop() {
+  try {
+    for (;;) {
+      std::uint64_t ticket;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ticket_checked_.wait(lock, [&] {
+          return error_ != nullptr || checked_[absorbed_ % capacity_] != 0 ||
+                 (stop_ && absorbed_ >= published_);
+        });
+        if (error_ != nullptr) return;
+        if (checked_[absorbed_ % capacity_] == 0) return;  // stop, drained.
+        ticket = absorbed_;
+      }
+      absorb_(ticket);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        checked_[ticket % capacity_] = 0;
+        absorbed_ = ticket + 1;
+      }
+      progress_.notify_all();
+    }
+  } catch (...) {
+    fail(std::current_exception());
+  }
+}
+
+unsigned CheckerPool::bounded(unsigned requested, unsigned host_jobs) {
+  if (requested == 0) return 0;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (host_jobs == 0) host_jobs = hw;  // resolve_jobs(0) == all cores.
+  // Each run may use (workers + absorber) threads on top of its own main
+  // thread; keep host_jobs concurrent runs from oversubscribing the host.
+  const unsigned per_run = hw / host_jobs;
+  const unsigned budget = per_run > 0 ? per_run - 1 : 0;
+  return std::min(requested, budget);
+}
+
+}  // namespace paradet::runtime

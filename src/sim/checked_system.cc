@@ -12,8 +12,8 @@
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/prefetcher.h"
-#include "sim/checker_timing.h"
 #include "sim/ooo_core.h"
+#include "sim/segment_pipeline.h"
 
 namespace paradet::sim {
 namespace {
@@ -195,20 +195,12 @@ RunResult CheckedSystem::run(LoadedProgram& program,
   core::LoadForwardingUnit lfu(config_.main_core.rob_entries);
   core::CheckpointUnit checkpoint_unit(
       config_.main_core.checkpoint_latency_cycles);
-  core::DetectionController controller(main_mhz);
-  core::CheckerEngine engine(program.memory, &program.predecoded);
-
-  const ClockDomain checker_domain(config_.checker.freq_mhz, main_mhz);
-  SharedCheckerIcache shared_icache(config_.checker.l1_icache_bytes);
-  // Checker-visible latency of a shared-L1I miss (served by the main L2).
-  const unsigned l2_checker_cycles = static_cast<unsigned>(
-      checker_domain.to_local(config_.l2.hit_latency) + 1);
-  std::vector<CheckerCoreTiming> checker_cores;
-  checker_cores.reserve(config_.checker.num_cores);
-  for (unsigned i = 0; i < config_.checker.num_cores; ++i) {
-    checker_cores.emplace_back(config_.checker, shared_icache,
-                               l2_checker_cycles);
-  }
+  // The whole checker side — replay engines over a pristine fetch
+  // snapshot, checker-core timing, detection bookkeeping, release cycles —
+  // lives behind the pipeline's produce/absorb API. The snapshot must be
+  // taken here, before the first instruction executes.
+  SegmentPipeline pipeline(config_, program.memory, &program.predecoded,
+                           &program.statics, checker_threads_, undo_log);
   assert(!detect || config_.checker.num_cores == config_.log.segments);
 
   // ---- Execution state ---------------------------------------------------
@@ -232,14 +224,12 @@ RunResult CheckedSystem::run(LoadedProgram& program,
     }
   }
   ++checkpoint_index;
-  std::vector<Cycle> segment_release(config_.log.segments, 0);
-  Cycle all_checked = 0;
   Cycle next_interrupt = config_.interrupts.enabled
                              ? config_.interrupts.interval_cycles
                              : kCycleNever;
 
-  // Seals the filling segment, runs its check, and schedules the checker
-  // core's timing. Returns nothing; all effects go through captured state.
+  // Seals the filling segment and hands it to the pipeline, which replays
+  // it (inline or concurrently) and absorbs the result in ordinal order.
   const auto seal_segment = [&](core::SealReason reason,
                                 arch::Trap end_trap) {
     const unsigned index = log.filling_index();
@@ -263,63 +253,27 @@ RunResult CheckedSystem::run(LoadedProgram& program,
     segment.end_trap = static_cast<std::uint8_t>(end_trap);
     last_checkpoint = end;
 
-    // Run the check. The functional check always runs (it is the
-    // correctness contract); timing only when checkers are simulated.
+    // The functional check always runs (it is the correctness contract);
+    // timing only when checkers are simulated. Both halves are the
+    // pipeline's business now.
     std::unique_ptr<core::CheckerFaultHook> hook;
     if (faults != nullptr) hook = faults->checker_hook(segment.ordinal);
-    core::CheckerEngine::Result check = engine.check(segment, hook.get());
+    pipeline.produce(segment, seal_cycle, index, std::move(hook));
 
-    Cycle completion;
-    if (config_.detection.simulate_checkers) {
-      CheckerCoreTiming& core_timing = checker_cores[index];
-      const auto walk = core_timing.walk(check.trace, segment.entries.size(),
-                                         &program.statics);
-      const Cycle start =
-          std::max(segment_release[index],
-                   seal_cycle + config_.main_core.checkpoint_latency_cycles);
-      completion = start + checker_domain.to_global(walk.local_cycles);
-      for (std::size_t i = 0; i < walk.entry_check_cycles.size(); ++i) {
-        controller.record_entry_checked(
-            segment.entries[i].commit_cycle,
-            start + checker_domain.to_global(walk.entry_check_cycles[i]));
-      }
-      if (!check.outcome.passed) {
-        check.outcome.event.detected_at = completion;
-        check.outcome.event.segment_index = index;
-      }
-    } else {
-      completion = seal_cycle;
-    }
-    segment_release[index] = completion;
-    all_checked = std::max(all_checked, completion);
-    check.outcome.event.segment_ordinal = segment.ordinal;
-    controller.report(check.outcome, segment.ordinal);
-    if (undo_log != nullptr) {
-      if (check.outcome.passed && !controller.error_detected()) {
-        // Strong induction frontier: everything up to and including this
-        // segment is proven; its undo data is dead.
-        undo_log->discard_below(segment.ordinal + 1);
-      } else if (!check.outcome.passed &&
-                 controller.first_error().has_value() &&
-                 controller.first_error()->segment_ordinal ==
-                     segment.ordinal) {
-        result.recovery_checkpoint = segment.start;
-      }
-    }
-
-    // The physical buffer is reusable once the check completes; the timing
-    // gate is segment_release[index].
+    // The physical buffer is reusable once the check completes (the
+    // pipeline copied what it needs); the timing gate is release_cycle().
     log.begin_check(index);
     log.release(index);
   };
 
   const auto open_segment = [&]() {
     const unsigned next = log.next_index();
-    if (segment_release[next] > commit.last()) {
+    const Cycle release = pipeline.release_cycle(next);
+    if (release > commit.last()) {
       // Main core must stall: its next commit cannot happen until the
       // checker owning this segment finishes (§IV-D).
-      result.log_full_stall_cycles += segment_release[next] - commit.last();
-      commit_block = std::max(commit_block, segment_release[next]);
+      result.log_full_stall_cycles += release - commit.last();
+      commit_block = std::max(commit_block, release);
     }
     log.open_next(last_checkpoint, commit.last());
   };
@@ -476,19 +430,24 @@ RunResult CheckedSystem::run(LoadedProgram& program,
   if (detect && log.has_filling()) {
     seal_segment(core::SealReason::kDrain, exit_trap);
   }
+  // §IV-H: termination is held back until every outstanding check
+  // completes. In concurrent mode this is where the main thread waits.
+  pipeline.finish();
 
   // ---- Collect results ----------------------------------------------------
   result.exit_trap = exit_trap;
   result.final_state = state;
   result.main_done_cycle = commit.last();
-  result.all_checked_cycle = std::max(all_checked, result.main_done_cycle);
+  result.all_checked_cycle =
+      std::max(pipeline.all_checked(), result.main_done_cycle);
   result.ipc = result.main_done_cycle == 0
                    ? 0.0
                    : static_cast<double>(result.instructions) /
                          static_cast<double>(result.main_done_cycle);
-  result.error_detected = controller.error_detected();
-  result.first_error = controller.first_error();
-  result.delay_ns = controller.delay_histogram_ns();
+  result.error_detected = pipeline.error_detected();
+  result.first_error = pipeline.first_error();
+  result.recovery_checkpoint = pipeline.recovery_checkpoint();
+  result.delay_ns = pipeline.delay_histogram_ns();
   result.segments = log.segments_opened();
   result.seals_full = log.seals(core::SealReason::kFull);
   result.seals_timeout = log.seals(core::SealReason::kTimeout);
@@ -508,17 +467,48 @@ RunResult CheckedSystem::run(LoadedProgram& program,
   result.counters.inc("branch.mispredicts", main_core.branch_mispredicts());
   result.counters.inc("lfu.captures", lfu.captures());
   result.counters.inc("log.entries", log.entries_appended());
-  result.counters.inc("checker.shared_l1i_hits", shared_icache.hits());
-  result.counters.inc("checker.shared_l1i_misses", shared_icache.misses());
+  result.counters.inc("checker.shared_l1i_hits",
+                      pipeline.shared_icache_hits());
+  result.counters.inc("checker.shared_l1i_misses",
+                      pipeline.shared_icache_misses());
   return result;
+}
+
+SystemConfig apply_mode(SystemConfig config, SimMode mode) {
+  switch (mode) {
+    case SimMode::kBaseline:
+      config.detection.enabled = false;
+      break;
+    case SimMode::kCheckpointOnly:
+      config.detection.enabled = true;
+      config.detection.simulate_checkers = false;
+      break;
+    case SimMode::kChecked:
+      config.detection.enabled = true;
+      config.detection.simulate_checkers = true;
+      break;
+  }
+  return config;
+}
+
+RunResult run_job(const SimJob& job, LoadedProgram& program) {
+  CheckedSystem system(apply_mode(job.config, job.mode),
+                       job.checker_threads);
+  return system.run(program, job.max_instructions, job.faults, job.undo_log);
+}
+
+RunResult run_job(const SimJob& job, const isa::Assembled& assembled) {
+  LoadedProgram program = load_program(assembled);
+  return run_job(job, program);
 }
 
 RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
                       std::uint64_t max_instructions,
-                      core::FaultInjector* faults) {
+                      core::FaultInjector* faults,
+                      unsigned checker_threads) {
   LoadedProgram program = load_program(assembled);
-  CheckedSystem system(config);
+  CheckedSystem system(config, checker_threads);
   return system.run(program, max_instructions, faults);
 }
 

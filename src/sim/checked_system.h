@@ -90,7 +90,14 @@ struct RunResult {
 
 class CheckedSystem {
  public:
-  explicit CheckedSystem(const SystemConfig& config) : config_(config) {}
+  /// `checker_threads` selects the segment-pipeline execution mode: 0
+  /// replays each sealed segment inline at seal time (the legacy
+  /// behaviour); N > 0 replays concurrently on N worker threads with an
+  /// in-order absorber (sim/segment_pipeline.h). Results are
+  /// byte-identical at any value.
+  explicit CheckedSystem(const SystemConfig& config,
+                         unsigned checker_threads = 0)
+      : config_(config), checker_threads_(checker_threads) {}
 
   /// Simulates `program` until HALT/FAULT/trap or `max_instructions`.
   /// `faults` may be null (fault-free run). The program memory is mutated
@@ -103,15 +110,55 @@ class CheckedSystem {
                 core::UndoLog* undo_log = nullptr);
 
   const SystemConfig& config() const { return config_; }
+  unsigned checker_threads() const { return checker_threads_; }
 
  private:
   SystemConfig config_;
+  unsigned checker_threads_ = 0;
 };
 
+/// What the simulated machine is, reduced to the three shapes every driver
+/// actually runs: the full checked system, the checkpoint-only ablation of
+/// Figure 10, and the unchecked normalisation baseline. Replaces ad-hoc
+/// flag twiddling (`config.detection.enabled = false; ...`) at call sites.
+enum class SimMode : std::uint8_t {
+  kBaseline,        ///< detection fully disabled (slowdown denominator).
+  kCheckpointOnly,  ///< log + checkpoints, infinitely fast checkers.
+  kChecked,         ///< the full scheme.
+};
+
+/// Returns `config` with the detection switches set for `mode`; all other
+/// parameters pass through untouched.
+SystemConfig apply_mode(SystemConfig config, SimMode mode);
+
+/// One fully-described simulation: configuration, mode, budget, optional
+/// fault plan and undo log, and the checker-replay thread count. The
+/// single entry point drivers should use; CheckedSystem/run_program remain
+/// as thin wrappers.
+struct SimJob {
+  SystemConfig config;
+  SimMode mode = SimMode::kChecked;
+  std::uint64_t max_instructions = 0;
+  core::FaultInjector* faults = nullptr;
+  core::UndoLog* undo_log = nullptr;
+  /// Concurrent replay workers (0 = inline). Byte-identical results at
+  /// any value; see runtime::CheckerPool::bounded for the budget policy.
+  unsigned checker_threads = 0;
+};
+
+/// Runs `job` against an already-loaded program (reload between runs: the
+/// memory is mutated by stores).
+RunResult run_job(const SimJob& job, LoadedProgram& program);
+
+/// Runs `job` against a fresh load of `assembled`.
+RunResult run_job(const SimJob& job, const isa::Assembled& assembled);
+
 /// Runs `assembled` on a fresh system: convenience for tests/examples.
+/// Thin wrapper over run_job (mode comes pre-applied in `config`).
 RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
                       std::uint64_t max_instructions,
-                      core::FaultInjector* faults = nullptr);
+                      core::FaultInjector* faults = nullptr,
+                      unsigned checker_threads = 0);
 
 }  // namespace paradet::sim

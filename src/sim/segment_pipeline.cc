@@ -1,0 +1,146 @@
+#include "sim/segment_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paradet::sim {
+
+SegmentPipeline::SegmentPipeline(const SystemConfig& config,
+                                 const arch::SparseMemory& program_memory,
+                                 const isa::PredecodedImage* predecoded,
+                                 const ProgramStatics* statics,
+                                 unsigned checker_threads,
+                                 core::UndoLog* undo_log)
+    : config_(config),
+      statics_(statics),
+      undo_log_(undo_log),
+      threads_(checker_threads),
+      snapshot_(program_memory.clone()),
+      checker_domain_(config.checker.freq_mhz, config.main_core.freq_mhz),
+      shared_icache_(config.checker.l1_icache_bytes),
+      controller_(config.main_core.freq_mhz),
+      segment_release_(config.log.segments, 0),
+      last_ordinal_for_index_(config.log.segments, -1) {
+  // Checker-visible latency of a shared-L1I miss (served by the main L2).
+  const unsigned l2_checker_cycles = static_cast<unsigned>(
+      checker_domain_.to_local(config.l2.hit_latency) + 1);
+  checker_cores_.reserve(config.checker.num_cores);
+  for (unsigned i = 0; i < config.checker.num_cores; ++i) {
+    checker_cores_.emplace_back(config.checker, shared_icache_,
+                                l2_checker_cycles);
+  }
+
+  const unsigned engines = std::max(1u, threads_);
+  engines_.reserve(engines);
+  for (unsigned i = 0; i < engines; ++i) {
+    engines_.emplace_back(snapshot_, predecoded, /*shared_imem=*/true);
+  }
+
+  if (threads_ > 0) {
+    // One slot per physical segment plus one: the producer can stage the
+    // next job while every checker core's worth of segments is in flight.
+    slots_.resize(config.log.segments + 1);
+    pool_ = std::make_unique<runtime::CheckerPool>(
+        threads_, slots_.size(),
+        [this](std::uint64_t ticket, unsigned worker) {
+          Job& job = slots_[ticket % slots_.size()];
+          engines_[worker].check_into(job.segment, job.hook.get(), job.check);
+        },
+        [this](std::uint64_t ticket) {
+          Job& job = slots_[ticket % slots_.size()];
+          absorb(job.segment, job.index, job.seal_cycle, job.check);
+        });
+  }
+}
+
+void SegmentPipeline::produce(const core::Segment& segment, Cycle seal_cycle,
+                              unsigned index,
+                              std::unique_ptr<core::CheckerFaultHook> hook) {
+  assert(index < segment_release_.size());
+  const std::uint64_t ticket = produced_++;
+  last_ordinal_for_index_[index] = static_cast<std::int64_t>(ticket);
+  assert(segment.ordinal == ticket);
+
+  if (pool_ == nullptr) {
+    engines_[0].check_into(segment, hook.get(), inline_check_);
+    absorb(segment, index, seal_cycle, inline_check_);
+    apply_validated_frontier();
+    return;
+  }
+
+  apply_validated_frontier();
+  pool_->wait_slot(ticket);
+  Job& job = slots_[ticket % slots_.size()];
+  job.segment = segment;  // copy-assign reuses the slot's entry capacity.
+  job.seal_cycle = seal_cycle;
+  job.index = index;
+  job.hook = std::move(hook);
+  pool_->publish(ticket);
+}
+
+Cycle SegmentPipeline::release_cycle(unsigned index) {
+  assert(index < segment_release_.size());
+  if (pool_ != nullptr && last_ordinal_for_index_[index] >= 0) {
+    pool_->wait_absorbed(
+        static_cast<std::uint64_t>(last_ordinal_for_index_[index]));
+  }
+  return segment_release_[index];
+}
+
+void SegmentPipeline::finish() {
+  if (pool_ != nullptr) pool_->drain();
+  apply_validated_frontier();
+}
+
+void SegmentPipeline::absorb(const core::Segment& segment, unsigned index,
+                             Cycle seal_cycle,
+                             core::CheckerEngine::Result& check) {
+  Cycle completion;
+  if (config_.detection.simulate_checkers) {
+    CheckerCoreTiming& core_timing = checker_cores_[index];
+    const auto walk = core_timing.walk(check.trace, segment.entries.size(),
+                                       statics_);
+    const Cycle start =
+        std::max(segment_release_[index],
+                 seal_cycle + config_.main_core.checkpoint_latency_cycles);
+    completion = start + checker_domain_.to_global(walk.local_cycles);
+    for (std::size_t i = 0; i < walk.entry_check_cycles.size(); ++i) {
+      controller_.record_entry_checked(
+          segment.entries[i].commit_cycle,
+          start + checker_domain_.to_global(walk.entry_check_cycles[i]));
+    }
+    if (!check.outcome.passed) {
+      check.outcome.event.detected_at = completion;
+      check.outcome.event.segment_index = index;
+    }
+  } else {
+    completion = seal_cycle;
+  }
+  segment_release_[index] = completion;
+  all_checked_ = std::max(all_checked_, completion);
+  check.outcome.event.segment_ordinal = segment.ordinal;
+  controller_.report(check.outcome, segment.ordinal);
+  if (undo_log_ != nullptr) {
+    if (check.outcome.passed && !controller_.error_detected()) {
+      // Strong induction frontier: everything up to and including this
+      // segment is proven; its undo data is dead. Published rather than
+      // applied: the undo log lives on the producer thread.
+      validated_frontier_.store(segment.ordinal + 1,
+                                std::memory_order_release);
+    } else if (!check.outcome.passed &&
+               controller_.first_error().has_value() &&
+               controller_.first_error()->segment_ordinal ==
+                   segment.ordinal) {
+      recovery_checkpoint_ = segment.start;
+    }
+  }
+}
+
+void SegmentPipeline::apply_validated_frontier() {
+  if (undo_log_ == nullptr) return;
+  const std::uint64_t frontier =
+      validated_frontier_.load(std::memory_order_acquire);
+  if (frontier > 0) undo_log_->discard_below(frontier);
+}
+
+}  // namespace paradet::sim

@@ -1,0 +1,166 @@
+// The checker side of a CheckedSystem run, behind a produce/absorb API.
+//
+// CheckedSystem's commit loop *produces* sealed segments; this pipeline
+// replays and absorbs them. Each segment's processing splits into two
+// halves with very different concurrency properties:
+//
+//   * the *work* half — functional replay (core::CheckerEngine) — is pure
+//     over the sealed segment and an immutable snapshot of the program's
+//     start-of-run memory, so any number of segments can replay on any
+//     thread in any order;
+//   * the *absorb* half — the checker-core timing walk (shared L1I tags,
+//     per-core L0 state), detection bookkeeping, segment release cycles,
+//     the undo-log validated frontier — mutates state whose final value
+//     depends on segment order, so it runs strictly in ordinal order.
+//
+// With checker_threads == 0 both halves run inline in produce(), exactly
+// the pre-pipeline behaviour. With checker_threads > 0 a
+// runtime::CheckerPool replays segments concurrently while a single
+// absorber thread folds results back in ordinal order — so every
+// statistic, detection event and release cycle is byte-identical at any
+// thread count, and the main loop only ever blocks on backpressure
+// (bounded job ring) or on release_cycle() for a segment index still in
+// flight.
+//
+// In both modes the checker fetches instructions from a pristine clone of
+// the program memory taken at pipeline construction (main-core stores
+// mutate the live memory mid-run; the real hardware's checkers fetch
+// read-only code). The clone plus SparseMemory::read_shared make replay
+// thread-safe without locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/memory.h"
+#include "common/clock_domain.h"
+#include "common/config.h"
+#include "common/types.h"
+#include "core/checker_engine.h"
+#include "core/detection.h"
+#include "core/load_store_log.h"
+#include "core/recovery.h"
+#include "runtime/checker_pool.h"
+#include "sim/checker_timing.h"
+#include "sim/uop_info.h"
+
+namespace paradet::sim {
+
+class SegmentPipeline {
+ public:
+  /// @param program_memory the program's functional memory *before any
+  ///   instruction executes*; cloned here as the replay fetch snapshot.
+  /// @param statics may be null; forwarded to the timing walk.
+  /// @param checker_threads 0 = inline replay; N > 0 = N replay workers
+  ///   plus one absorber thread.
+  /// @param undo_log may be null; when given, validated segments' undo
+  ///   records are discarded (on the producer thread) and the recovery
+  ///   checkpoint is tracked on failure.
+  SegmentPipeline(const SystemConfig& config,
+                  const arch::SparseMemory& program_memory,
+                  const isa::PredecodedImage* predecoded,
+                  const ProgramStatics* statics, unsigned checker_threads,
+                  core::UndoLog* undo_log);
+
+  SegmentPipeline(const SegmentPipeline&) = delete;
+  SegmentPipeline& operator=(const SegmentPipeline&) = delete;
+
+  /// Hands one sealed segment to the pipeline. Copies the segment (into a
+  /// capacity-reusing job slot) when running concurrently, so the caller
+  /// may release the log's physical buffer immediately after. Blocks only
+  /// when the bounded job ring is full. `hook` may be null.
+  void produce(const core::Segment& segment, Cycle seal_cycle, unsigned index,
+               std::unique_ptr<core::CheckerFaultHook> hook);
+
+  /// Cycle at which physical segment `index` is free for reuse (0 if the
+  /// index never held a segment). Blocks until the index's last occupant
+  /// has been absorbed, making the value identical to inline execution.
+  Cycle release_cycle(unsigned index);
+
+  /// Blocks until every produced segment has been absorbed and applies the
+  /// final undo-log frontier. Must be called before reading the getters
+  /// below; the pipeline stays usable (a later produce() restarts work).
+  void finish();
+
+  // --- Results: valid on the producer thread after finish() --------------
+  Cycle all_checked() const { return all_checked_; }
+  bool error_detected() const { return controller_.error_detected(); }
+  std::optional<core::DetectionEvent> first_error() const {
+    return controller_.first_error();
+  }
+  Histogram delay_histogram_ns() const {
+    return controller_.delay_histogram_ns();
+  }
+  const std::optional<core::RegisterCheckpoint>& recovery_checkpoint() const {
+    return recovery_checkpoint_;
+  }
+  std::uint64_t shared_icache_hits() const { return shared_icache_.hits(); }
+  std::uint64_t shared_icache_misses() const {
+    return shared_icache_.misses();
+  }
+  unsigned threads() const { return threads_; }
+
+ private:
+  /// One in-flight segment's state, living in a fixed ring slot: the
+  /// vectors inside reach steady-state capacity after the first lap, so
+  /// per-segment processing allocates nothing.
+  struct Job {
+    core::Segment segment;
+    std::unique_ptr<core::CheckerFaultHook> hook;
+    core::CheckerEngine::Result check;
+    Cycle seal_cycle = 0;
+    unsigned index = 0;
+  };
+
+  /// The order-dependent half. Runs on the absorber thread (pool mode) or
+  /// inline in produce(); calls are strictly in segment-ordinal order.
+  void absorb(const core::Segment& segment, unsigned index, Cycle seal_cycle,
+              core::CheckerEngine::Result& check);
+
+  /// Applies the absorber-published validated frontier to the undo log.
+  /// Producer-thread only: the undo log is concurrently appended to by the
+  /// commit loop, so the absorber must not touch it directly.
+  void apply_validated_frontier();
+
+  const SystemConfig config_;
+  const ProgramStatics* statics_;
+  core::UndoLog* undo_log_;
+  const unsigned threads_;
+
+  /// Immutable start-of-run fetch snapshot shared by every engine.
+  const arch::SparseMemory snapshot_;
+  const ClockDomain checker_domain_;
+
+  // Absorber-owned (inline: producer-owned) order-dependent state.
+  SharedCheckerIcache shared_icache_;
+  std::vector<CheckerCoreTiming> checker_cores_;
+  core::DetectionController controller_;
+  std::vector<Cycle> segment_release_;
+  Cycle all_checked_ = 0;
+  std::optional<core::RegisterCheckpoint> recovery_checkpoint_;
+
+  /// Highest ordinal+1 whose undo records are provably dead. Written by
+  /// the absorber, applied by the producer.
+  std::atomic<std::uint64_t> validated_frontier_{0};
+
+  // Producer-owned bookkeeping.
+  std::uint64_t produced_ = 0;
+  /// Ordinal of the segment most recently produced into each physical
+  /// index (-1: none yet); release_cycle() waits on it.
+  std::vector<std::int64_t> last_ordinal_for_index_;
+
+  /// One engine per worker (inline mode: one total), each with its own
+  /// decode cache over the shared snapshot.
+  std::vector<core::CheckerEngine> engines_;
+  core::CheckerEngine::Result inline_check_;  ///< inline-mode trace arena.
+
+  std::vector<Job> slots_;
+  /// Declared last: its destructor joins the worker/absorber threads,
+  /// which reference the members above.
+  std::unique_ptr<runtime::CheckerPool> pool_;
+};
+
+}  // namespace paradet::sim
