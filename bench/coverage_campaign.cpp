@@ -8,9 +8,20 @@
 // Runs as one runtime::Campaign over every (site x workload x trial)
 // triple: each task derives its fault spec from an order-independent
 // per-task seed, so the reported rates are identical at any --jobs level.
+//
+// By default (--fork=on) the fault-free prefix of each strike is not
+// re-simulated: the campaign captures one warm state per (kernel,
+// injection-window) bucket and forks every strike in that window off the
+// shared copy-on-write snapshot (sim::capture_warm_state /
+// sim::run_job_from). Faults that cannot be proven to trigger after the
+// capture point — early checkpoint or checker-segment strikes — fall back
+// to a full run, so the artifact stays byte-identical to --fork=off.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
 
-#include "arch/state.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "runtime/assembly_cache.h"
@@ -23,6 +34,12 @@ int run(int argc, char** argv) {
   auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
   const unsigned checker_threads = options.checker_threads();
   if (options.scale == 1.0) options.scale = 0.1;  // campaign is many runs.
+  bool use_fork = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fork=", 7) == 0) {
+      use_fork = std::strcmp(argv[i] + 7, "off") != 0;
+    }
+  }
   bench::print_header(
       "Fault-injection campaign: detection coverage by site",
       "in-sphere faults: detected or architecturally masked; zero silent "
@@ -76,6 +93,29 @@ int run(int argc, char** argv) {
     return ref;
   });
 
+  // The job every strike runs: SystemConfig::standard() already has
+  // detection fully on, so apply_mode(kChecked) leaves it untouched and
+  // the forked prefix simulates exactly what a full run would.
+  sim::SimJob job;
+  job.config = config;
+  job.mode = sim::SimMode::kChecked;
+  job.max_instructions = bench::kInstructionBudget;
+  job.checker_threads = checker_threads;
+
+  // Warm-state pool: one lazily-captured prefix per (kernel, injection
+  // window). Tasks race to the capture under call_once; every strike in
+  // the window then forks the same frozen snapshot.
+  constexpr std::size_t kForkBuckets = 4;
+  struct WarmSlot {
+    std::once_flag once;
+    std::unique_ptr<sim::WarmState> warm;  // null: program ended early.
+  };
+  std::vector<std::unique_ptr<WarmSlot>> warm_pool;
+  if (use_fork) {
+    warm_pool.resize(kernels.size() * kForkBuckets);
+    for (auto& slot : warm_pool) slot = std::make_unique<WarmSlot>();
+  }
+
   // Stage 2: the campaign proper. Task index encodes (site, kernel, trial);
   // under --shard=K/N only this process's slice of that space runs, with
   // per-task seeds unchanged.
@@ -105,13 +145,30 @@ int run(int argc, char** argv) {
             static_cast<unsigned>(rng.next_below(config.main_core.int_alus));
         faults.add(spec);
 
-        return sim::run_program(config, *references[kernel_index].assembled,
-                                bench::kInstructionBudget, &faults,
-                                checker_threads);
+        if (use_fork) {
+          const std::uint64_t width =
+              std::max<std::uint64_t>(clean.uops / kForkBuckets, 1);
+          const std::size_t bucket = std::min<std::size_t>(
+              static_cast<std::size_t>(spec.at_seq / width), kForkBuckets - 1);
+          WarmSlot& slot = *warm_pool[kernel_index * kForkBuckets + bucket];
+          std::call_once(slot.once, [&] {
+            slot.warm = sim::capture_warm_state(
+                job, *references[kernel_index].assembled, bucket * width);
+          });
+          if (slot.warm != nullptr && slot.warm->tail_safe(faults)) {
+            return sim::run_job_from(*slot.warm, &faults);
+          }
+        }
+        sim::SimJob full = job;
+        full.faults = &faults;
+        return sim::run_job(full, *references[kernel_index].assembled);
       });
 
   // Classification against the clean reference is pure post-processing,
-  // done in task order over whichever records this shard owns.
+  // done in task order over whichever records this shard owns. The
+  // verdict compares registers, pc, exit trap *and* the final-memory
+  // digest: a store-value strike whose target is never reloaded corrupts
+  // only memory, and register comparison alone would count it as masked.
   struct SiteTally {
     unsigned detected = 0, masked = 0, silent = 0, trials = 0;
   };
@@ -122,17 +179,18 @@ int run(int argc, char** argv) {
     const std::size_t kernel =
         (record.index / kTrialsPerCell) % kernels.size();
     const auto& clean = references[kernel].clean;
-    const auto& faulty = record.result;
     ++tally[site].trials;
-    if (faulty.error_detected) {
-      ++tally[site].detected;
-    } else if (arch::first_register_difference(faulty.final_state,
-                                               clean.final_state) == -1 &&
-               faulty.final_state.pc == clean.final_state.pc) {
-      ++tally[site].masked;  // fault never reached architectural state.
-    } else {
-      ++tally[site].silent;  // contract violation!
-      contract_violated = true;
+    switch (sim::classify_fault_outcome(clean, record.result)) {
+      case sim::FaultVerdict::kDetected:
+        ++tally[site].detected;
+        break;
+      case sim::FaultVerdict::kMasked:
+        ++tally[site].masked;  // fault never reached architectural state.
+        break;
+      case sim::FaultVerdict::kSilent:
+        ++tally[site].silent;  // contract violation!
+        contract_violated = true;
+        break;
     }
   }
 

@@ -4,8 +4,16 @@
 //
 // Demonstrates:
 //   * building FaultSpecs for different microarchitectural sites;
-//   * the detected / masked / silent classification (the scheme's
-//     contract is zero silent corruptions for in-sphere faults);
+//   * the detected / masked / silent classification via
+//     sim::classify_fault_outcome — masked requires registers, pc, exit
+//     trap AND the final-memory digest to match the clean run (the
+//     scheme's contract is zero silent corruptions for in-sphere faults,
+//     and memory-only corruption is still corruption);
+//   * warm-state forking — the fault-free prefix of each strike is
+//     simulated once per injection window (sim::capture_warm_state) and
+//     every strike in the window forks the shared copy-on-write snapshot
+//     (sim::run_job_from); results are byte-identical to full runs, so
+//     `--fork=off` reports exactly the same numbers, just slower;
 //   * detection-latency statistics from DetectionEvent::detected_at;
 //   * the §IV-I over-detection rate from checker-side faults;
 //   * runtime::Campaign — all strikes run as one parallel batch with
@@ -16,11 +24,14 @@
 //     artifacts back into the byte-identical single-machine output;
 //   * checkpoint/restart — `--checkpoint=ckpt.json` resumes an
 //     interrupted campaign without re-running finished strikes.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,9 +46,12 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   unsigned trials_per_site = 12;
+  bool use_fork = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 || std::strcmp(argv[i], "-j") == 0) {
       ++i;  // skip the flag's value; RuntimeOptions consumes it.
+    } else if (std::strncmp(argv[i], "--fork=", 7) == 0) {
+      use_fork = std::strcmp(argv[i] + 7, "off") != 0;
     } else if (argv[i][0] != '-') {
       // The positional argument is the per-site trial count; anything
       // non-numeric here is a mistyped flag, not a count of zero.
@@ -63,10 +77,11 @@ int run(int argc, char** argv) {
   const auto assembled = workloads::assemble_or_die(workload);
   const auto clean = sim::run_program(config, assembled, 500'000);
   std::printf("workload %s: %llu instructions, %llu uops, clean run ok "
-              "(%u workers)\n\n",
+              "(%u workers, fork %s)\n\n",
               workload.name.c_str(),
               static_cast<unsigned long long>(clean.instructions),
-              static_cast<unsigned long long>(clean.uops), runner.jobs());
+              static_cast<unsigned long long>(clean.uops), runner.jobs(),
+              use_fork ? "on" : "off");
 
   const struct {
     core::FaultSite site;
@@ -79,6 +94,28 @@ int run(int argc, char** argv) {
       {core::FaultSite::kCheckerArchReg, "checker core (over-detection)"},
   };
   const std::size_t num_sites = std::size(sites);
+
+  // The job every strike runs. SystemConfig::standard() already has
+  // detection on, so the kChecked mode application is the identity and
+  // forked prefixes simulate exactly what run_program above did.
+  sim::SimJob job;
+  job.config = config;
+  job.mode = sim::SimMode::kChecked;
+  job.max_instructions = 500'000;
+  job.checker_threads = checker_threads;
+
+  // One warm state per injection window, captured lazily by whichever
+  // strike gets there first; later strikes in the window fork it.
+  constexpr std::size_t kForkBuckets = 4;
+  struct WarmSlot {
+    std::once_flag once;
+    std::unique_ptr<sim::WarmState> warm;  // null: program ended early.
+  };
+  std::vector<std::unique_ptr<WarmSlot>> warm_pool;
+  if (use_fork) {
+    warm_pool.resize(kForkBuckets);
+    for (auto& slot : warm_pool) slot = std::make_unique<WarmSlot>();
+  }
 
   // One task per (site, trial); the fault spec is derived from the task's
   // own seed, never from a shared serially-advanced RNG — so a --shard
@@ -102,8 +139,27 @@ int run(int argc, char** argv) {
         spec.alu_index = static_cast<unsigned>(
             rng.next_below(config.main_core.int_alus));
         faults.add(spec);
-        return sim::run_program(config, assembled, 500'000, &faults,
-                                checker_threads);
+
+        if (use_fork) {
+          const std::uint64_t width =
+              std::max<std::uint64_t>(clean.uops / kForkBuckets, 1);
+          const std::size_t bucket = std::min<std::size_t>(
+              static_cast<std::size_t>(spec.at_seq / width), kForkBuckets - 1);
+          WarmSlot& slot = *warm_pool[bucket];
+          std::call_once(slot.once, [&] {
+            slot.warm =
+                sim::capture_warm_state(job, assembled, bucket * width);
+          });
+          // tail_safe proves every spec in `faults` triggers at or after
+          // the capture point; anything earlier (a checker-segment strike
+          // whose segment already replayed in the prefix) re-runs fully.
+          if (slot.warm != nullptr && slot.warm->tail_safe(faults)) {
+            return sim::run_job_from(*slot.warm, &faults);
+          }
+        }
+        sim::SimJob full = job;
+        full.faults = &faults;
+        return sim::run_job(full, assembled);
       });
 
   // Classification walks whichever (site, trial) records this shard owns.
@@ -117,17 +173,20 @@ int run(int argc, char** argv) {
     const auto& run = record.result;
     SiteTally& site = tally[record.index / trials_per_site];
     ++site.trials;
-    if (run.error_detected) {
-      ++site.detected;
-      site.latency_us.add(cycles_to_ns(run.first_error->detected_at,
-                                       config.main_core.freq_mhz) /
-                          1000.0);
-    } else if (arch::first_register_difference(run.final_state,
-                                               clean.final_state) == -1) {
-      ++site.masked;
-    } else {
-      ++site.silent;
-      silent_corruption = true;
+    switch (sim::classify_fault_outcome(clean, run)) {
+      case sim::FaultVerdict::kDetected:
+        ++site.detected;
+        site.latency_us.add(cycles_to_ns(run.first_error->detected_at,
+                                         config.main_core.freq_mhz) /
+                            1000.0);
+        break;
+      case sim::FaultVerdict::kMasked:
+        ++site.masked;
+        break;
+      case sim::FaultVerdict::kSilent:
+        ++site.silent;
+        silent_corruption = true;
+        break;
     }
   }
 

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/hash.h"
 
 namespace paradet::arch {
 
 void SparseMemory::reserve_flat(Addr base, std::size_t bytes) {
   if (bytes == 0) return;
+  if (cow_) {
+    throw std::logic_error(
+        "SparseMemory::reserve_flat: memory is frozen (CoW mode)");
+  }
   const Addr lo = base & ~Addr{kPageBytes - 1};
   const Addr hi = (base + bytes + kPageBytes - 1) & ~Addr{kPageBytes - 1};
   flat_base_ = lo;
@@ -16,7 +24,7 @@ void SparseMemory::reserve_flat(Addr base, std::size_t bytes) {
   for (auto it = pages_.begin(); it != pages_.end();) {
     const Addr page_base = it->first << kPageBits;
     if (page_base >= lo && page_base < hi) {
-      std::memcpy(flat_.data() + (page_base - lo), it->second.data(),
+      std::memcpy(flat_.data() + (page_base - lo), it->second->data(),
                   kPageBytes);
       it = pages_.erase(it);
     } else {
@@ -29,6 +37,91 @@ void SparseMemory::reserve_flat(Addr base, std::size_t bytes) {
   cached_bytes_mut_ = nullptr;
 }
 
+SparseMemory SparseMemory::clone() const {
+  SparseMemory copy;
+  copy.flat_base_ = flat_base_;
+  if (cow_) {
+    // Materialise back into a private flat window: backing plus this
+    // memory's overlay pages, exactly the bytes a reader would see.
+    copy.flat_.assign(shared_flat_->begin(), shared_flat_->end());
+    for (std::size_t slot = 0; slot < flat_overlay_.size(); ++slot) {
+      if (flat_overlay_[slot] != nullptr) {
+        std::memcpy(copy.flat_.data() + (slot << kPageBits),
+                    flat_overlay_[slot]->data(), kPageBytes);
+      }
+    }
+  } else {
+    copy.flat_ = flat_;
+  }
+  for (const auto& [page, ref] : pages_) {
+    copy.pages_.emplace(page, std::make_shared<Page>(*ref));
+  }
+  return copy;
+}
+
+void SparseMemory::freeze() {
+  if (cow_) return;
+  auto backing =
+      std::make_shared<std::vector<std::uint8_t>>(std::move(flat_));
+  flat_.clear();  // moved-from: guarantee the private fast path is off.
+  shared_flat_ = std::move(backing);
+  flat_overlay_.assign(shared_flat_->size() >> kPageBits, nullptr);
+  cow_ = true;
+  cached_page_ = kNoPage;
+  cached_bytes_ = nullptr;
+  cached_page_mut_ = kNoPage;
+  cached_bytes_mut_ = nullptr;
+}
+
+SparseMemory SparseMemory::fork() const {
+  if (!cow_) {
+    throw std::logic_error(
+        "SparseMemory::fork on a const memory requires freeze() first");
+  }
+  SparseMemory child;
+  child.flat_base_ = flat_base_;
+  child.cow_ = true;
+  child.shared_flat_ = shared_flat_;
+  child.flat_overlay_ = flat_overlay_;  // shared_ptr copies: O(pages).
+  child.pages_ = pages_;
+  return child;
+}
+
+std::size_t SparseMemory::cow_dirty_pages() const {
+  std::size_t dirty = 0;
+  for (const PageRef& ref : flat_overlay_) dirty += ref != nullptr;
+  return dirty;
+}
+
+std::uint64_t SparseMemory::digest() const {
+  std::uint64_t acc = 0;
+  const auto mix_page = [&acc](std::uint64_t page_no,
+                               const std::uint8_t* bytes) {
+    static const Page kZeroPage(kPageBytes, 0);
+    if (std::memcmp(bytes, kZeroPage.data(), kPageBytes) == 0) return;
+    Fnv1a64 hash;
+    hash.mix_u64(page_no);
+    hash.mix_bytes(std::string_view(reinterpret_cast<const char*>(bytes),
+                                    kPageBytes));
+    acc ^= hash.value();
+  };
+  const std::uint64_t window_page0 = flat_base_ >> kPageBits;
+  if (cow_) {
+    for (std::size_t slot = 0; slot < flat_overlay_.size(); ++slot) {
+      const Page* over = flat_overlay_[slot].get();
+      mix_page(window_page0 + slot,
+               over != nullptr ? over->data()
+                               : shared_flat_->data() + (slot << kPageBits));
+    }
+  } else {
+    for (std::size_t slot = 0; slot < (flat_.size() >> kPageBits); ++slot) {
+      mix_page(window_page0 + slot, flat_.data() + (slot << kPageBits));
+    }
+  }
+  for (const auto& [page, ref] : pages_) mix_page(page, ref->data());
+  return acc;
+}
+
 const std::uint8_t* SparseMemory::page_ptr(Addr addr) const {
   const std::uint64_t page = addr >> kPageBits;
   if (page == cached_page_) return cached_bytes_;
@@ -37,8 +130,11 @@ const std::uint8_t* SparseMemory::page_ptr(Addr addr) const {
   const Addr flat_offset = page_base - flat_base_;
   if (flat_offset < flat_.size()) {
     bytes = flat_.data() + flat_offset;
+  } else if (cow_ && flat_offset < shared_flat_size()) {
+    const Page* over = flat_overlay_[flat_offset >> kPageBits].get();
+    bytes = over != nullptr ? over->data() : shared_flat_->data() + flat_offset;
   } else if (const auto it = pages_.find(page); it != pages_.end()) {
-    bytes = it->second.data();
+    bytes = it->second->data();
   }
   if (bytes != nullptr) {
     // Only hits are cached: a miss must re-probe, since the page may be
@@ -57,10 +153,28 @@ std::uint8_t* SparseMemory::page_ptr_mut(Addr addr) {
   const Addr flat_offset = page_base - flat_base_;
   if (flat_offset < flat_.size()) {
     bytes = flat_.data() + flat_offset;
+  } else if (cow_ && flat_offset < shared_flat_size()) {
+    PageRef& over = flat_overlay_[flat_offset >> kPageBits];
+    if (over == nullptr) {
+      // First write to this window page: materialise a private copy of
+      // the shared backing's bytes.
+      const std::uint8_t* from = shared_flat_->data() + flat_offset;
+      over = std::make_shared<Page>(from, from + kPageBytes);
+      invalidate_caches_for(page);
+    } else if (over.use_count() > 1) {
+      over = std::make_shared<Page>(*over);  // copy-on-write.
+      invalidate_caches_for(page);
+    }
+    bytes = over->data();
   } else {
-    Page& page_store = pages_[page];
-    if (page_store.empty()) page_store.resize(kPageBytes, 0);
-    bytes = page_store.data();
+    PageRef& ref = pages_[page];
+    if (ref == nullptr) {
+      ref = std::make_shared<Page>(kPageBytes, 0);
+    } else if (ref.use_count() > 1) {
+      ref = std::make_shared<Page>(*ref);  // copy-on-write.
+      invalidate_caches_for(page);
+    }
+    bytes = ref->data();
   }
   cached_page_mut_ = page;
   cached_bytes_mut_ = bytes;
@@ -89,14 +203,19 @@ std::uint64_t SparseMemory::read_paged(Addr addr, unsigned size) const {
 
 std::uint64_t SparseMemory::read_paged_shared(Addr addr, unsigned size) const {
   // Cache-free twin of read_paged: page lookups go straight to the flat
-  // window / page map without touching the mutable one-entry cache, so
-  // concurrent readers of an immutable memory never race.
+  // window / CoW backing / page map without touching the mutable one-entry
+  // cache, so concurrent readers of an immutable memory never race.
   const auto lookup = [this](Addr a) -> const std::uint8_t* {
     const Addr page_base = a & ~Addr{kPageBytes - 1};
     const Addr flat_offset = page_base - flat_base_;
     if (flat_offset < flat_.size()) return flat_.data() + flat_offset;
+    if (cow_ && flat_offset < shared_flat_size()) {
+      const Page* over = flat_overlay_[flat_offset >> kPageBits].get();
+      return over != nullptr ? over->data()
+                             : shared_flat_->data() + flat_offset;
+    }
     const auto it = pages_.find(a >> kPageBits);
-    return it != pages_.end() ? it->second.data() : nullptr;
+    return it != pages_.end() ? it->second->data() : nullptr;
   };
   const std::size_t offset = addr & (kPageBytes - 1);
   std::uint64_t value = 0;

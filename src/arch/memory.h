@@ -12,9 +12,20 @@
 // Semantics are byte-identical to the plain page map (zero-fill on cold
 // pages, page-crossing splits); only the lookup cost changes.
 //
+// Copy-on-write forking. freeze() converts a memory into CoW mode: the
+// flat window moves into an immutable shared backing with a per-page
+// overlay (a non-null overlay slot is the dirty bitmap), and sparse pages
+// become refcounted shared blocks. fork() is then O(pages) pointer work;
+// the first write to any shared page copies just that 4 KiB page. Reads
+// and writes are byte-identical in either mode — only allocation and
+// lookup cost change. A frozen memory that is no longer written may be
+// fork()ed concurrently from many threads (shared_ptr refcounts are
+// atomic); the children are thread-private as usual.
+//
 // The translation cache makes read() logically-const-but-stateful: a
 // SparseMemory must not be read concurrently from multiple threads
 // (campaign workers each own their memory, so this costs nothing today).
+// read_shared() is the cache-free exception for frozen snapshots.
 #pragma once
 
 #include <cstdint>
@@ -43,15 +54,23 @@ class SparseMemory {
   /// (rounded out to page boundaries). Existing page contents in the range
   /// are absorbed into the flat store; accesses inside the window then skip
   /// the page map entirely. Call before (or after) populating — semantics
-  /// are unchanged either way.
+  /// are unchanged either way. Must not be called on a frozen memory.
   void reserve_flat(Addr base, std::size_t bytes);
 
   /// Reads `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
   std::uint64_t read(Addr addr, unsigned size) const {
-    if (in_flat(addr, size)) {
+    const Addr offset = addr - flat_base_;  // wraps huge for addr < base.
+    if (offset < flat_.size() && offset + size <= flat_.size()) {
       std::uint64_t value = 0;
-      std::memcpy(&value, flat_.data() + (addr - flat_base_), size);
+      std::memcpy(&value, flat_.data() + offset, size);
       return value;
+    }
+    if (cow_) {
+      if (const std::uint8_t* at = cow_window_read_ptr(offset, size)) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, at, size);
+        return value;
+      }
     }
     return read_paged(addr, size);
   }
@@ -62,31 +81,77 @@ class SparseMemory {
   /// checker replay fetches from. Identical semantics, slightly slower
   /// out-of-flat lookups (a hash probe per access instead of per page run).
   std::uint64_t read_shared(Addr addr, unsigned size) const {
-    if (in_flat(addr, size)) {
+    const Addr offset = addr - flat_base_;
+    if (offset < flat_.size() && offset + size <= flat_.size()) {
       std::uint64_t value = 0;
-      std::memcpy(&value, flat_.data() + (addr - flat_base_), size);
+      std::memcpy(&value, flat_.data() + offset, size);
       return value;
+    }
+    if (cow_) {
+      if (const std::uint8_t* at = cow_window_read_ptr(offset, size)) {
+        std::uint64_t value = 0;
+        std::memcpy(&value, at, size);
+        return value;
+      }
     }
     return read_paged_shared(addr, size);
   }
 
   /// Deep copy. Copying is deliberately explicit (the copy constructor is
-  /// deleted): a multi-MiB memory duplicated by accident is a perf bug,
-  /// but the checker pipeline legitimately needs a pristine fetch snapshot
-  /// per run.
-  SparseMemory clone() const {
-    SparseMemory copy;
-    copy.flat_base_ = flat_base_;
-    copy.flat_ = flat_;
-    copy.pages_ = pages_;
-    return copy;
+  /// deleted): a multi-MiB memory duplicated by accident is a perf bug.
+  /// Cloning a frozen memory materialises it back into a private flat
+  /// window + private pages; prefer fork() wherever sharing suffices.
+  SparseMemory clone() const;
+
+  /// Converts this memory into CoW mode (idempotent): the flat window
+  /// becomes an immutable shared backing plus a per-page overlay, and all
+  /// further writes copy one 4 KiB page on first touch. Invalidates the
+  /// translation caches. Reads and writes keep byte-identical semantics.
+  void freeze();
+
+  /// O(pages) copy sharing every page with `*this`. Requires a frozen
+  /// (CoW-mode) memory — throws std::logic_error otherwise. Thread-safe
+  /// on a frozen memory that is no longer being written.
+  SparseMemory fork() const;
+
+  /// Convenience: freeze() then fork(). The canonical cheap-snapshot call
+  /// for single-threaded call sites that still own the memory mutably.
+  /// Unlike the const overload, this invalidates the translation caches,
+  /// so a memory already in CoW mode may keep being written afterwards:
+  /// no stale mutable page pointer can bypass the copy-on-write check and
+  /// alias a page the new child shares.
+  SparseMemory fork() {
+    freeze();
+    cached_page_ = kNoPage;
+    cached_bytes_ = nullptr;
+    cached_page_mut_ = kNoPage;
+    cached_bytes_mut_ = nullptr;
+    return static_cast<const SparseMemory&>(*this).fork();
   }
+
+  /// True once freeze() (or fork()) has converted this memory to CoW mode.
+  bool is_cow() const { return cow_; }
+
+  /// Order-independent FNV-1a digest of the full touched contents: each
+  /// non-zero 4 KiB page hashes (absolute page number, 4096 bytes) and the
+  /// per-page hashes XOR-combine. All-zero pages are skipped, so the value
+  /// is independent of representation — flat window vs sparse pages vs CoW
+  /// backing+overlay all digest identically, and two memories holding the
+  /// same bytes always agree.
+  std::uint64_t digest() const;
 
   /// Writes the low `size` bytes of `value` little-endian.
   void write(Addr addr, std::uint64_t value, unsigned size) {
-    if (in_flat(addr, size)) {
-      std::memcpy(flat_.data() + (addr - flat_base_), &value, size);
+    const Addr offset = addr - flat_base_;
+    if (offset < flat_.size() && offset + size <= flat_.size()) {
+      std::memcpy(flat_.data() + offset, &value, size);
       return;
+    }
+    if (cow_) {
+      if (std::uint8_t* at = cow_window_write_ptr(offset, size)) {
+        std::memcpy(at, &value, size);
+        return;
+      }
     }
     write_paged(addr, value, size);
   }
@@ -98,15 +163,50 @@ class SparseMemory {
   /// contiguous allocation, not demand-allocated pages).
   std::size_t pages_allocated() const { return pages_.size(); }
 
-  /// Size in bytes of the flat window (0 when none is installed).
-  std::size_t flat_bytes() const { return flat_.size(); }
+  /// Size in bytes of the flat window (0 when none is installed). In CoW
+  /// mode this is the shared backing's window, unchanged by forking.
+  std::size_t flat_bytes() const {
+    return cow_ ? shared_flat_->size() : flat_.size();
+  }
+
+  /// CoW-mode window pages privately materialised by writes (the dirty
+  /// bitmap's population). 0 for a private memory.
+  std::size_t cow_dirty_pages() const;
 
  private:
   using Page = std::vector<std::uint8_t>;
+  using PageRef = std::shared_ptr<Page>;
 
-  bool in_flat(Addr addr, unsigned size) const {
-    const Addr offset = addr - flat_base_;  // wraps huge for addr < base.
-    return offset < flat_.size() && offset + size <= flat_.size();
+  std::size_t shared_flat_size() const {
+    return shared_flat_ ? shared_flat_->size() : 0;
+  }
+
+  /// CoW-window fast path for a read of [offset, offset+size) relative to
+  /// flat_base_: resolves overlay-vs-backing in O(1). nullptr when out of
+  /// window or page-crossing (the paged slow path handles those).
+  const std::uint8_t* cow_window_read_ptr(Addr offset, unsigned size) const {
+    if (offset >= shared_flat_size() || offset + size > shared_flat_size()) {
+      return nullptr;
+    }
+    const std::size_t in_page = offset & (kPageBytes - 1);
+    if (in_page + size > kPageBytes) return nullptr;
+    const Page* over = flat_overlay_[offset >> kPageBits].get();
+    return over != nullptr ? over->data() + in_page
+                           : shared_flat_->data() + offset;
+  }
+
+  /// CoW-window fast path for writes: only resolves when the page is
+  /// already privately materialised (unique overlay entry); first-writes
+  /// and shared pages take the paged slow path, which copies the page.
+  std::uint8_t* cow_window_write_ptr(Addr offset, unsigned size) {
+    if (offset >= shared_flat_size() || offset + size > shared_flat_size()) {
+      return nullptr;
+    }
+    const std::size_t in_page = offset & (kPageBytes - 1);
+    if (in_page + size > kPageBytes) return nullptr;
+    const PageRef& over = flat_overlay_[offset >> kPageBits];
+    if (over == nullptr || over.use_count() > 1) return nullptr;
+    return over->data() + in_page;
   }
 
   std::uint64_t read_paged(Addr addr, unsigned size) const;
@@ -119,9 +219,31 @@ class SparseMemory {
   const std::uint8_t* page_ptr(Addr addr) const;
   std::uint8_t* page_ptr_mut(Addr addr);
 
+  /// A fork invalidates nothing in the parent, but a copy-on-write page
+  /// replacement must drop any translation-cache entry still naming the
+  /// shared bytes — a stale mutable pointer would alias the other forks'
+  /// page (see tests: SparseMemoryCow.StaleCache*).
+  void invalidate_caches_for(std::uint64_t page) {
+    if (cached_page_ == page) {
+      cached_page_ = kNoPage;
+      cached_bytes_ = nullptr;
+    }
+    if (cached_page_mut_ == page) {
+      cached_page_mut_ = kNoPage;
+      cached_bytes_mut_ = nullptr;
+    }
+  }
+
   Addr flat_base_ = 0;
   std::vector<std::uint8_t> flat_;
-  std::unordered_map<std::uint64_t, Page> pages_;
+  std::unordered_map<std::uint64_t, PageRef> pages_;
+
+  // CoW mode (after freeze()): flat_ is empty, the window lives in the
+  // immutable shared backing, and flat_overlay_ holds this memory's
+  // privately-written window pages (null slot = read the backing).
+  bool cow_ = false;
+  std::shared_ptr<const std::vector<std::uint8_t>> shared_flat_;
+  std::vector<PageRef> flat_overlay_;
 
   static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
   mutable std::uint64_t cached_page_ = kNoPage;

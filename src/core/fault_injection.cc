@@ -62,6 +62,26 @@ bool FaultInjector::targets_checker(std::uint64_t ordinal) const {
   return false;
 }
 
+bool FaultInjector::tail_safe(UopSeq uop_seq, std::uint64_t checkpoint_index,
+                              std::uint64_t segment_ordinal) const {
+  for (const auto& spec : specs_) {
+    switch (spec.site) {
+      case FaultSite::kCheckpointReg:
+        if (spec.checkpoint_index < checkpoint_index) return false;
+        break;
+      case FaultSite::kCheckerArchReg:
+        if (spec.segment_ordinal < segment_ordinal) return false;
+        break;
+      default:
+        // Micro-op-keyed sites, including the permanent ALU stuck-at (its
+        // corruption starts at at_seq and must not predate the capture).
+        if (spec.at_seq < uop_seq) return false;
+        break;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 class RegFlipHook final : public CheckerFaultHook {

@@ -104,6 +104,15 @@ class FaultInjector {
   /// True if any kCheckerArchReg spec targets segment `ordinal`.
   bool targets_checker(std::uint64_t ordinal) const;
 
+  /// True when every spec triggers at or after the given capture position,
+  /// so a run resumed from a warm state taken there observes exactly the
+  /// faults a full run would: micro-op-keyed sites compare their trigger
+  /// against `uop_seq` (the next micro-op to execute), checkpoint faults
+  /// against `checkpoint_index` (the next checkpoint to be taken), checker
+  /// faults against `segment_ordinal` (the next segment to be produced).
+  bool tail_safe(UopSeq uop_seq, std::uint64_t checkpoint_index,
+                 std::uint64_t segment_ordinal) const;
+
   /// Builds the hook the checker engine calls for segment `ordinal`
   /// (returns a no-op-free null when no spec targets it).
   std::unique_ptr<CheckerFaultHook> checker_hook(std::uint64_t ordinal) const;

@@ -28,6 +28,23 @@ Cache::Cache(const CacheConfig& config, MemoryLevel& next)
   mshrs_.resize(config.mshrs);
 }
 
+Cache::Cache(const Cache& other, MemoryLevel& next)
+    : config_(other.config_),
+      next_(next),
+      prefetcher_(nullptr),
+      sets_(other.sets_),
+      line_shift_(other.line_shift_),
+      line_mask_(other.line_mask_),
+      lines_(other.lines_),
+      mshrs_(other.mshrs_),
+      lru_clock_(other.lru_clock_),
+      hits_(other.hits_),
+      misses_(other.misses_),
+      mshr_merges_(other.mshr_merges_),
+      mshr_stalls_(other.mshr_stalls_),
+      writebacks_(other.writebacks_),
+      prefetch_fills_(other.prefetch_fills_) {}
+
 Cache::Line* Cache::find(Addr line_addr) {
   const std::size_t set = set_of(line_addr);
   const std::uint64_t tag = tag_of(line_addr);

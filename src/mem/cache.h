@@ -47,6 +47,13 @@ class Cache final : public MemoryLevel {
  public:
   Cache(const CacheConfig& config, MemoryLevel& next);
 
+  /// Rewiring copy: duplicates `other`'s full timing state (tags, MSHRs,
+  /// LRU clock, counters) but points at `next` as the backing level. The
+  /// prefetcher is detached — re-attach with set_prefetcher() once the
+  /// copied prefetcher exists. This is how warm-state capture snapshots a
+  /// cache hierarchy whose levels reference one another.
+  Cache(const Cache& other, MemoryLevel& next);
+
   Cycle access(Addr addr, bool write, Cycle when, Addr pc) override;
   void prefetch_line(Addr addr, Cycle when) override;
 

@@ -521,6 +521,8 @@ void append_run_result(std::string& out, const sim::RunResult& result) {
   append_u64(out, result.checkpoint_stall_cycles);
   out += ",\"log_full_stall_cycles\":";
   append_u64(out, result.log_full_stall_cycles);
+  out += ",\"mem_digest\":";
+  append_u64(out, result.mem_digest);
   out += ",\"counters\":";
   append_counters(out, result.counters);
   out += '}';
@@ -654,6 +656,7 @@ sim::RunResult read_run_result(const Json& j) {
   result.checkpoints_taken = j.at("checkpoints_taken").as_u64();
   result.checkpoint_stall_cycles = j.at("checkpoint_stall_cycles").as_u64();
   result.log_full_stall_cycles = j.at("log_full_stall_cycles").as_u64();
+  result.mem_digest = j.at("mem_digest").as_u64();
   result.counters = read_counters(j.at("counters"));
   return result;
 }

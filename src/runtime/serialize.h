@@ -31,7 +31,10 @@
 namespace paradet::runtime {
 
 inline constexpr const char* kArtifactFormatName = "paradet-campaign";
-inline constexpr std::uint64_t kArtifactFormatVersion = 1;
+/// Version 2: RunResult gained "mem_digest" (final-memory digest, used by
+/// silent-corruption classification). Older artifacts are rejected loudly
+/// rather than read with a zero digest, which would silently misclassify.
+inline constexpr std::uint64_t kArtifactFormatVersion = 2;
 
 // --- Canonical JSON writers ------------------------------------------------
 
@@ -89,7 +92,9 @@ CampaignArtifact read_artifact_file(const std::string& path);
 // resumes cleanly.
 
 inline constexpr const char* kJournalFormatName = "paradet-campaign-journal";
-inline constexpr std::uint64_t kJournalFormatVersion = 1;
+/// Bumped in lockstep with kArtifactFormatVersion: journal records embed
+/// the same RunResult encoding.
+inline constexpr std::uint64_t kJournalFormatVersion = 2;
 
 /// The journal file that extends the checkpoint snapshot at
 /// `checkpoint_path`.

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "arch/interpreter.h"
 #include "common/config.h"
@@ -24,6 +26,7 @@
 #include "core/recovery.h"
 #include "isa/assembler.h"
 #include "sim/uop_info.h"
+#include "sim/warm_state.h"
 
 namespace paradet::sim {
 
@@ -78,6 +81,12 @@ struct RunResult {
   // Stall accounting.
   Cycle checkpoint_stall_cycles = 0;
   Cycle log_full_stall_cycles = 0;
+
+  /// Order-independent digest of the final functional memory
+  /// (arch::SparseMemory::digest). Register/pc comparison alone cannot see
+  /// corruption that only reached memory; fault classification must
+  /// compare this too (see classify_fault_outcome).
+  std::uint64_t mem_digest = 0;
 
   // Component statistics (cache hit rates, mispredicts, ...).
   Counters counters;
@@ -160,5 +169,46 @@ RunResult run_program(const SystemConfig& config,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults = nullptr,
                       unsigned checker_threads = 0);
+
+// --- Warm-state forking (fault campaigns) --------------------------------
+
+/// Simulates the first `prefix_uops` micro-ops of `job` fault-free and
+/// captures the complete machine state at the next macro-op boundary.
+/// Returns null if the program ended (trap or instruction budget) before
+/// reaching the prefix — callers fall back to full runs. `job.faults` is
+/// ignored (the prefix is by definition fault-free) and `job.undo_log`
+/// must be null (rollback-recovery campaigns replay from the start).
+std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
+                                              const isa::Assembled& assembled,
+                                              std::uint64_t prefix_uops);
+
+/// Resumes a run from `warm` with `faults` injected, to the same
+/// instruction budget the capture ran under. The result is byte-identical
+/// to a full run of the captured job with the same faults, provided every
+/// fault triggers at or after the capture point
+/// (`warm->tail_safe(*faults)`); callers must check that first. `faults`
+/// may be null (fault-free tail). Thread-safe: many tails may fork the
+/// same WarmState concurrently.
+RunResult run_job_from(const WarmState& warm,
+                       core::FaultInjector* faults = nullptr);
+
+// --- Fault-outcome classification ----------------------------------------
+
+/// What a fault campaign observed for one injected fault.
+enum class FaultVerdict : std::uint8_t {
+  kDetected,  ///< the checker flagged it.
+  kMasked,    ///< no flag, and no architectural difference survived.
+  kSilent,    ///< no flag, but registers, pc or *memory* differ (SDC).
+};
+
+std::string_view fault_verdict_name(FaultVerdict verdict);
+
+/// Classifies a faulty run against its fault-free reference. A fault only
+/// counts as masked when registers, pc, exit trap *and* the final-memory
+/// digest all match: memory-only corruption (e.g. a store-value strike
+/// whose target is never reloaded) is silent data corruption even though
+/// every register compares clean.
+FaultVerdict classify_fault_outcome(const RunResult& clean,
+                                    const RunResult& faulty);
 
 }  // namespace paradet::sim

@@ -59,6 +59,18 @@ class CheckerCoreTiming {
   CheckerCoreTiming(const CheckerConfig& config, SharedCheckerIcache& shared,
                     unsigned l2_latency_checker_cycles);
 
+  /// Rewiring copy for warm-state capture: duplicates `other`'s L0 state
+  /// and counters but shares the given L1I (a copy of `other`'s).
+  CheckerCoreTiming(const CheckerCoreTiming& other,
+                    SharedCheckerIcache& shared)
+      : config_(other.config_),
+        shared_(shared),
+        l2_latency_(other.l2_latency_),
+        l0_tags_(other.l0_tags_),
+        l0_valid_(other.l0_valid_),
+        l0_hits_(other.l0_hits_),
+        l0_misses_(other.l0_misses_) {}
+
   struct WalkResult {
     /// Total checker cycles from wakeup to checkpoint validation done.
     Cycle local_cycles = 0;

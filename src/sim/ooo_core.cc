@@ -14,6 +14,37 @@ OoOCore::OoOCore(const SystemConfig& config, mem::Cache& l1i, mem::Cache& l1d)
       fp_slots_(config.main_core.fp_alus),
       muldiv_slots_(config.main_core.muldiv_alus) {}
 
+OoOCore::OoOCore(const OoOCore& other, mem::Cache& l1i, mem::Cache& l1d)
+    : config_(other.config_),
+      l1i_(l1i),
+      l1d_(l1d),
+      predictor_(other.predictor_),
+      fetch_cycle_(other.fetch_cycle_),
+      fetched_in_cycle_(other.fetched_in_cycle_),
+      redirect_min_(other.redirect_min_),
+      last_fetch_line_(other.last_fetch_line_),
+      last_dispatch_cycle_(other.last_dispatch_cycle_),
+      dispatched_in_cycle_(other.dispatched_in_cycle_),
+      int_slots_(other.int_slots_),
+      fp_slots_(other.fp_slots_),
+      muldiv_slots_(other.muldiv_slots_),
+      fp_unpipelined_busy_(other.fp_unpipelined_busy_),
+      muldiv_unpipelined_busy_(other.muldiv_unpipelined_busy_),
+      window_(other.window_),
+      iq_issue_deadlines_(other.iq_issue_deadlines_),
+      lq_commit_deadlines_(other.lq_commit_deadlines_),
+      sq_commit_deadlines_(other.sq_commit_deadlines_),
+      last_retired_commit_(other.last_retired_commit_),
+      store_window_(other.store_window_),
+      last_store_agu_(other.last_store_agu_),
+      pending_valid_(other.pending_valid_),
+      pending_(other.pending_),
+      mispredicts_(other.mispredicts_),
+      scheduled_(other.scheduled_) {
+  std::copy(std::begin(other.reg_ready_), std::end(other.reg_ready_),
+            std::begin(reg_ready_));
+}
+
 void OoOCore::fetch_bubble(Cycle from, unsigned cycles) {
   if (cycles == 0) return;
   const Cycle resume = from + cycles;

@@ -71,6 +71,12 @@ class OoOCore {
  public:
   OoOCore(const SystemConfig& config, mem::Cache& l1i, mem::Cache& l1d);
 
+  /// Rewiring copy for warm-state capture: duplicates `other`'s complete
+  /// timing state (predictor, front-end cycles, issue slots, occupancy
+  /// heaps, windows, counters) but reads through the given caches, which
+  /// must themselves be copies of `other`'s.
+  OoOCore(const OoOCore& other, mem::Cache& l1i, mem::Cache& l1d);
+
   /// Schedules the next micro-op in program order. Must be followed by
   /// exactly one retire() for this micro-op before the next schedule().
   UopTiming schedule(const UopDesc& desc);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/warm_state.h"
+
 namespace paradet::sim {
 
 SegmentPipeline::SegmentPipeline(const SystemConfig& config,
-                                 const arch::SparseMemory& program_memory,
+                                 arch::SparseMemory& program_memory,
                                  const isa::PredecodedImage* predecoded,
                                  const ProgramStatics* statics,
                                  unsigned checker_threads,
@@ -15,7 +17,7 @@ SegmentPipeline::SegmentPipeline(const SystemConfig& config,
       statics_(statics),
       undo_log_(undo_log),
       threads_(checker_threads),
-      snapshot_(program_memory.clone()),
+      snapshot_(program_memory.fork()),
       checker_domain_(config.checker.freq_mhz, config.main_core.freq_mhz),
       shared_icache_(config.checker.l1_icache_bytes),
       controller_(config.main_core.freq_mhz),
@@ -29,7 +31,39 @@ SegmentPipeline::SegmentPipeline(const SystemConfig& config,
     checker_cores_.emplace_back(config.checker, shared_icache_,
                                 l2_checker_cycles);
   }
+  start_workers(predecoded);
+}
 
+SegmentPipeline::SegmentPipeline(const SystemConfig& config,
+                                 const PipelineWarm& warm,
+                                 const arch::SparseMemory& fetch_snapshot,
+                                 const isa::PredecodedImage* predecoded,
+                                 const ProgramStatics* statics,
+                                 unsigned checker_threads,
+                                 core::UndoLog* undo_log)
+    : config_(config),
+      statics_(statics),
+      undo_log_(undo_log),
+      threads_(checker_threads),
+      snapshot_(fetch_snapshot.fork()),
+      checker_domain_(config.checker.freq_mhz, config.main_core.freq_mhz),
+      shared_icache_(warm.shared_icache),
+      controller_(warm.controller),
+      segment_release_(warm.segment_release),
+      all_checked_(warm.all_checked),
+      recovery_checkpoint_(warm.recovery_checkpoint),
+      validated_frontier_(warm.validated_frontier),
+      produced_(warm.produced),
+      ticket_base_(warm.produced),
+      last_ordinal_for_index_(warm.last_ordinal_for_index) {
+  checker_cores_.reserve(warm.checker_cores.size());
+  for (const auto& core : warm.checker_cores) {
+    checker_cores_.emplace_back(core, shared_icache_);
+  }
+  start_workers(predecoded);
+}
+
+void SegmentPipeline::start_workers(const isa::PredecodedImage* predecoded) {
   const unsigned engines = std::max(1u, threads_);
   engines_.reserve(engines);
   for (unsigned i = 0; i < engines; ++i) {
@@ -39,7 +73,7 @@ SegmentPipeline::SegmentPipeline(const SystemConfig& config,
   if (threads_ > 0) {
     // One slot per physical segment plus one: the producer can stage the
     // next job while every checker core's worth of segments is in flight.
-    slots_.resize(config.log.segments + 1);
+    slots_.resize(config_.log.segments + 1);
     pool_ = std::make_unique<runtime::CheckerPool>(
         threads_, slots_.size(),
         [this](std::uint64_t ticket, unsigned worker) {
@@ -53,13 +87,29 @@ SegmentPipeline::SegmentPipeline(const SystemConfig& config,
   }
 }
 
+std::unique_ptr<PipelineWarm> SegmentPipeline::warm_state() const {
+  auto warm = std::make_unique<PipelineWarm>(shared_icache_, controller_);
+  warm->checker_cores.reserve(checker_cores_.size());
+  for (const auto& core : checker_cores_) {
+    warm->checker_cores.emplace_back(core, warm->shared_icache);
+  }
+  warm->segment_release = segment_release_;
+  warm->all_checked = all_checked_;
+  warm->recovery_checkpoint = recovery_checkpoint_;
+  warm->validated_frontier =
+      validated_frontier_.load(std::memory_order_acquire);
+  warm->produced = produced_;
+  warm->last_ordinal_for_index = last_ordinal_for_index_;
+  return warm;
+}
+
 void SegmentPipeline::produce(const core::Segment& segment, Cycle seal_cycle,
                               unsigned index,
                               std::unique_ptr<core::CheckerFaultHook> hook) {
   assert(index < segment_release_.size());
-  const std::uint64_t ticket = produced_++;
-  last_ordinal_for_index_[index] = static_cast<std::int64_t>(ticket);
-  assert(segment.ordinal == ticket);
+  const std::uint64_t ordinal = produced_++;
+  last_ordinal_for_index_[index] = static_cast<std::int64_t>(ordinal);
+  assert(segment.ordinal == ordinal);
 
   if (pool_ == nullptr) {
     engines_[0].check_into(segment, hook.get(), inline_check_);
@@ -69,6 +119,9 @@ void SegmentPipeline::produce(const core::Segment& segment, Cycle seal_cycle,
   }
 
   apply_validated_frontier();
+  // Pool tickets are dense from zero even when the pipeline resumed from a
+  // warm state mid-run.
+  const std::uint64_t ticket = ordinal - ticket_base_;
   pool_->wait_slot(ticket);
   Job& job = slots_[ticket % slots_.size()];
   job.segment = segment;  // copy-assign reuses the slot's entry capacity.
@@ -80,9 +133,12 @@ void SegmentPipeline::produce(const core::Segment& segment, Cycle seal_cycle,
 
 Cycle SegmentPipeline::release_cycle(unsigned index) {
   assert(index < segment_release_.size());
-  if (pool_ != nullptr && last_ordinal_for_index_[index] >= 0) {
-    pool_->wait_absorbed(
-        static_cast<std::uint64_t>(last_ordinal_for_index_[index]));
+  const std::int64_t last = last_ordinal_for_index_[index];
+  // Ordinals below ticket_base_ were absorbed before the warm capture this
+  // pipeline resumed from; their release cycles are already final.
+  if (pool_ != nullptr && last >= 0 &&
+      static_cast<std::uint64_t>(last) >= ticket_base_) {
+    pool_->wait_absorbed(static_cast<std::uint64_t>(last) - ticket_base_);
   }
   return segment_release_[index];
 }

@@ -22,11 +22,13 @@
 // (bounded job ring) or on release_cycle() for a segment index still in
 // flight.
 //
-// In both modes the checker fetches instructions from a pristine clone of
-// the program memory taken at pipeline construction (main-core stores
+// In both modes the checker fetches instructions from a pristine snapshot
+// of the program memory taken at pipeline construction (main-core stores
 // mutate the live memory mid-run; the real hardware's checkers fetch
-// read-only code). The clone plus SparseMemory::read_shared make replay
-// thread-safe without locks.
+// read-only code). The snapshot is a copy-on-write fork — construction
+// freezes the program memory and shares its pages instead of deep-copying
+// them — and SparseMemory::read_shared makes replay thread-safe without
+// locks.
 #pragma once
 
 #include <atomic>
@@ -49,10 +51,15 @@
 
 namespace paradet::sim {
 
+struct PipelineWarm;
+
 class SegmentPipeline {
  public:
   /// @param program_memory the program's functional memory *before any
-  ///   instruction executes*; cloned here as the replay fetch snapshot.
+  ///   instruction executes*. Frozen and forked here as the replay fetch
+  ///   snapshot: the caller's memory becomes copy-on-write (its subsequent
+  ///   stores land in private overlay pages) and the snapshot shares the
+  ///   frozen image for free instead of deep-copying it.
   /// @param statics may be null; forwarded to the timing walk.
   /// @param checker_threads 0 = inline replay; N > 0 = N replay workers
   ///   plus one absorber thread.
@@ -60,7 +67,18 @@ class SegmentPipeline {
   ///   records are discarded (on the producer thread) and the recovery
   ///   checkpoint is tracked on failure.
   SegmentPipeline(const SystemConfig& config,
-                  const arch::SparseMemory& program_memory,
+                  arch::SparseMemory& program_memory,
+                  const isa::PredecodedImage* predecoded,
+                  const ProgramStatics* statics, unsigned checker_threads,
+                  core::UndoLog* undo_log);
+
+  /// Warm-resume constructor: adopts the absorber state and producer
+  /// bookkeeping exported by warm_state() and forks `fetch_snapshot`
+  /// (already CoW-frozen) instead of freezing a live memory. The fresh
+  /// worker pool issues tickets from zero, so produced ordinals are
+  /// rebased by the adopted produce count.
+  SegmentPipeline(const SystemConfig& config, const PipelineWarm& warm,
+                  const arch::SparseMemory& fetch_snapshot,
                   const isa::PredecodedImage* predecoded,
                   const ProgramStatics* statics, unsigned checker_threads,
                   core::UndoLog* undo_log);
@@ -103,6 +121,14 @@ class SegmentPipeline {
   }
   unsigned threads() const { return threads_; }
 
+  /// Segments produced so far (the ordinal the next produce() expects).
+  std::uint64_t produced() const { return produced_; }
+  /// The immutable CoW-frozen fetch snapshot; warm-state capture forks it.
+  const arch::SparseMemory& fetch_snapshot() const { return snapshot_; }
+  /// Exports the order-dependent state for warm-state capture. Valid on
+  /// the producer thread after finish().
+  std::unique_ptr<PipelineWarm> warm_state() const;
+
  private:
   /// One in-flight segment's state, living in a fixed ring slot: the
   /// vectors inside reach steady-state capacity after the first lap, so
@@ -124,6 +150,10 @@ class SegmentPipeline {
   /// Producer-thread only: the undo log is concurrently appended to by the
   /// commit loop, so the absorber must not touch it directly.
   void apply_validated_frontier();
+
+  /// Builds the replay engines and (when threads_ > 0) the worker pool.
+  /// Shared tail of both constructors.
+  void start_workers(const isa::PredecodedImage* predecoded);
 
   const SystemConfig config_;
   const ProgramStatics* statics_;
@@ -148,6 +178,11 @@ class SegmentPipeline {
 
   // Producer-owned bookkeeping.
   std::uint64_t produced_ = 0;
+  /// Produce count adopted from a warm state (0 for a fresh pipeline).
+  /// CheckerPool tickets must be dense from zero, so pool tickets are
+  /// `ordinal - ticket_base_`; ordinals below the base were absorbed
+  /// before the capture and are never waited on.
+  std::uint64_t ticket_base_ = 0;
   /// Ordinal of the segment most recently produced into each physical
   /// index (-1: none yet); release_cycle() waits on it.
   std::vector<std::int64_t> last_ordinal_for_index_;

@@ -174,5 +174,216 @@ TEST(SparseMemoryPageCache, PageCrossingReadAfterOneSidedWrite) {
   EXPECT_EQ(memory.read(0x1FFC, 8), 0x1C7B000000ULL);
 }
 
+// ---- Copy-on-write forking -------------------------------------------------
+
+TEST(SparseMemoryCow, WriteIsolationAfterFork) {
+  SparseMemory parent;
+  parent.reserve_flat(0, 0x4000);
+  parent.write(0x1008, 0x1111111111111111ULL, 8);  // in window.
+  parent.write(0x90000, 0x2222222222222222ULL, 8);  // sparse page.
+
+  SparseMemory child = parent.fork();
+  EXPECT_TRUE(parent.is_cow());
+  EXPECT_TRUE(child.is_cow());
+  EXPECT_EQ(child.read(0x1008, 8), 0x1111111111111111ULL);
+  EXPECT_EQ(child.read(0x90000, 8), 0x2222222222222222ULL);
+
+  // Writes on either side stay invisible to the other, window and sparse.
+  child.write(0x1008, 0xAAAAAAAAAAAAAAAAULL, 8);
+  child.write(0x90000, 0xBBBBBBBBBBBBBBBBULL, 8);
+  parent.write(0x2000, 0xCCCCCCCCCCCCCCCCULL, 8);
+  EXPECT_EQ(parent.read(0x1008, 8), 0x1111111111111111ULL);
+  EXPECT_EQ(parent.read(0x90000, 8), 0x2222222222222222ULL);
+  EXPECT_EQ(child.read(0x1008, 8), 0xAAAAAAAAAAAAAAAAULL);
+  EXPECT_EQ(child.read(0x90000, 8), 0xBBBBBBBBBBBBBBBBULL);
+  EXPECT_EQ(child.read(0x2000, 8), 0u);
+  // Only the written pages were materialised.
+  EXPECT_EQ(child.cow_dirty_pages(), 1u);
+  EXPECT_EQ(parent.cow_dirty_pages(), 1u);
+}
+
+TEST(SparseMemoryCow, ForkOfForkChains) {
+  SparseMemory a;
+  a.reserve_flat(0, 0x2000);
+  a.write(0x100, 10, 1);
+  SparseMemory b = a.fork();
+  b.write(0x100, 20, 1);
+  SparseMemory c = b.fork();
+  c.write(0x100, 30, 1);
+  SparseMemory d = c.fork();  // untouched leaf.
+  EXPECT_EQ(a.read(0x100, 1), 10u);
+  EXPECT_EQ(b.read(0x100, 1), 20u);
+  EXPECT_EQ(c.read(0x100, 1), 30u);
+  EXPECT_EQ(d.read(0x100, 1), 30u);
+  // Deep generations still isolate both directions.
+  d.write(0x100, 40, 1);
+  c.write(0x100, 33, 1);
+  EXPECT_EQ(b.read(0x100, 1), 20u);
+  EXPECT_EQ(c.read(0x100, 1), 33u);
+  EXPECT_EQ(d.read(0x100, 1), 40u);
+}
+
+TEST(SparseMemoryCow, FrozenWindowBoundaryAccessesSplitCorrectly) {
+  // The flat/sparse boundary semantics survive freezing: same scenario as
+  // SparseMemoryFlat.SegmentBoundaryAccessesSplitCorrectly, via a fork.
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x2000);  // window = pages 0 and 1.
+  SparseMemory forked = memory.fork();
+  const Addr boundary = 0x2000;  // first address past the window.
+  forked.write(boundary - 4, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(forked.read(boundary - 4, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(forked.read(boundary - 4, 4), 0x55667788u);
+  EXPECT_EQ(forked.read(boundary, 4), 0x11223344u);
+  EXPECT_EQ(forked.pages_allocated(), 1u);
+  forked.write(boundary - 1, 0xEE, 1);
+  EXPECT_EQ(forked.read(boundary - 4, 8), 0x11223344EE667788ULL);
+  // The parent saw none of it.
+  EXPECT_EQ(memory.read(boundary - 4, 8), 0u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+TEST(SparseMemoryCow, PageCrossingInsideFrozenWindow) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x4000);
+  memory.freeze();
+  memory.write(0x0FFC, 0xA1B2C3D4E5F60718ULL, 8);  // crosses page 0 -> 1.
+  EXPECT_EQ(memory.read(0x0FFC, 8), 0xA1B2C3D4E5F60718ULL);
+  EXPECT_EQ(memory.read(0x1000, 4), 0xA1B2C3D4u);
+  EXPECT_EQ(memory.cow_dirty_pages(), 2u);
+  EXPECT_EQ(memory.pages_allocated(), 0u);
+}
+
+TEST(SparseMemoryCow, StaleCacheWindowWriteAfterForkDoesNotAliasTheChild) {
+  // Regression for the translation-cache audit: prime the mutable cache
+  // with writes, fork, then write the same pages through the parent. A
+  // stale cached pointer would scribble on the child's shared page.
+  SparseMemory parent;
+  parent.reserve_flat(0, 0x2000);
+  SparseMemory first = parent.fork();
+  parent.write(0x1000, 0x01, 1);   // materialises + caches page 1.
+  parent.write(0x30000, 0x02, 1);  // sparse page, cached too.
+  SparseMemory child = parent.fork();
+  parent.write(0x1000, 0xFF, 1);  // must CoW-copy, not hit the stale cache.
+  parent.write(0x30000, 0xEE, 1);
+  EXPECT_EQ(child.read(0x1000, 1), 0x01u);
+  EXPECT_EQ(child.read(0x30000, 1), 0x02u);
+  EXPECT_EQ(parent.read(0x1000, 1), 0xFFu);
+  EXPECT_EQ(parent.read(0x30000, 1), 0xEEu);
+  EXPECT_EQ(first.read(0x1000, 1), 0u);
+}
+
+TEST(SparseMemoryCow, StaleReadCacheInvalidatedByCopyOnWrite) {
+  SparseMemory parent;
+  parent.reserve_flat(0, 0x2000);
+  parent.write(0x1000, 0x10, 1);
+  SparseMemory child = parent.fork();
+  EXPECT_EQ(child.read(0x1000, 1), 0x10u);  // primes child's read cache.
+  child.write(0x1000, 0x77, 1);             // CoW-copies the page.
+  EXPECT_EQ(child.read(0x1000, 1), 0x77u);  // not the stale shared bytes.
+  EXPECT_EQ(parent.read(0x1000, 1), 0x10u);
+}
+
+TEST(SparseMemoryCow, ConstForkRequiresFreeze) {
+  const SparseMemory memory;
+  EXPECT_THROW(memory.fork(), std::logic_error);
+  SparseMemory frozen;
+  frozen.write(0x40, 0x5A, 1);
+  frozen.freeze();
+  const SparseMemory& view = frozen;
+  SparseMemory child = view.fork();
+  EXPECT_EQ(child.read(0x40, 1), 0x5Au);
+}
+
+TEST(SparseMemoryCow, FrozenMemoryRejectsReserveFlat) {
+  SparseMemory memory;
+  memory.freeze();
+  EXPECT_THROW(memory.reserve_flat(0, 0x1000), std::logic_error);
+}
+
+TEST(SparseMemoryCow, CloneOfFrozenMaterialisesAPrivateCopy) {
+  SparseMemory original;
+  original.reserve_flat(0, 0x2000);
+  original.write(0x1010, 0xABCD, 2);
+  original.write(0x70000, 0x1234, 2);
+  original.freeze();
+  original.write(0x1010, 0xBEEF, 2);  // overlay page over the backing.
+  SparseMemory copy = original.clone();
+  EXPECT_FALSE(copy.is_cow());
+  EXPECT_EQ(copy.read(0x1010, 2), 0xBEEFu);
+  EXPECT_EQ(copy.read(0x70000, 2), 0x1234u);
+  copy.write(0x1010, 0x5555, 2);
+  EXPECT_EQ(original.read(0x1010, 2), 0xBEEFu);
+}
+
+TEST(SparseMemoryCow, ReadSharedSeesOverlayAndBacking) {
+  SparseMemory memory;
+  memory.reserve_flat(0, 0x2000);
+  memory.write(0x0008, 0x1111, 2);
+  memory.write(0x1008, 0x2222, 2);
+  memory.freeze();
+  memory.write(0x1008, 0x3333, 2);  // page 1 becomes overlay; page 0 backing.
+  EXPECT_EQ(memory.read_shared(0x0008, 2), 0x1111u);
+  EXPECT_EQ(memory.read_shared(0x1008, 2), 0x3333u);
+  // Page-crossing read_shared across backing/overlay pages.
+  memory.write(0x0FFC, 0xA1B2C3D4E5F60718ULL, 8);
+  EXPECT_EQ(memory.read_shared(0x0FFC, 8), 0xA1B2C3D4E5F60718ULL);
+}
+
+// ---- Content digest --------------------------------------------------------
+
+TEST(SparseMemoryDigest, RepresentationIndependent) {
+  // The same bytes through three representations — private flat window,
+  // plain sparse pages, and a forked CoW child — digest identically.
+  SparseMemory flat;
+  flat.reserve_flat(0, 0x4000);
+  flat.write(0x1008, 0xDEADBEEF, 4);
+  flat.write(0x90000, 0x55, 1);
+
+  SparseMemory sparse;
+  sparse.write(0x1008, 0xDEADBEEF, 4);
+  sparse.write(0x90000, 0x55, 1);
+
+  SparseMemory cow_parent;
+  cow_parent.reserve_flat(0, 0x4000);
+  cow_parent.write(0x90000, 0x55, 1);
+  SparseMemory cow_child = cow_parent.fork();
+  cow_child.write(0x1008, 0xDEADBEEF, 4);
+
+  EXPECT_NE(flat.digest(), 0u);
+  EXPECT_EQ(flat.digest(), sparse.digest());
+  EXPECT_EQ(flat.digest(), cow_child.digest());
+  EXPECT_NE(flat.digest(), cow_parent.digest());  // parent lacks 0x1008.
+}
+
+TEST(SparseMemoryDigest, ZeroPagesDoNotContribute) {
+  SparseMemory empty;
+  EXPECT_EQ(empty.digest(), 0u);
+  SparseMemory windowed;
+  windowed.reserve_flat(0, 0x100000);  // untouched window digests as empty.
+  EXPECT_EQ(windowed.digest(), 0u);
+  windowed.write(0x2000, 1, 1);
+  const std::uint64_t one = windowed.digest();
+  EXPECT_NE(one, 0u);
+  windowed.write(0x2000, 0, 1);  // restore to all-zero: digest reverts.
+  EXPECT_EQ(windowed.digest(), 0u);
+  EXPECT_EQ(one, [] {
+    SparseMemory sparse;
+    sparse.write(0x2000, 1, 1);
+    return sparse.digest();
+  }());
+}
+
+TEST(SparseMemoryDigest, SensitiveToValueAndAddress) {
+  SparseMemory a;
+  a.write(0x1000, 0x42, 1);
+  SparseMemory b;
+  b.write(0x1000, 0x43, 1);
+  SparseMemory c;
+  c.write(0x2000, 0x42, 1);
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(b.digest(), c.digest());
+}
+
 }  // namespace
 }  // namespace paradet::arch

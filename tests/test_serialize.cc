@@ -65,6 +65,7 @@ sim::RunResult make_rich_result(std::uint64_t seed) {
   r.checkpoints_taken = rng.next();
   r.checkpoint_stall_cycles = rng.next();
   r.log_full_stall_cycles = rng.next();
+  r.mem_digest = rng.next();
   r.counters.inc("l1d.hits", rng.next());
   r.counters.inc("l1d.misses", rng.next());
   r.counters.inc("bp.mispredicts", rng.next());
@@ -153,6 +154,7 @@ TEST(Serialize, RunResultRoundTripIsIdentity) {
   EXPECT_EQ(back.final_state, r.final_state);  // full ArchState equality.
   EXPECT_EQ(back.main_done_cycle, r.main_done_cycle);
   EXPECT_EQ(back.all_checked_cycle, r.all_checked_cycle);
+  EXPECT_EQ(back.mem_digest, r.mem_digest);
   EXPECT_EQ(back.ipc, r.ipc);
   EXPECT_EQ(back.error_detected, r.error_detected);
   ASSERT_TRUE(back.first_error.has_value());
@@ -213,7 +215,7 @@ TEST(Serialize, ArtifactFileRoundTripIsIdentity) {
 
 TEST(Serialize, UnknownVersionIsRejectedWithAClearError) {
   std::string text = to_json(make_artifact());
-  const std::string needle = "\"version\":1";
+  const std::string needle = "\"version\":2";
   const std::size_t at = text.find(needle);
   ASSERT_NE(at, std::string::npos);
   text.replace(at, needle.size(), "\"version\":99");
@@ -222,6 +224,23 @@ TEST(Serialize, UnknownVersionIsRejectedWithAClearError) {
     FAIL() << "expected a version error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, PreDigestVersion1ArtifactsAreRejected) {
+  // Version-1 artifacts predate mem_digest; reading one as all-zero
+  // digests would silently misclassify faults, so the reader refuses.
+  std::string text = to_json(make_artifact());
+  const std::string needle = "\"version\":2";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"version\":1");
+  try {
+    artifact_from_json(text);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos)
         << e.what();
   }
 }
