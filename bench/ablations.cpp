@@ -143,7 +143,7 @@ int run(int argc, char** argv) {
                                             /*seed=*/0xAB1A7105);
   const auto result = sweep.run(
       options.runner(), options.campaign_options(),
-      [&](std::size_t index, std::size_t, const isa::Assembled& image,
+      [&](std::size_t index, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         const Cell& cell = cells[index];
         core::FaultInjector faults;

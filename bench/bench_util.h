@@ -30,6 +30,10 @@ struct Options {
   double scale = 1.0;          ///< workload scale factor (--scale=X).
   std::string only;            ///< run a single benchmark (--benchmark=name).
   RuntimeOptions runtime;      ///< --jobs/--shard/--out/--checkpoint flags.
+  /// Front-end model for the main core (--frontend=NAME; sim/frontend.h).
+  /// The default (tournament) is byte-identical to the pre-FrontEnd
+  /// predictor, so default artifacts are unchanged.
+  FrontEndKind frontend = FrontEndKind::kTournament;
 
   /// `campaign` = true for drivers that execute through
   /// Campaign::run_sharded; others reject --shard/--out/--checkpoint
@@ -43,9 +47,17 @@ struct Options {
         options.scale = std::atof(arg + 8);
       } else if (std::strncmp(arg, "--benchmark=", 12) == 0) {
         options.only = arg + 12;
+      } else if (std::strncmp(arg, "--frontend=", 11) == 0) {
+        if (!parse_frontend_kind(arg + 11, &options.frontend)) {
+          std::fprintf(stderr,
+                       "--frontend=%s: unknown front-end (tournament, gshare, "
+                       "bimodal, always-taken)\n",
+                       arg + 11);
+          std::exit(2);
+        }
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]"
-                    " [--checker-threads=N]%s\n",
+                    " [--checker-threads=N] [--frontend=NAME]%s\n",
                     argv[0],
                     campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
                                "\n          [--checkpoint=ckpt.json |"
@@ -80,7 +92,19 @@ struct Options {
     hash.mix_u64(std::bit_cast<std::uint64_t>(scale));
     hash.mix_bytes(only);
     hash.mix_u64(kInstructionBudget);
+    // Mixed in only when non-default so every artifact fingerprinted
+    // before the flag existed still resumes/merges byte-identically.
+    if (frontend != FrontEndKind::kTournament) {
+      hash.mix_bytes(frontend_kind_name(frontend));
+    }
     return hash.value();
+  }
+
+  /// Returns `config` with the requested --frontend applied to the main
+  /// core's predictor. A no-op at the default, preserving artifact bytes.
+  SystemConfig with_frontend(SystemConfig config) const {
+    config.branch_predictor.kind = frontend;
+    return config;
   }
 
   /// Campaign execution options from the shared CLI flags (shard slice,
@@ -166,8 +190,12 @@ struct SuiteRun {
 /// suite fans out across `runner`'s worker pool; output order stays the
 /// suite's order regardless of scheduling.
 inline std::vector<SuiteRun> run_suite(const Options& options,
-                                       const SystemConfig& config,
+                                       const SystemConfig& original,
                                        const runtime::ParallelRunner& runner) {
+  // --frontend swaps the main core's direction predictor in both the
+  // checked run and its unchecked baseline (same core either way), so
+  // slowdowns stay an apples-to-apples ratio.
+  const SystemConfig config = options.with_frontend(original);
   SystemConfig baseline_config = config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
@@ -176,7 +204,7 @@ inline std::vector<SuiteRun> run_suite(const Options& options,
   sweep.enable_baselines(baseline_config, kInstructionBudget);
   const runtime::SweepResult swept = sweep.run(
       runner, runtime::CampaignRunOptions{},
-      [&](std::size_t, std::size_t, const isa::Assembled& image,
+      [&](std::size_t, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(config, image, kInstructionBudget, nullptr,
                                 checker_threads);

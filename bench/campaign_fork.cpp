@@ -89,7 +89,7 @@ int run(int argc, char** argv) {
   job.config = SystemConfig::standard();
   job.mode = sim::SimMode::kChecked;
   job.max_instructions = bench::kInstructionBudget;
-  const sim::RunResult clean = sim::run_job(job, *image);
+  const sim::RunResult clean = sim::run_job(job, image);
   const std::uint64_t window_start = static_cast<std::uint64_t>(
       static_cast<double>(clean.uops) * (1.0 - kTailFraction));
   std::printf("%s: %llu uops clean; %u strikes in [%llu, %llu)\n",
@@ -123,7 +123,7 @@ int run(int argc, char** argv) {
     faults.add(spec);
     sim::SimJob faulty = job;
     faulty.faults = &faults;
-    full_results.push_back(sim::run_job(faulty, *image));
+    full_results.push_back(sim::run_job(faulty, image));
   }
   const double full_seconds =
       std::chrono::duration<double>(Clock::now() - full_start).count();
@@ -134,7 +134,7 @@ int run(int argc, char** argv) {
   forked_results.reserve(trials);
   unsigned fallbacks = 0;
   const auto forked_start = Clock::now();
-  const auto warm = sim::capture_warm_state(job, *image, window_start);
+  const auto warm = sim::capture_warm_state(job, image, window_start);
   for (const core::FaultSpec& spec : specs) {
     core::FaultInjector faults;
     faults.add(spec);
@@ -144,7 +144,7 @@ int run(int argc, char** argv) {
       ++fallbacks;
       sim::SimJob faulty = job;
       faulty.faults = &faults;
-      forked_results.push_back(sim::run_job(faulty, *image));
+      forked_results.push_back(sim::run_job(faulty, image));
     }
   }
   const double forked_seconds =

@@ -35,7 +35,7 @@ int run(int argc, char** argv) {
   sweep.enable_baselines(baseline_config, bench::kInstructionBudget);
   const auto result = sweep.run(
       options.runner(), options.campaign_options(),
-      [&](std::size_t, std::size_t, const isa::Assembled& image,
+      [&](std::size_t, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(checked_config, image,
                                 bench::kInstructionBudget, nullptr,

@@ -29,7 +29,7 @@ int run(int argc, char** argv) {
                                /*seed=*/0xF160008);
   const auto result = sweep.run(
       options.runner(), options.campaign_options(),
-      [&](std::size_t, std::size_t, const isa::Assembled& image,
+      [&](std::size_t, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(SystemConfig::standard(), image,
                                 bench::kInstructionBudget, nullptr,

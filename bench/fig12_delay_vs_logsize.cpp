@@ -44,7 +44,7 @@ int run(int argc, char** argv) {
                                /*seed=*/0xF160012);
   const auto result = sweep.run(
       options.runner(), options.campaign_options(),
-      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+      [&](std::size_t point, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         SystemConfig config = SystemConfig::standard();
         config.log.total_bytes = points[point].log_bytes;

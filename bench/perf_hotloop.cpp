@@ -20,6 +20,9 @@
 //                [--verify-predecode]     exit 1 unless every workload
 //                                           runs >= 99% of instructions
 //                                           from the predecoded image
+//                [--verify-way-hint]      exit 1 unless the L1 MRU-way
+//                                           hint serves >= 80% of hits on
+//                                           every workload (mem/cache.h)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -32,17 +35,20 @@
 #include "runtime/assembly_cache.h"
 #include "runtime/checker_pool.h"
 #include "sim/checked_system.h"
+#include "sim/warm_state.h"
 
 namespace {
 
 using namespace paradet;
 
 constexpr double kMinPredecodedFraction = 0.99;
+constexpr double kMinWayHintRate = 0.80;
 
 struct ModeRun {
   std::string workload;
   const char* mode = "";
   std::uint64_t instructions = 0;
+  std::uint64_t segments = 0;  ///< sealed log segments (0 for baseline).
   double seconds = 0;
   double mips() const {
     return seconds > 0 ? instructions / seconds / 1e6 : 0.0;
@@ -63,7 +69,7 @@ double total_mips(const std::vector<ModeRun>& runs, const char* mode) {
 /// Runs one workload image under `config` `repeat` times, accumulating
 /// simulated instructions and wall time.
 ModeRun time_mode(const std::string& name, const char* mode,
-                  const SystemConfig& config, const isa::Assembled& image,
+                  const SystemConfig& config, const sim::AssembledImage& image,
                   unsigned repeat, unsigned checker_threads = 0) {
   ModeRun run;
   run.workload = name;
@@ -75,9 +81,22 @@ ModeRun time_mode(const std::string& name, const char* mode,
                          checker_threads);
     const auto stop = std::chrono::steady_clock::now();
     run.instructions += result.instructions;
+    run.segments += result.segments;
     run.seconds += std::chrono::duration<double>(stop - start).count();
   }
   return run;
+}
+
+double total_insts_per_segment(const std::vector<ModeRun>& runs,
+                               const char* mode) {
+  double instructions = 0;
+  double segments = 0;
+  for (const auto& run : runs) {
+    if (std::strcmp(run.mode, mode) != 0) continue;
+    instructions += static_cast<double>(run.instructions);
+    segments += static_cast<double>(run.segments);
+  }
+  return segments > 0 ? instructions / segments : 0.0;
 }
 
 /// Golden-interpreter run that counts how many instruction fetches were
@@ -85,13 +104,13 @@ ModeRun time_mode(const std::string& name, const char* mode,
 /// silently mis-built image (wrong base, wrong span, invalid slots): the
 /// simulation would still be correct, just quietly slow.
 bool verify_predecode(const workloads::Workload& workload,
-                      const isa::Assembled& image) {
+                      const sim::AssembledImage& image) {
   sim::LoadedProgram program = sim::load_program(image);
   arch::ArchState state;
   state.pc = program.entry;
   std::uint64_t cycle = 0;
   arch::MemoryDataPort port(program.memory, cycle);
-  arch::Machine machine(program.memory, port, &program.predecoded);
+  arch::Machine machine(program.memory, port, &program.predecoded());
   machine.run(state, bench::kInstructionBudget);
   const auto& decode = machine.decode_cache();
   const std::uint64_t total =
@@ -115,6 +134,53 @@ bool verify_predecode(const workloads::Workload& workload,
   return true;
 }
 
+/// Checked run whose cache state we can inspect afterwards: a full run
+/// sizes the capture point, then a warm-state capture at half the
+/// micro-op count exposes the timing caches (WarmState::machine) so the
+/// MRU-way hint rate can be read off the mem::Cache counters directly —
+/// the hint stats deliberately stay out of the serialized
+/// RunResult::counters (artifact bytes are frozen). Returns false (and
+/// diagnoses) when the workload could not be measured; otherwise
+/// accumulates into the suite-wide totals. The gate is on the aggregate:
+/// individual workloads (stream: several interleaved arrays sharing sets)
+/// legitimately defeat MRU-way prediction, and the hint is a throughput
+/// optimisation, not a per-workload invariant.
+bool measure_way_hint(const workloads::Workload& workload,
+                      const sim::AssembledImage& image,
+                      std::uint64_t* total_hits,
+                      std::uint64_t* total_hint_hits) {
+  sim::SimJob job;
+  job.config = SystemConfig::standard();
+  job.mode = sim::SimMode::kChecked;
+  job.max_instructions = bench::kInstructionBudget;
+  const sim::RunResult result = sim::run_job(job, image);
+  if (result.uops < 2) {
+    std::fprintf(stderr, "%s: ran no micro-ops; cannot measure hint rate\n",
+                 workload.name.c_str());
+    return false;
+  }
+  const auto warm = sim::capture_warm_state(job, image, result.uops / 2);
+  if (warm == nullptr) {
+    std::fprintf(stderr, "%s: warm-state capture failed\n",
+                 workload.name.c_str());
+    return false;
+  }
+  const std::uint64_t hits =
+      warm->machine.l1i.hits() + warm->machine.l1d.hits();
+  const std::uint64_t hint_hits =
+      warm->machine.l1i.way_hint_hits() + warm->machine.l1d.way_hint_hits();
+  const double rate =
+      hits == 0 ? 0.0
+                : static_cast<double>(hint_hits) / static_cast<double>(hits);
+  std::printf("%-14s way-hint %llu / %llu L1 hits (%.4f)\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(hint_hits),
+              static_cast<unsigned long long>(hits), rate);
+  *total_hits += hits;
+  *total_hint_hits += hint_hits;
+  return true;
+}
+
 int run(int argc, char** argv) {
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/false);
   std::string json_path = "BENCH_hotloop.json";
@@ -122,6 +188,7 @@ int run(int argc, char** argv) {
   double max_regress = 0.30;
   unsigned repeat = 1;
   bool verify = false;
+  bool verify_hint = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -147,6 +214,8 @@ int run(int argc, char** argv) {
       repeat = static_cast<unsigned>(parsed);
     } else if (std::strcmp(arg, "--verify-predecode") == 0) {
       verify = true;
+    } else if (std::strcmp(arg, "--verify-way-hint") == 0) {
+      verify_hint = true;
     } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
       ++i;  // detached worker count, consumed by RuntimeOptions above.
     } else if (std::strncmp(arg, "--scale=", 8) == 0 ||
@@ -169,11 +238,40 @@ int run(int argc, char** argv) {
     bool all_fast = true;
     for (const auto& workload : suite) {
       const auto image = runtime::AssemblyCache::instance().get(workload);
-      all_fast = verify_predecode(workload, *image) && all_fast;
+      all_fast = verify_predecode(workload, image) && all_fast;
     }
     if (!all_fast) return 1;
     std::printf("predecode coverage ok (>= %.0f%% on every workload)\n",
                 kMinPredecodedFraction * 100);
+    return 0;
+  }
+
+  if (verify_hint) {
+    bool all_measured = true;
+    std::uint64_t total_hits = 0;
+    std::uint64_t total_hint_hits = 0;
+    for (const auto& workload : suite) {
+      const auto image = runtime::AssemblyCache::instance().get(workload);
+      all_measured = measure_way_hint(workload, image, &total_hits,
+                                      &total_hint_hits) &&
+                     all_measured;
+    }
+    if (!all_measured) return 1;
+    const double rate = total_hits == 0
+                            ? 0.0
+                            : static_cast<double>(total_hint_hits) /
+                                  static_cast<double>(total_hits);
+    if (rate < kMinWayHintRate) {
+      std::fprintf(stderr,
+                   "MRU-way hint served only %.2f%% of L1 hits across the "
+                   "suite (want >= %.0f%%) — the hot-path lookup regressed "
+                   "to the associative scan\n",
+                   rate * 100, kMinWayHintRate * 100);
+      return 1;
+    }
+    std::printf("way-hint rate ok (%.2f%% of L1 hits across the suite, "
+                "floor %.0f%%)\n",
+                rate * 100, kMinWayHintRate * 100);
     return 0;
   }
 
@@ -196,11 +294,11 @@ int run(int argc, char** argv) {
   for (const auto& workload : suite) {
     const auto image = runtime::AssemblyCache::instance().get(workload);
     runs.push_back(
-        time_mode(workload.name, "baseline", baseline, *image, repeat));
-    runs.push_back(time_mode(workload.name, "checked", checked, *image,
+        time_mode(workload.name, "baseline", baseline, image, repeat));
+    runs.push_back(time_mode(workload.name, "checked", checked, image,
                              repeat));
     runs.push_back(time_mode(workload.name, "checked-parallel", checked,
-                             *image, repeat, parallel_threads));
+                             image, repeat, parallel_threads));
   }
 
   std::printf("%-14s %10s %12s %10s %10s\n", "benchmark", "mode",
@@ -219,6 +317,26 @@ int run(int argc, char** argv) {
               checked_mips);
   std::printf("%-14s %10s %12s %10s %10.3f  # %u replay workers\n", "suite",
               "ckd-parallel", "-", "-", parallel_mips, parallel_threads);
+  // Replay granularity: how much simulated work each sealed segment hands
+  // a checker. This is the unit the concurrent-replay pipeline
+  // parallelises over, so it decides whether checked-parallel can win.
+  const double insts_per_segment = total_insts_per_segment(runs, "checked");
+  std::uint64_t checked_segments = 0;
+  for (const auto& run : runs) {
+    if (std::strcmp(run.mode, "checked") == 0) {
+      checked_segments += run.segments;
+    }
+  }
+  std::printf("# replay granularity: %llu segments, ~%.0f insts/segment\n",
+              static_cast<unsigned long long>(checked_segments),
+              insts_per_segment);
+  if (parallel_mips > 0 && checked_mips > 0 && parallel_mips < checked_mips) {
+    std::printf(
+        "# note: parallel replay LOST to inline here (%.2fx): at ~%.0f "
+        "insts/segment the per-ticket handoff does not amortise on this "
+        "host; see README \"Parallel replay crossover\"\n",
+        parallel_mips / checked_mips, insts_per_segment);
+  }
 
   if (!json_path.empty()) {
     bench::JsonWriter json;
@@ -235,6 +353,7 @@ int run(int argc, char** argv) {
       json.key("workload").value(run.workload);
       json.key("mode").value(run.mode);
       json.key("instructions").value(run.instructions);
+      json.key("segments").value(run.segments);
       json.key("seconds").value(run.seconds);
       json.key("mips").value(run.mips());
       json.end_object();
@@ -249,6 +368,7 @@ int run(int argc, char** argv) {
         .value(baseline_mips > 0 ? checked_mips / baseline_mips : 0.0);
     json.key("parallel_over_checked")
         .value(checked_mips > 0 ? parallel_mips / checked_mips : 0.0);
+    json.key("insts_per_segment").value(insts_per_segment);
     json.end_object();
     json.end_object();
     bench::write_bench_file(json_path, json.str());

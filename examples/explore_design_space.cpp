@@ -67,7 +67,7 @@ int run(int argc, char** argv) {
   sweep.enable_baselines(SystemConfig::baseline_unchecked(), kBudget);
   const auto result = sweep.run(
       runner, runtime::CampaignRunOptions::from_runtime(host),
-      [&](std::size_t point, std::size_t, const isa::Assembled& image,
+      [&](std::size_t point, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(config_for(point), image, kBudget,
                                 nullptr, checker_threads);

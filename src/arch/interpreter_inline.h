@@ -1,0 +1,315 @@
+// Templated body of the SRV64 interpreter (see arch/interpreter.h for the
+// role split). `execute_inline<Port>` is the same switch as arch::execute,
+// but statically bound to the concrete DataPort type: the simulation hot
+// loops (the main core's commit loop and the checker replay engine) call
+// it with their final port classes, so every load/store/read_cycle is a
+// direct — typically inlined — call instead of a virtual dispatch per
+// memory micro-op. arch::execute remains the dynamic-dispatch wrapper for
+// everything that holds a DataPort&.
+//
+// The arithmetic is byte-for-byte the shared implementation (there is only
+// this one copy; interpreter.cc instantiates it for DataPort), so checker
+// replay and main-core execution cannot drift apart.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "arch/interpreter.h"
+#include "arch/state.h"
+#include "isa/isa.h"
+
+namespace paradet::arch {
+namespace interp_detail {
+
+inline std::int64_t as_signed(std::uint64_t v) {
+  return static_cast<std::int64_t>(v);
+}
+
+inline std::uint64_t sign_extend(std::uint64_t value, unsigned bytes) {
+  const unsigned bits = bytes * 8;
+  if (bits >= 64) return value;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  return (value ^ sign) - sign;
+}
+
+/// Saturating double -> int64 conversion; NaN converts to zero. Both cores
+/// use the identical rule, so the choice only needs to be deterministic.
+inline std::int64_t double_to_i64(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= 9.2233720368547758e18) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (v <= -9.2233720368547758e18) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+inline bool aligned(Addr addr, unsigned size) {
+  return (addr & (size - 1)) == 0;
+}
+
+}  // namespace interp_detail
+
+/// Executes one already-decoded macro instruction at `state.pc`, updating
+/// `state` (including pc) and performing memory accesses through `port`.
+/// Traps leave pc pointing at the trapping instruction. Statically bound
+/// port variant of arch::execute — identical semantics.
+template <class Port>
+StepResult execute_inline(const isa::Inst& inst, ArchState& state,
+                          Port& port) {
+  using isa::Opcode;
+  using namespace interp_detail;
+
+  StepResult result;
+  result.next_pc = state.pc + 4;
+  const Opcode op = inst.op;
+
+  const auto x1 = state.get_x(inst.rs1);
+  const auto x2 = state.get_x(inst.rs2);
+  const auto f1 = state.get_f(inst.rs1);
+  const auto f2 = state.get_f(inst.rs2);
+  const auto f3 = state.get_f(inst.rs3);
+
+  const auto set_x = [&](std::uint64_t v) { state.set_x(inst.rd, v); };
+  const auto set_f = [&](double v) { state.set_f(inst.rd, v); };
+
+  switch (op) {
+    case Opcode::kAdd: set_x(x1 + x2); break;
+    case Opcode::kSub: set_x(x1 - x2); break;
+    case Opcode::kAnd: set_x(x1 & x2); break;
+    case Opcode::kOr: set_x(x1 | x2); break;
+    case Opcode::kXor: set_x(x1 ^ x2); break;
+    case Opcode::kSll: set_x(x1 << (x2 & 63)); break;
+    case Opcode::kSrl: set_x(x1 >> (x2 & 63)); break;
+    case Opcode::kSra: set_x(static_cast<std::uint64_t>(as_signed(x1) >> (x2 & 63))); break;
+    case Opcode::kSlt: set_x(as_signed(x1) < as_signed(x2) ? 1 : 0); break;
+    case Opcode::kSltu: set_x(x1 < x2 ? 1 : 0); break;
+    case Opcode::kMul: set_x(x1 * x2); break;
+    case Opcode::kMulh: {
+      const auto product = static_cast<__int128>(as_signed(x1)) *
+                           static_cast<__int128>(as_signed(x2));
+      set_x(static_cast<std::uint64_t>(product >> 64));
+      break;
+    }
+    case Opcode::kDiv:
+      if (x2 == 0) {
+        set_x(~std::uint64_t{0});
+      } else if (as_signed(x1) == std::numeric_limits<std::int64_t>::min() &&
+                 as_signed(x2) == -1) {
+        set_x(x1);
+      } else {
+        set_x(static_cast<std::uint64_t>(as_signed(x1) / as_signed(x2)));
+      }
+      break;
+    case Opcode::kDivu: set_x(x2 == 0 ? ~std::uint64_t{0} : x1 / x2); break;
+    case Opcode::kRem:
+      if (x2 == 0) {
+        set_x(x1);
+      } else if (as_signed(x1) == std::numeric_limits<std::int64_t>::min() &&
+                 as_signed(x2) == -1) {
+        set_x(0);
+      } else {
+        set_x(static_cast<std::uint64_t>(as_signed(x1) % as_signed(x2)));
+      }
+      break;
+    case Opcode::kRemu: set_x(x2 == 0 ? x1 : x1 % x2); break;
+    case Opcode::kPopc: set_x(static_cast<std::uint64_t>(std::popcount(x1))); break;
+    case Opcode::kClz: set_x(static_cast<std::uint64_t>(std::countl_zero(x1))); break;
+    case Opcode::kCtz: set_x(static_cast<std::uint64_t>(std::countr_zero(x1))); break;
+    case Opcode::kAddi: set_x(x1 + static_cast<std::uint64_t>(inst.imm)); break;
+    case Opcode::kAndi: set_x(x1 & static_cast<std::uint64_t>(inst.imm)); break;
+    case Opcode::kOri: set_x(x1 | static_cast<std::uint64_t>(inst.imm)); break;
+    case Opcode::kXori: set_x(x1 ^ static_cast<std::uint64_t>(inst.imm)); break;
+    case Opcode::kSlli: set_x(x1 << (inst.imm & 63)); break;
+    case Opcode::kSrli: set_x(x1 >> (inst.imm & 63)); break;
+    case Opcode::kSrai: set_x(static_cast<std::uint64_t>(as_signed(x1) >> (inst.imm & 63))); break;
+    case Opcode::kSlti: set_x(as_signed(x1) < inst.imm ? 1 : 0); break;
+    case Opcode::kLui: set_x(static_cast<std::uint64_t>(inst.imm) << 13); break;
+
+    case Opcode::kFadd: set_f(f1 + f2); break;
+    case Opcode::kFsub: set_f(f1 - f2); break;
+    case Opcode::kFmul: set_f(f1 * f2); break;
+    case Opcode::kFdiv: set_f(f1 / f2); break;
+    case Opcode::kFmin: set_f(std::fmin(f1, f2)); break;
+    case Opcode::kFmax: set_f(std::fmax(f1, f2)); break;
+    case Opcode::kFsqrt: set_f(std::sqrt(f1)); break;
+    case Opcode::kFneg: set_f(-f1); break;
+    case Opcode::kFabs: set_f(std::fabs(f1)); break;
+    case Opcode::kFmadd: set_f(std::fma(f1, f2, f3)); break;
+    case Opcode::kFmsub: set_f(std::fma(f1, f2, -f3)); break;
+    case Opcode::kFeq: set_x(f1 == f2 ? 1 : 0); break;
+    case Opcode::kFlt: set_x(f1 < f2 ? 1 : 0); break;
+    case Opcode::kFle: set_x(f1 <= f2 ? 1 : 0); break;
+    case Opcode::kFcvtDL: set_f(static_cast<double>(as_signed(x1))); break;
+    case Opcode::kFcvtLD: set_x(static_cast<std::uint64_t>(double_to_i64(f1))); break;
+    case Opcode::kFmvXD: set_x(state.get_f_bits(inst.rs1)); break;
+    case Opcode::kFmvDX: state.set_f_bits(inst.rd, x1); break;
+
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLw:
+    case Opcode::kLwu:
+    case Opcode::kLd: {
+      const unsigned size = isa::mem_access_bytes(op);
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, size)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      std::uint64_t value;
+      try {
+        value = port.load(addr, size);
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      set_x(isa::load_is_signed(op) ? sign_extend(value, size) : value);
+      break;
+    }
+    case Opcode::kFld: {
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, 8)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      try {
+        state.set_f_bits(inst.rd, port.load(addr, 8));
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    }
+    case Opcode::kLdp: {
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, 8)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      try {
+        const auto lo = port.load(addr, 8);
+        const auto hi = port.load(addr + 8, 8);
+        state.set_x(inst.rd, lo);
+        state.set_x(inst.rd + 1u, hi);
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    }
+
+    case Opcode::kSb:
+    case Opcode::kSh:
+    case Opcode::kSw:
+    case Opcode::kSd: {
+      const unsigned size = isa::mem_access_bytes(op);
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, size)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      const std::uint64_t mask =
+          size == 8 ? ~std::uint64_t{0} : (std::uint64_t{1} << (size * 8)) - 1;
+      try {
+        port.store(addr, state.get_x(inst.rd) & mask, size);
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    }
+    case Opcode::kFsd: {
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, 8)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      try {
+        port.store(addr, state.get_f_bits(inst.rd), 8);
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    }
+    case Opcode::kStp: {
+      const Addr addr = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(addr, 8)) {
+        result.trap = Trap::kMisaligned;
+        return result;
+      }
+      try {
+        port.store(addr, state.get_x(inst.rd), 8);
+        port.store(addr + 8, state.get_x(inst.rd + 1u), 8);
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (op) {
+        case Opcode::kBeq: taken = x1 == x2; break;
+        case Opcode::kBne: taken = x1 != x2; break;
+        case Opcode::kBlt: taken = as_signed(x1) < as_signed(x2); break;
+        case Opcode::kBge: taken = as_signed(x1) >= as_signed(x2); break;
+        case Opcode::kBltu: taken = x1 < x2; break;
+        case Opcode::kBgeu: taken = x1 >= x2; break;
+        default: break;
+      }
+      result.branch_taken = taken;
+      if (taken) result.next_pc = state.pc + static_cast<std::uint64_t>(inst.imm);
+      break;
+    }
+    case Opcode::kJal:
+      set_x(state.pc + 4);
+      result.next_pc = state.pc + static_cast<std::uint64_t>(inst.imm);
+      break;
+    case Opcode::kJalr: {
+      const Addr target = x1 + static_cast<std::uint64_t>(inst.imm);
+      if (!aligned(target, 4)) {
+        result.trap = Trap::kIllegal;
+        return result;
+      }
+      set_x(state.pc + 4);
+      result.next_pc = target;
+      break;
+    }
+
+    case Opcode::kHalt:
+      result.trap = Trap::kHalt;
+      return result;
+    case Opcode::kRdcycle:
+      try {
+        set_x(port.read_cycle());
+      } catch (const CheckAbort&) {
+        result.trap = Trap::kCheckFailed;
+        return result;
+      }
+      break;
+    case Opcode::kFault:
+      result.trap = Trap::kSystemFault;
+      return result;
+    case Opcode::kEbreak:
+      result.trap = Trap::kBreakpoint;
+      return result;
+  }
+
+  state.pc = result.next_pc;
+  return result;
+}
+
+}  // namespace paradet::arch

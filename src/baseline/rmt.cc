@@ -1,6 +1,7 @@
 #include "baseline/rmt.h"
 
 #include "arch/interpreter.h"
+#include "arch/interpreter_inline.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/prefetcher.h"
@@ -61,7 +62,7 @@ RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
 
   arch::ArchState state;
   state.pc = program.entry;
-  arch::DecodeCache decode(program.memory, &program.predecoded);
+  arch::DecodeCache decode(program.memory, &program.predecoded());
   CapturePort port(program.memory);
 
   Cycle last_commit = 0;
@@ -87,10 +88,10 @@ RmtResult run_rmt(const SystemConfig& config, const isa::Assembled& assembled,
     const isa::Inst* inst = decode.decode_at(state.pc);
     if (inst == nullptr) break;
     const sim::InstStatic* statics = sim::lookup_or_make(
-        &program.statics, state.pc, *inst, scratch_statics);
+        program.statics.get(), state.pc, *inst, scratch_statics);
     port.begin_macro();
     const Addr pc = state.pc;
-    const arch::StepResult step = arch::execute(*inst, state, port);
+    const arch::StepResult step = arch::execute_inline(*inst, state, port);
 
     std::size_t access_index = 0;
     for (unsigned u = 0; u < statics->uop_count; ++u) {

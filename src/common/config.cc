@@ -45,6 +45,34 @@ unsigned parse_jobs(const char* flag, const char* text) {
 
 }  // namespace
 
+const char* frontend_kind_name(FrontEndKind kind) {
+  switch (kind) {
+    case FrontEndKind::kTournament: return "tournament";
+    case FrontEndKind::kGshare: return "gshare";
+    case FrontEndKind::kBimodal: return "bimodal";
+    case FrontEndKind::kAlwaysTaken: return "always-taken";
+  }
+  return "unknown";
+}
+
+bool parse_frontend_kind(std::string_view name, FrontEndKind* out) {
+  if (name == "tournament") { *out = FrontEndKind::kTournament; return true; }
+  if (name == "gshare") { *out = FrontEndKind::kGshare; return true; }
+  if (name == "bimodal") { *out = FrontEndKind::kBimodal; return true; }
+  if (name == "always-taken" || name == "always_taken") {
+    *out = FrontEndKind::kAlwaysTaken;
+    return true;
+  }
+  return false;
+}
+
+bool BranchPredictorConfig::valid_table_sizes() const {
+  const auto pow2 = [](unsigned n) { return n != 0 && (n & (n - 1)) == 0; };
+  return pow2(local_entries) && pow2(global_entries) &&
+         pow2(chooser_entries) && pow2(btb_entries) &&
+         local_history_bits > 0 && local_history_bits < 16;
+}
+
 RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
                                          bool campaign_flags) {
   RuntimeOptions options;

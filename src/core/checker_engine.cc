@@ -1,5 +1,7 @@
 #include "core/checker_engine.h"
 
+#include "arch/interpreter_inline.h"
+
 namespace paradet::core {
 namespace {
 
@@ -142,7 +144,7 @@ void CheckerEngine::check_into(const Segment& segment,
 
     port.start_instruction();
     const std::uint32_t entry_before = port.cursor();
-    const arch::StepResult step = arch::execute(*inst, state, port);
+    const arch::StepResult step = arch::execute_inline(*inst, state, port);
 
     if (step.trap == arch::Trap::kCheckFailed) {
       fail_here(port.event(), pc);

@@ -16,15 +16,21 @@ Cycle DramLevel::access(Addr addr, bool, Cycle when, Addr) {
 }
 
 Cache::Cache(const CacheConfig& config, MemoryLevel& next)
-    : config_(config), next_(next) {
+    : config_(config), next_(next), assoc_(config.assoc) {
   assert(std::has_single_bit(config.size_bytes));
   assert(std::has_single_bit(static_cast<std::uint64_t>(config.line_bytes)));
   sets_ = config.size_bytes / (config.line_bytes * config.assoc);
   assert(sets_ >= 1 && std::has_single_bit(sets_));
+  assert(config.assoc >= 1 && config.assoc <= 255);  // mru_way_ is u8.
   line_shift_ = static_cast<unsigned>(
       std::countr_zero(static_cast<std::uint64_t>(config.line_bytes)));
   line_mask_ = config.line_bytes - 1;
-  lines_.resize(sets_ * config.assoc);
+  const std::size_t ways = sets_ * assoc_;
+  tag_valid_.resize(ways, 0);
+  fill_done_.resize(ways, 0);
+  lru_.resize(ways, 0);
+  dirty_.resize(ways, 0);
+  mru_way_.resize(sets_, 0);
   mshrs_.resize(config.mshrs);
 }
 
@@ -33,9 +39,14 @@ Cache::Cache(const Cache& other, MemoryLevel& next)
       next_(next),
       prefetcher_(nullptr),
       sets_(other.sets_),
+      assoc_(other.assoc_),
       line_shift_(other.line_shift_),
       line_mask_(other.line_mask_),
-      lines_(other.lines_),
+      tag_valid_(other.tag_valid_),
+      fill_done_(other.fill_done_),
+      lru_(other.lru_),
+      dirty_(other.dirty_),
+      mru_way_(other.mru_way_),
       mshrs_(other.mshrs_),
       lru_clock_(other.lru_clock_),
       hits_(other.hits_),
@@ -43,33 +54,38 @@ Cache::Cache(const Cache& other, MemoryLevel& next)
       mshr_merges_(other.mshr_merges_),
       mshr_stalls_(other.mshr_stalls_),
       writebacks_(other.writebacks_),
-      prefetch_fills_(other.prefetch_fills_) {}
+      prefetch_fills_(other.prefetch_fills_),
+      way_hint_hits_(other.way_hint_hits_) {}
 
-Cache::Line* Cache::find(Addr line_addr) {
-  const std::size_t set = set_of(line_addr);
-  const std::uint64_t tag = tag_of(line_addr);
-  for (unsigned way = 0; way < config_.assoc; ++way) {
-    Line& line = lines_[set * config_.assoc + way];
-    if (line.valid && line.tag == tag) return &line;
+std::size_t Cache::find_way(std::size_t set, std::size_t set_base,
+                            std::uint64_t key, bool count_hint) {
+  const std::size_t hinted = mru_way_[set];
+  if (tag_valid_[set_base + hinted] == key) {
+    way_hint_hits_ += count_hint ? 1 : 0;
+    return hinted;
   }
-  return nullptr;
+  for (std::size_t way = 0; way < assoc_; ++way) {
+    if (tag_valid_[set_base + way] == key) return way;
+  }
+  return kNoWay;
 }
 
-Cache::Line& Cache::victim(Addr line_addr, Cycle when) {
-  const std::size_t set = set_of(line_addr);
-  Line* choice = nullptr;
-  for (unsigned way = 0; way < config_.assoc; ++way) {
-    Line& line = lines_[set * config_.assoc + way];
-    if (!line.valid) return line;
-    if (choice == nullptr || line.lru < choice->lru) choice = &line;
+std::size_t Cache::victim_way(std::size_t set_base, Cycle when) {
+  std::size_t choice = kNoWay;
+  for (std::size_t way = 0; way < assoc_; ++way) {
+    if (tag_valid_[set_base + way] == 0) return way;
+    if (choice == kNoWay || lru_[set_base + way] < lru_[set_base + choice]) {
+      choice = way;
+    }
   }
-  if (choice->dirty) {
+  if (dirty_[set_base + choice] != 0) {
     // Write-back consumes next-level bandwidth; the requester does not wait
     // for it (handled by a write buffer), so the latency is discarded.
     ++writebacks_;
-    (void)next_.access(choice->tag << line_shift_, /*write=*/true, when, 0);
+    (void)next_.access((tag_valid_[set_base + choice] >> 1) << line_shift_,
+                       /*write=*/true, when, 0);
   }
-  return *choice;
+  return choice;
 }
 
 Cycle Cache::allocate_mshr(Addr line_addr, Cycle when, Cycle* merged_fill) {
@@ -99,12 +115,17 @@ Cycle Cache::access(Addr addr, bool write, Cycle when, Addr pc) {
     prefetcher_->train(*this, pc, line_addr, when);
   }
 
-  if (Line* line = find(line_addr)) {
-    line->lru = ++lru_clock_;
-    if (write) line->dirty = true;
+  const std::size_t set = set_of(line_addr);
+  const std::size_t set_base = set * assoc_;
+  const std::uint64_t key = key_of_tag(tag_of(line_addr));
+  if (const std::size_t way = find_way(set, set_base, key, /*count_hint=*/true);
+      way != kNoWay) {
+    lru_[set_base + way] = ++lru_clock_;
+    if (write) dirty_[set_base + way] = 1;
+    mru_way_[set] = static_cast<std::uint8_t>(way);
     ++hits_;
     // A hit on a still-filling line waits for the fill.
-    return std::max(line->fill_done, when) + config_.hit_latency;
+    return std::max(fill_done_[set_base + way], when) + config_.hit_latency;
   }
 
   ++misses_;
@@ -124,28 +145,31 @@ Cycle Cache::access(Addr addr, bool write, Cycle when, Addr pc) {
     }
   }
 
-  Line& line = victim(line_addr, start);
-  line.tag = tag_of(line_addr);
-  line.valid = true;
-  line.dirty = write;
-  line.fill_done = fill_done;
-  line.lru = ++lru_clock_;
+  const std::size_t way = victim_way(set_base, start);
+  tag_valid_[set_base + way] = key;
+  dirty_[set_base + way] = write ? 1 : 0;
+  fill_done_[set_base + way] = fill_done;
+  lru_[set_base + way] = ++lru_clock_;
+  mru_way_[set] = static_cast<std::uint8_t>(way);
   return fill_done + config_.hit_latency;
 }
 
 void Cache::prefetch_line(Addr addr, Cycle when) {
   const Addr line_addr = line_of(addr);
-  if (find(line_addr) != nullptr) return;
+  const std::size_t set = set_of(line_addr);
+  const std::size_t set_base = set * assoc_;
+  const std::uint64_t key = key_of_tag(tag_of(line_addr));
+  if (find_way(set, set_base, key, /*count_hint=*/false) != kNoWay) return;
   // Prefetches do not consume MSHRs in this model (a dedicated prefetch
   // queue) but do consume next-level bandwidth.
   const Cycle fill_done =
       next_.access(line_addr, /*write=*/false, when + config_.hit_latency, 0);
-  Line& line = victim(line_addr, when);
-  line.tag = tag_of(line_addr);
-  line.valid = true;
-  line.dirty = false;
-  line.fill_done = fill_done;
-  line.lru = ++lru_clock_;
+  const std::size_t way = victim_way(set_base, when);
+  tag_valid_[set_base + way] = key;
+  dirty_[set_base + way] = 0;
+  fill_done_[set_base + way] = fill_done;
+  lru_[set_base + way] = ++lru_clock_;
+  mru_way_[set] = static_cast<std::uint8_t>(way);
   ++prefetch_fills_;
 }
 

@@ -79,7 +79,7 @@ SweepResult SweepCampaign::run(const ParallelRunner& runner,
     images[w] = AssemblyCache::instance().get(workloads_[w]);
     if (baselines_) {
       result.baselines[w] =
-          sim::run_program(baseline_config_, *images[w], baseline_budget_);
+          sim::run_program(baseline_config_, images[w], baseline_budget_);
       result.baseline_done[w] = 1;
     }
   });
@@ -91,7 +91,7 @@ SweepResult SweepCampaign::run(const ParallelRunner& runner,
   result.artifact = campaign.run_sharded(
       runner, options, [&](std::size_t i, std::uint64_t task_seed) {
         const std::size_t w = cell_workload_[i];
-        return cell(point_of(i), w, *images[w], task_seed);
+        return cell(point_of(i), w, images[w], task_seed);
       });
 
   result.record_of_cell.assign(cell_workload_.size(), -1);

@@ -94,12 +94,14 @@ struct SweepResult {
 class SweepCampaign {
  public:
   /// Simulates one cell. `image` is the shared immutable assembled image
-  /// of `workload`; `task_seed` is the cell's deterministic Campaign seed
-  /// (a pure function of the sweep seed and the cell index). Must be safe
-  /// to call concurrently from multiple workers.
+  /// of `workload` (pass it to the sim::run_program / run_job shared-image
+  /// overloads so predecode and statics are shared, not copied);
+  /// `task_seed` is the cell's deterministic Campaign seed (a pure
+  /// function of the sweep seed and the cell index). Must be safe to call
+  /// concurrently from multiple workers.
   using CellFn = std::function<sim::RunResult(
-      std::size_t point, std::size_t workload, const isa::Assembled& image,
-      std::uint64_t task_seed)>;
+      std::size_t point, std::size_t workload,
+      const AssemblyCache::Image& image, std::uint64_t task_seed)>;
 
   /// Grid sweep over points × workloads; cell index = point * |workloads|
   /// + workload.

@@ -1,6 +1,12 @@
 // Tournament branch predictor (Table I: 2048-entry local, 8192-entry
 // global, 2048-entry chooser, 2048-entry BTB, 16-entry RAS), in the style
 // of the Alpha 21264 / gem5 "tournament" predictor.
+//
+// The cores consume this model through sim::FrontEnd (sim/frontend.h),
+// whose default tournament direction component replicates this class state
+// transition for state transition. The monolithic class stays as the
+// executable reference: tests/test_branch_predictor.cc drives both against
+// the same streams and requires identical predictions and counters.
 #pragma once
 
 #include <cstdint>
@@ -58,9 +64,13 @@ class TournamentPredictor {
     bool valid = false;
   };
 
-  BtbEntry& btb_slot(Addr pc) { return btb_[(pc >> 2) % btb_.size()]; }
+  BtbEntry& btb_slot(Addr pc) { return btb_[(pc >> 2) & btb_mask_]; }
 
   BranchPredictorConfig config_;
+  std::uint64_t local_mask_;
+  std::uint64_t global_mask_;
+  std::uint64_t chooser_mask_;
+  std::uint64_t btb_mask_;
   std::vector<std::uint16_t> local_history_;
   std::vector<std::uint8_t> local_pht_;
   std::vector<std::uint8_t> global_pht_;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "arch/interpreter_inline.h"
 #include "core/checker_engine.h"
 #include "core/checkpoint.h"
 #include "core/load_forwarding_unit.h"
@@ -40,7 +43,8 @@ class MainPort final : public arch::DataPort {
     std::uint8_t size = 0;
   };
 
-  explicit MainPort(arch::SparseMemory& memory) : memory_(memory) {}
+  MainPort(arch::SparseMemory& memory, bool record_old_values)
+      : memory_(memory), record_old_values_(record_old_values) {}
 
   /// Arms the port for one macro-op. `uop_seq_base` is the sequence number
   /// of the macro-op's first micro-op.
@@ -88,7 +92,10 @@ class MainPort final : public arch::DataPort {
         addr ^= std::uint64_t{size} << (f->bit % 8);
       }
     }
-    const std::uint64_t old_value = memory_.read(addr, size);
+    // The overwritten value is only needed for undo logging; skip the
+    // extra memory read on the common (no-undo) path.
+    const std::uint64_t old_value =
+        record_old_values_ ? memory_.read(addr, size) : 0;
     memory_.write(addr, value, size);
     captured_.push_back(Captured{EntryKind::kStore, addr, value, value,
                                  old_value,
@@ -109,6 +116,7 @@ class MainPort final : public arch::DataPort {
   UopSeq uop_seq_base_ = 0;
   core::FaultInjector* faults_ = nullptr;
   std::uint64_t rdcycle_value_ = 0;
+  bool record_old_values_ = false;
 };
 
 /// Commit-bandwidth tracker: at most commit_width micro-ops per cycle, in
@@ -166,14 +174,14 @@ class SystemRunner {
         undo_log_(undo_log),
         detect_(config.detection.enabled),
         memory_(program.memory),
-        predecoded_(&program.predecoded),
-        statics_(&program.statics),
+        predecoded_(&program.predecoded()),
+        statics_(program.statics.get()),
         machine_(config),
         log_(config.log),
         lfu_(config.main_core.rob_entries),
         checkpoint_unit_(config.main_core.checkpoint_latency_cycles),
         decode_(memory_, predecoded_),
-        port_(memory_),
+        port_(memory_, undo_log != nullptr),
         commit_(config.main_core.commit_width) {
     state_.pc = program.entry;
     if (faults_ != nullptr) faults_->reset_fired();
@@ -210,15 +218,15 @@ class SystemRunner {
         detect_(warm.config.detection.enabled),
         owned_memory_(warm.memory.fork()),
         memory_(owned_memory_),
-        predecoded_(&warm.predecoded),
-        statics_(&warm.statics),
+        predecoded_(&warm.image->predecoded),
+        statics_(warm.statics.get()),
         machine_(warm.machine),
         log_(warm.log),
         lfu_(warm.lfu),
         checkpoint_unit_(warm.checkpoint_unit),
         state_(warm.state),
         decode_(memory_, predecoded_),
-        port_(memory_),
+        port_(memory_, /*record_old_values=*/false),
         commit_(warm.config.main_core.commit_width, warm.commit_last,
                 warm.commit_count),
         commit_block_(warm.commit_block),
@@ -226,6 +234,8 @@ class SystemRunner {
         checkpoint_index_(warm.checkpoint_index),
         next_interrupt_(warm.next_interrupt),
         last_checkpoint_(warm.last_checkpoint) {
+    rob_id_ =
+        static_cast<unsigned>(uop_seq_ % config_.main_core.rob_entries);
     result_.instructions = warm.instructions;
     result_.uops = warm.uops;
     result_.checkpoint_stall_cycles = warm.checkpoint_stall_cycles;
@@ -282,6 +292,9 @@ class SystemRunner {
 
   Cycle commit_block_ = 0;  ///< commits may not happen before this cycle.
   std::uint64_t uop_seq_ = 0;
+  /// uop_seq_ % rob_entries, maintained as a wrapping counter so the hot
+  /// commit loop never divides (rob_entries is not a power of two).
+  unsigned rob_id_ = 0;
   std::uint64_t checkpoint_index_ = 0;
   Cycle next_interrupt_ = kCycleNever;
   core::RegisterCheckpoint last_checkpoint_;
@@ -380,7 +393,7 @@ bool SystemRunner::loop(std::uint64_t max_instructions,
     // Functional execution of the whole macro-op (correct path).
     port_.begin_macro(uop_seq_, faults_, commit_.last());
     const Addr pc = state_.pc;
-    const arch::StepResult step = arch::execute(*inst, state_, port_);
+    const arch::StepResult step = arch::execute_inline(*inst, state_, port_);
     assert(step.trap != arch::Trap::kCheckFailed);
 
     // Timing + commit of each micro-op.
@@ -426,8 +439,7 @@ bool SystemRunner::loop(std::uint64_t max_instructions,
 
       // LFU capture at access time (fig. 5): speculative slot tagged by
       // ROB id.
-      const unsigned rob_id =
-          static_cast<unsigned>(uop_seq_ % config_.main_core.rob_entries);
+      const unsigned rob_id = rob_id_;
       if (detect_ && desc.is_load && cap != nullptr &&
           config_.detection.load_forwarding_unit) {
         lfu_.capture(rob_id, uop_seq_, cap->addr, cap->lfu_value, cap->size);
@@ -467,6 +479,7 @@ bool SystemRunner::loop(std::uint64_t max_instructions,
       machine_.core.retire(commit_cycle);
       if (cap != nullptr) ++capture_index;
       ++uop_seq_;
+      if (++rob_id_ == config_.main_core.rob_entries) rob_id_ = 0;
       ++result_.uops;
     }
 
@@ -575,7 +588,7 @@ std::unique_ptr<WarmState> SystemRunner::capture(
   // so every resumed tail forks it instead of copying.
   warm->memory = std::move(program.memory);
   warm->memory.freeze();
-  warm->predecoded = std::move(program.predecoded);
+  warm->image = std::move(program.image);
   warm->statics = std::move(program.statics);
   warm->state = state_;
   warm->instructions = result_.instructions;
@@ -604,7 +617,44 @@ constexpr Addr kFlatDataWindowCap = Addr{32} << 20;
 
 }  // namespace
 
-LoadedProgram load_program(const isa::Assembled& assembled) {
+namespace {
+
+/// Process-wide ProgramStatics cache, keyed by image identity. Campaign
+/// drivers load the same AssemblyCache image thousands of times (once per
+/// trial); the crack/classification tables are a pure function of the
+/// image, so they are computed once and shared. Entries hold a weak
+/// reference to the image for aliveness: if an image dies and a new one is
+/// later allocated at the same address, the expired entry is replaced
+/// rather than served stale.
+std::shared_ptr<const ProgramStatics> statics_for(const AssembledImage& image) {
+  struct CacheShard {
+    std::mutex mutex;
+    struct Entry {
+      std::weak_ptr<const isa::Assembled> alive;
+      std::shared_ptr<const ProgramStatics> statics;
+    };
+    std::unordered_map<const isa::Assembled*, Entry> map;
+  };
+  static CacheShard* cache = new CacheShard;  // leaked: process-lifetime.
+
+  {
+    std::lock_guard<std::mutex> lock(cache->mutex);
+    auto it = cache->map.find(image.get());
+    if (it != cache->map.end() && !it->second.alive.expired()) {
+      return it->second.statics;
+    }
+  }
+  // Compute outside the lock (construction walks the whole code span); a
+  // concurrent first-load of the same image may duplicate the work, but
+  // both results are identical and the last insert wins.
+  auto statics = std::make_shared<const ProgramStatics>(image->predecoded);
+  std::lock_guard<std::mutex> lock(cache->mutex);
+  cache->map[image.get()] = {image, statics};
+  return statics;
+}
+
+LoadedProgram load_program_impl(AssembledImage image, bool share_statics) {
+  const isa::Assembled& assembled = *image;
   LoadedProgram program;
   // Flat backing over the program's whole address footprint (chunks and
   // labelled data, plus slack for the arrays that follow the last label):
@@ -623,15 +673,47 @@ LoadedProgram load_program(const isa::Assembled& assembled) {
     program.memory.write_block(chunk.base, chunk.bytes);
   }
   program.entry = assembled.entry;
-  program.predecoded = assembled.predecoded;
-  program.statics = ProgramStatics(program.predecoded);
+  program.statics =
+      share_statics
+          ? statics_for(image)
+          : std::make_shared<const ProgramStatics>(assembled.predecoded);
+  program.image = std::move(image);
   return program;
 }
+
+}  // namespace
+
+LoadedProgram load_program(AssembledImage image) {
+  return load_program_impl(std::move(image), /*share_statics=*/true);
+}
+
+LoadedProgram load_program(const isa::Assembled& assembled) {
+  // Non-owning alias: the caller guarantees `assembled` outlives the
+  // program. Statics are computed fresh — a borrowed address is no stable
+  // cache key (and this path is the one-off, not the campaign loop).
+  return load_program_impl(AssembledImage(AssembledImage{}, &assembled),
+                           /*share_statics=*/false);
+}
+
+namespace {
+
+/// Hand-built programs (tests construct LoadedProgram directly) may carry
+/// no statics; materialise an empty-image fallback so the runner's raw
+/// pointer is always valid.
+void ensure_statics(LoadedProgram& program) {
+  if (program.statics == nullptr) {
+    program.statics =
+        std::make_shared<const ProgramStatics>(program.predecoded());
+  }
+}
+
+}  // namespace
 
 RunResult CheckedSystem::run(LoadedProgram& program,
                              std::uint64_t max_instructions,
                              core::FaultInjector* faults,
                              core::UndoLog* undo_log) {
+  ensure_statics(program);
   SystemRunner runner(config_, checker_threads_, program, faults, undo_log);
   runner.loop(max_instructions, SystemRunner::kNoCapture);
   return runner.finalize();
@@ -665,6 +747,11 @@ RunResult run_job(const SimJob& job, const isa::Assembled& assembled) {
   return run_job(job, program);
 }
 
+RunResult run_job(const SimJob& job, const AssembledImage& image) {
+  LoadedProgram program = load_program(image);
+  return run_job(job, program);
+}
+
 RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
                       std::uint64_t max_instructions,
@@ -675,21 +762,47 @@ RunResult run_program(const SystemConfig& config,
   return system.run(program, max_instructions, faults);
 }
 
-std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
-                                              const isa::Assembled& assembled,
-                                              std::uint64_t prefix_uops) {
+RunResult run_program(const SystemConfig& config, const AssembledImage& image,
+                      std::uint64_t max_instructions,
+                      core::FaultInjector* faults,
+                      unsigned checker_threads) {
+  LoadedProgram program = load_program(image);
+  CheckedSystem system(config, checker_threads);
+  return system.run(program, max_instructions, faults);
+}
+
+namespace {
+
+std::unique_ptr<WarmState> capture_warm_state_loaded(
+    const SimJob& job, LoadedProgram& program, std::uint64_t prefix_uops) {
   if (job.undo_log != nullptr) {
     throw std::logic_error(
         "capture_warm_state: warm-state forking does not support undo logs");
   }
   const SystemConfig config = apply_mode(job.config, job.mode);
-  LoadedProgram program = load_program(assembled);
+  ensure_statics(program);
   SystemRunner runner(config, job.checker_threads, program,
                       /*faults=*/nullptr, /*undo_log=*/nullptr);
   if (!runner.loop(job.max_instructions, prefix_uops)) {
     return nullptr;  // program ended before the prefix: no warm state.
   }
   return runner.capture(job.max_instructions, program);
+}
+
+}  // namespace
+
+std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
+                                              const isa::Assembled& assembled,
+                                              std::uint64_t prefix_uops) {
+  LoadedProgram program = load_program(assembled);
+  return capture_warm_state_loaded(job, program, prefix_uops);
+}
+
+std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
+                                              const AssembledImage& image,
+                                              std::uint64_t prefix_uops) {
+  LoadedProgram program = load_program(image);
+  return capture_warm_state_loaded(job, program, prefix_uops);
 }
 
 RunResult run_job_from(const WarmState& warm, core::FaultInjector* faults) {

@@ -31,18 +31,37 @@
 namespace paradet::sim {
 
 /// A program image ready to execute: functional memory plus entry point,
-/// the assembly-time predecoded code span, and its per-static-instruction
-/// crack/classification metadata. The memory gets a contiguous flat
-/// backing over the program's data window, so the common access is a
-/// bounds check + memcpy rather than a page-map probe.
+/// a shared reference to the immutable assembled image (whose predecoded
+/// code span the simulation loops read directly — never copied), and the
+/// shared per-static-instruction crack/classification metadata. The memory
+/// gets a contiguous flat backing over the program's data window, so the
+/// common access is a bounds check + memcpy rather than a page-map probe.
 struct LoadedProgram {
   arch::SparseMemory memory;
   Addr entry = 0;
-  isa::PredecodedImage predecoded;
-  ProgramStatics statics;
+  AssembledImage image;
+  std::shared_ptr<const ProgramStatics> statics;
+
+  /// Null-image safe (a hand-built program without a loader-produced image
+  /// simply has an empty predecode span and falls back to dynamic decode).
+  const isa::PredecodedImage& predecoded() const {
+    static const isa::PredecodedImage kEmpty{};
+    return image != nullptr ? image->predecoded : kEmpty;
+  }
 };
 
-/// Materialises an assembled image into simulator memory.
+/// Materialises an assembled image into simulator memory. The shared-image
+/// overload is the campaign path: the program (and any WarmState captured
+/// from it) co-owns the image, per-image ProgramStatics are computed once
+/// process-wide and shared, and repeated loads of the same image cost
+/// refcount traffic plus the data-section copy — not a predecode copy and
+/// statics rebuild per run.
+LoadedProgram load_program(AssembledImage image);
+
+/// Borrowing overload for callers holding a bare Assembled (tests, one-off
+/// runs): the returned program references `assembled` without owning it —
+/// `assembled` must outlive the program and anything captured from it —
+/// and ProgramStatics are computed fresh per call.
 LoadedProgram load_program(const isa::Assembled& assembled);
 
 /// Result of one simulation run.
@@ -162,10 +181,20 @@ RunResult run_job(const SimJob& job, LoadedProgram& program);
 /// Runs `job` against a fresh load of `assembled`.
 RunResult run_job(const SimJob& job, const isa::Assembled& assembled);
 
+/// Runs `job` against a fresh load of the shared `image` (the campaign
+/// path: predecode and statics are shared, never copied).
+RunResult run_job(const SimJob& job, const AssembledImage& image);
+
 /// Runs `assembled` on a fresh system: convenience for tests/examples.
 /// Thin wrapper over run_job (mode comes pre-applied in `config`).
 RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
+                      std::uint64_t max_instructions,
+                      core::FaultInjector* faults = nullptr,
+                      unsigned checker_threads = 0);
+
+/// Shared-image run_program (the campaign path).
+RunResult run_program(const SystemConfig& config, const AssembledImage& image,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults = nullptr,
                       unsigned checker_threads = 0);
@@ -180,6 +209,12 @@ RunResult run_program(const SystemConfig& config,
 /// must be null (rollback-recovery campaigns replay from the start).
 std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
                                               const isa::Assembled& assembled,
+                                              std::uint64_t prefix_uops);
+
+/// Shared-image capture: the WarmState co-owns `image`, so it may outlive
+/// the caller's reference (campaign drivers pass AssemblyCache images).
+std::unique_ptr<WarmState> capture_warm_state(const SimJob& job,
+                                              const AssembledImage& image,
                                               std::uint64_t prefix_uops);
 
 /// Resumes a run from `warm` with `faults` injected, to the same

@@ -1,0 +1,227 @@
+#include "sim/frontend.h"
+
+#include <bit>
+#include <cassert>
+
+namespace paradet::sim {
+
+namespace {
+
+bool counter_taken(std::uint8_t c) { return c >= 2; }
+void bump(std::uint8_t& c, bool up) {
+  if (up && c < 3) ++c;
+  if (!up && c > 0) --c;
+}
+
+/// The Alpha 21264 / gem5 style tournament of TournamentPredictor,
+/// direction half only. Table reads, counter bumps and history shifts are
+/// performed in exactly the legacy order so the default front end's state
+/// evolution — and therefore every artifact byte — is unchanged.
+class TournamentDirection final : public DirectionPredictor {
+ public:
+  explicit TournamentDirection(const BranchPredictorConfig& config)
+      : history_mask_(static_cast<std::uint16_t>(
+            (std::uint16_t{1} << config.local_history_bits) - 1)),
+        local_mask_(config.local_entries - 1),
+        global_mask_(config.global_entries - 1),
+        chooser_mask_(config.chooser_entries - 1),
+        local_history_(config.local_entries, 0),
+        local_pht_(std::size_t{1} << config.local_history_bits, 1),
+        global_pht_(config.global_entries, 1),
+        chooser_(config.chooser_entries, 2) {}  // weakly prefer global.
+
+  bool predict(Addr pc) override {
+    const std::uint16_t history =
+        local_history_[(pc >> 2) & local_mask_] & history_mask_;
+    const bool local_taken = counter_taken(local_pht_[history]);
+    const bool global_taken =
+        counter_taken(global_pht_[global_history_ & global_mask_]);
+    const bool use_global =
+        counter_taken(chooser_[global_history_ & chooser_mask_]);
+    return use_global ? global_taken : local_taken;
+  }
+
+  void update(Addr pc, bool taken) override {
+    const std::size_t local_index = (pc >> 2) & local_mask_;
+    const std::uint16_t history = local_history_[local_index] & history_mask_;
+    const bool local_taken = counter_taken(local_pht_[history]);
+    const bool global_taken =
+        counter_taken(global_pht_[global_history_ & global_mask_]);
+
+    // Chooser trains towards whichever component was right (when they
+    // agree there is nothing to learn).
+    if (local_taken != global_taken) {
+      bump(chooser_[global_history_ & chooser_mask_], global_taken == taken);
+    }
+    bump(local_pht_[history], taken);
+    bump(global_pht_[global_history_ & global_mask_], taken);
+    local_history_[local_index] =
+        static_cast<std::uint16_t>((history << 1) | (taken ? 1 : 0));
+    global_history_ = (global_history_ << 1) | (taken ? 1 : 0);
+  }
+
+  std::unique_ptr<DirectionPredictor> clone() const override {
+    return std::make_unique<TournamentDirection>(*this);
+  }
+
+ private:
+  std::uint16_t history_mask_;
+  std::uint64_t local_mask_;
+  std::uint64_t global_mask_;
+  std::uint64_t chooser_mask_;
+  std::vector<std::uint16_t> local_history_;
+  std::vector<std::uint8_t> local_pht_;
+  std::vector<std::uint8_t> global_pht_;
+  std::vector<std::uint8_t> chooser_;
+  std::uint64_t global_history_ = 0;
+};
+
+/// One PHT indexed by pc ^ global history; history length = log2(entries).
+class GshareDirection final : public DirectionPredictor {
+ public:
+  explicit GshareDirection(const BranchPredictorConfig& config)
+      : mask_(config.global_entries - 1), pht_(config.global_entries, 1) {}
+
+  bool predict(Addr pc) override {
+    return counter_taken(pht_[((pc >> 2) ^ history_) & mask_]);
+  }
+
+  void update(Addr pc, bool taken) override {
+    bump(pht_[((pc >> 2) ^ history_) & mask_], taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+  }
+
+  std::unique_ptr<DirectionPredictor> clone() const override {
+    return std::make_unique<GshareDirection>(*this);
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint8_t> pht_;
+  std::uint64_t history_ = 0;
+};
+
+/// One PHT indexed by pc alone — no history at all.
+class BimodalDirection final : public DirectionPredictor {
+ public:
+  explicit BimodalDirection(const BranchPredictorConfig& config)
+      : mask_(config.global_entries - 1), pht_(config.global_entries, 1) {}
+
+  bool predict(Addr pc) override {
+    return counter_taken(pht_[(pc >> 2) & mask_]);
+  }
+
+  void update(Addr pc, bool taken) override {
+    bump(pht_[(pc >> 2) & mask_], taken);
+  }
+
+  std::unique_ptr<DirectionPredictor> clone() const override {
+    return std::make_unique<BimodalDirection>(*this);
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint8_t> pht_;
+};
+
+class AlwaysTakenDirection final : public DirectionPredictor {
+ public:
+  bool predict(Addr) override { return true; }
+  void update(Addr, bool) override {}
+  std::unique_ptr<DirectionPredictor> clone() const override {
+    return std::make_unique<AlwaysTakenDirection>(*this);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DirectionPredictor> make_direction_predictor(
+    const BranchPredictorConfig& config) {
+  switch (config.kind) {
+    case FrontEndKind::kTournament:
+      return std::make_unique<TournamentDirection>(config);
+    case FrontEndKind::kGshare:
+      return std::make_unique<GshareDirection>(config);
+    case FrontEndKind::kBimodal:
+      return std::make_unique<BimodalDirection>(config);
+    case FrontEndKind::kAlwaysTaken:
+      return std::make_unique<AlwaysTakenDirection>();
+  }
+  return std::make_unique<TournamentDirection>(config);
+}
+
+FrontEnd::FrontEnd(const BranchPredictorConfig& config)
+    : direction_(make_direction_predictor(config)),
+      btb_(config.btb_entries),
+      btb_mask_(config.btb_entries - 1),
+      ras_(config.ras_entries, 0) {
+  assert(config.valid_table_sizes() &&
+         "front-end tables must be power-of-two sized (mask indexing)");
+}
+
+FrontEnd::FrontEnd(const FrontEnd& other)
+    : direction_(other.direction_->clone()),
+      btb_(other.btb_),
+      btb_mask_(other.btb_mask_),
+      ras_(other.ras_),
+      ras_top_(other.ras_top_),
+      ras_depth_(other.ras_depth_),
+      dir_mispredicts_(other.dir_mispredicts_),
+      target_mispredicts_(other.target_mispredicts_),
+      lookups_(other.lookups_) {}
+
+BranchPrediction FrontEnd::predict_branch(Addr pc) {
+  ++lookups_;
+  BranchPrediction prediction;
+  prediction.taken = direction_->predict(pc);
+  look_up_btb(pc, &prediction);
+  return prediction;
+}
+
+BranchPrediction FrontEnd::predict_jump(Addr pc) {
+  ++lookups_;
+  BranchPrediction prediction;
+  prediction.taken = true;
+  look_up_btb(pc, &prediction);
+  return prediction;
+}
+
+BranchPrediction FrontEnd::predict_indirect(Addr pc, bool is_return) {
+  ++lookups_;
+  BranchPrediction prediction;
+  prediction.taken = true;
+  if (is_return && ras_depth_ > 0) {
+    ras_top_ = (ras_top_ + ras_.size() - 1) % ras_.size();
+    --ras_depth_;
+    prediction.btb_hit = true;
+    prediction.used_ras = true;
+    prediction.target = ras_[ras_top_];
+    return prediction;
+  }
+  look_up_btb(pc, &prediction);
+  return prediction;
+}
+
+void FrontEnd::update_branch(Addr pc, bool taken, Addr target,
+                             const BranchPrediction& prediction) {
+  direction_->update(pc, taken);
+  if (taken) {
+    BtbEntry& entry = btb_slot(pc);
+    entry = BtbEntry{pc, target, true};
+  }
+  if (prediction.taken != taken) ++dir_mispredicts_;
+}
+
+void FrontEnd::update_jump(Addr pc, Addr target) {
+  BtbEntry& entry = btb_slot(pc);
+  entry = BtbEntry{pc, target, true};
+}
+
+void FrontEnd::push_return(Addr return_pc) {
+  if (ras_.empty()) return;
+  ras_[ras_top_] = return_pc;
+  ras_top_ = (ras_top_ + 1) % ras_.size();
+  if (ras_depth_ < ras_.size()) ++ras_depth_;
+}
+
+}  // namespace paradet::sim

@@ -1,0 +1,101 @@
+// The simulated front end, split into composable components: a pluggable
+// direction predictor, a branch target buffer and a return address stack.
+//
+// sim::FrontEnd is what the cores consume (OoOCore, the baselines, and —
+// under CheckerConfig::model_frontend — the checker cores). The direction
+// model is selected by BranchPredictorConfig::kind: the default tournament
+// variant reproduces TournamentPredictor (sim/branch_predictor.h) state
+// transition for state transition, so default-config artifacts are
+// byte-identical to the legacy monolithic predictor; gshare / bimodal /
+// always-taken are fidelity ablations (bench_fig_frontend_ablation).
+//
+// Hot-path note: every table is power-of-two sized (asserted from
+// BranchPredictorConfig::valid_table_sizes) and indexed with masks — the
+// predict+update pair on the per-branch path compiles without a single
+// integer division.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "sim/branch_predictor.h"
+
+namespace paradet::sim {
+
+/// Direction-only half of the front end: predicts taken/not-taken for a
+/// conditional branch and trains on the outcome. Stateful — predict() and
+/// update() must be called in the core's resolve order (predict
+/// immediately followed by the matching update, as OoOCore does).
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+  virtual bool predict(Addr pc) = 0;
+  virtual void update(Addr pc, bool taken) = 0;
+  /// Deep copy for warm-state rewiring.
+  virtual std::unique_ptr<DirectionPredictor> clone() const = 0;
+};
+
+/// Builds the direction model `config.kind` names.
+std::unique_ptr<DirectionPredictor> make_direction_predictor(
+    const BranchPredictorConfig& config);
+
+class FrontEnd {
+ public:
+  explicit FrontEnd(const BranchPredictorConfig& config);
+  FrontEnd(const FrontEnd& other);
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  /// Predicts a conditional branch at `pc`.
+  BranchPrediction predict_branch(Addr pc);
+  /// Predicts a direct jump (JAL): direction is always taken; the BTB
+  /// provides the target at fetch.
+  BranchPrediction predict_jump(Addr pc);
+  /// Predicts an indirect jump (JALR): RAS if `is_return`, else BTB.
+  BranchPrediction predict_indirect(Addr pc, bool is_return);
+
+  /// Trains on the resolved outcome. `prediction` is what predict_*
+  /// returned for this instance.
+  void update_branch(Addr pc, bool taken, Addr target,
+                     const BranchPrediction& prediction);
+  void update_jump(Addr pc, Addr target);
+  /// Pushes a return address on a call. No-op at ras_entries == 0 (the
+  /// "no RAS" ablation point): returns then fall back to the BTB.
+  void push_return(Addr return_pc);
+
+  std::uint64_t direction_mispredicts() const { return dir_mispredicts_; }
+  std::uint64_t target_mispredicts() const { return target_mispredicts_; }
+  std::uint64_t lookups() const { return lookups_; }
+
+  /// Counts an indirect-target misprediction (resolved by the core).
+  void note_target_mispredict() { ++target_mispredicts_; }
+
+ private:
+  struct BtbEntry {
+    Addr tag = 0;
+    Addr target = 0;
+    bool valid = false;
+  };
+
+  BtbEntry& btb_slot(Addr pc) { return btb_[(pc >> 2) & btb_mask_]; }
+  void look_up_btb(Addr pc, BranchPrediction* prediction) {
+    const BtbEntry& entry = btb_slot(pc);
+    prediction->btb_hit = entry.valid && entry.tag == pc;
+    prediction->target = prediction->btb_hit ? entry.target : 0;
+  }
+
+  std::unique_ptr<DirectionPredictor> direction_;
+  std::vector<BtbEntry> btb_;
+  std::uint64_t btb_mask_;
+  std::vector<Addr> ras_;
+  std::size_t ras_top_ = 0;
+  std::size_t ras_depth_ = 0;
+
+  std::uint64_t dir_mispredicts_ = 0;
+  std::uint64_t target_mispredicts_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace paradet::sim

@@ -12,7 +12,9 @@ OoOCore::OoOCore(const SystemConfig& config, mem::Cache& l1i, mem::Cache& l1d)
       predictor_(config.branch_predictor),
       int_slots_(config.main_core.int_alus),
       fp_slots_(config.main_core.fp_alus),
-      muldiv_slots_(config.main_core.muldiv_alus) {}
+      muldiv_slots_(config.main_core.muldiv_alus),
+      rob_commit_ring_(config.main_core.rob_entries, 0),
+      store_ring_(config.main_core.sq_entries) {}
 
 OoOCore::OoOCore(const OoOCore& other, mem::Cache& l1i, mem::Cache& l1d)
     : config_(other.config_),
@@ -30,12 +32,16 @@ OoOCore::OoOCore(const OoOCore& other, mem::Cache& l1i, mem::Cache& l1d)
       muldiv_slots_(other.muldiv_slots_),
       fp_unpipelined_busy_(other.fp_unpipelined_busy_),
       muldiv_unpipelined_busy_(other.muldiv_unpipelined_busy_),
-      window_(other.window_),
+      rob_commit_ring_(other.rob_commit_ring_),
+      rob_head_(other.rob_head_),
+      rob_count_(other.rob_count_),
       iq_issue_deadlines_(other.iq_issue_deadlines_),
       lq_commit_deadlines_(other.lq_commit_deadlines_),
       sq_commit_deadlines_(other.sq_commit_deadlines_),
       last_retired_commit_(other.last_retired_commit_),
-      store_window_(other.store_window_),
+      store_ring_(other.store_ring_),
+      store_head_(other.store_head_),
+      store_count_(other.store_count_),
       last_store_agu_(other.last_store_agu_),
       pending_valid_(other.pending_valid_),
       pending_(other.pending_),
@@ -56,17 +62,17 @@ void OoOCore::fetch_bubble(Cycle from, unsigned cycles) {
 
 /// One queue constraint: at the candidate dispatch cycle, fewer than
 /// `entries` occupants may remain (deadline still in the future); otherwise
-/// dispatch retries just past the earliest-releasing occupant. `heap` holds
+/// dispatch retries just past the earliest-releasing occupant. `queue` holds
 /// the deadlines of live occupants plus possibly-stale entries whose
-/// deadline already passed — draining `top() <= dispatch` removes both the
+/// deadline already passed — draining `front() <= dispatch` removes both the
 /// released and the stale ones, so `size()` is exactly the occupancy a scan
 /// of the in-flight window would count.
-Cycle OoOCore::constrain_queue(DeadlineHeap& heap, unsigned entries,
+Cycle OoOCore::constrain_queue(DeadlineQueue& queue, unsigned entries,
                                Cycle dispatch) {
   for (;;) {
-    while (!heap.empty() && heap.top() <= dispatch) heap.pop();
-    if (heap.size() < entries) return dispatch;
-    dispatch = heap.top() + 1;
+    while (!queue.empty() && queue.front() <= dispatch) queue.pop_front();
+    if (queue.size() < entries) return dispatch;
+    dispatch = queue.front() + 1;
   }
 }
 
@@ -172,8 +178,8 @@ UopTiming OoOCore::schedule(const UopDesc& desc) {
   }
   // ROB occupancy: the oldest in-flight micro-op must have committed for a
   // new one to enter a full window.
-  if (window_.size() >= config_.rob_entries) {
-    dispatch = std::max(dispatch, window_.front().commit + 1);
+  if (rob_count_ >= config_.rob_entries) {
+    dispatch = std::max(dispatch, rob_commit_ring_[rob_head_] + 1);
   }
   dispatch = apply_queue_limits(dispatch);
   if (dispatch != last_dispatch_cycle_) {
@@ -223,10 +229,14 @@ UopTiming OoOCore::schedule(const UopDesc& desc) {
       issue = std::max(issue, last_store_agu_);
     }
     bool forwarded = false;
-    for (auto it = store_window_.rbegin(); it != store_window_.rend(); ++it) {
-      if (it->addr <= desc.mem_addr &&
-          desc.mem_addr + desc.mem_size <= it->addr + it->size) {
-        complete = std::max(issue + 1, it->data_ready);
+    // Youngest-first scan of the store ring for a fully-containing store.
+    for (std::size_t i = store_count_; i-- > 0;) {
+      std::size_t slot = store_head_ + i;
+      if (slot >= store_ring_.size()) slot -= store_ring_.size();
+      const StoreWindowEntry& entry = store_ring_[slot];
+      if (entry.addr <= desc.mem_addr &&
+          desc.mem_addr + desc.mem_size <= entry.addr + entry.size) {
+        complete = std::max(issue + 1, entry.data_ready);
         forwarded = true;
         break;
       }
@@ -240,9 +250,18 @@ UopTiming OoOCore::schedule(const UopDesc& desc) {
   } else if (desc.is_store) {
     // AGU + data into the store queue; the memory write happens at commit.
     complete = issue + 1;
-    store_window_.push_back(
-        StoreWindowEntry{desc.mem_addr, desc.mem_size, complete, desc.seq});
-    if (store_window_.size() > config_.sq_entries) store_window_.pop_front();
+    const StoreWindowEntry entry{desc.mem_addr, desc.mem_size, complete,
+                                 desc.seq};
+    if (store_count_ == store_ring_.size()) {
+      // Full ring: overwrite the oldest (the freed slot is the new tail).
+      store_ring_[store_head_] = entry;
+      if (++store_head_ == store_ring_.size()) store_head_ = 0;
+    } else {
+      std::size_t tail = store_head_ + store_count_;
+      if (tail >= store_ring_.size()) tail -= store_ring_.size();
+      store_ring_[tail] = entry;
+      ++store_count_;
+    }
     last_store_agu_ = std::max(last_store_agu_, issue);
   } else {
     complete = issue + latency;
@@ -255,8 +274,7 @@ UopTiming OoOCore::schedule(const UopDesc& desc) {
 
   resolve_control(desc, timing, &timing);
 
-  pending_ = InFlight{issue, complete, kCycleNever, desc.is_load,
-                      desc.is_store};
+  pending_ = InFlight{issue, desc.is_load, desc.is_store};
   pending_valid_ = true;
   return timing;
 }
@@ -266,12 +284,19 @@ void OoOCore::retire(Cycle commit_cycle) {
   assert(commit_cycle >= last_retired_commit_ &&
          "in-order commit: retire cycles must be non-decreasing");
   last_retired_commit_ = commit_cycle;
-  pending_.commit = commit_cycle;
-  window_.push_back(pending_);
-  if (window_.size() > config_.rob_entries) window_.pop_front();
-  iq_issue_deadlines_.push(pending_.issue);
-  if (pending_.is_load) lq_commit_deadlines_.push(commit_cycle);
-  if (pending_.is_store) sq_commit_deadlines_.push(commit_cycle);
+  if (rob_count_ == config_.rob_entries) {
+    // Full ring: the freed head slot is exactly where the new tail lands.
+    rob_commit_ring_[rob_head_] = commit_cycle;
+    if (++rob_head_ == rob_commit_ring_.size()) rob_head_ = 0;
+  } else {
+    std::size_t tail = rob_head_ + rob_count_;
+    if (tail >= rob_commit_ring_.size()) tail -= rob_commit_ring_.size();
+    rob_commit_ring_[tail] = commit_cycle;
+    ++rob_count_;
+  }
+  iq_issue_deadlines_.insert(pending_.issue);
+  if (pending_.is_load) lq_commit_deadlines_.insert(commit_cycle);
+  if (pending_.is_store) sq_commit_deadlines_.insert(commit_cycle);
   pending_valid_ = false;
 }
 

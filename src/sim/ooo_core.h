@@ -18,16 +18,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/config.h"
 #include "common/types.h"
 #include "isa/isa.h"
 #include "mem/cache.h"
-#include "sim/branch_predictor.h"
+#include "sim/frontend.h"
 #include "sim/uop_info.h"
 
 namespace paradet::sim {
@@ -92,10 +89,10 @@ class OoOCore {
   const MainCoreConfig& config() const { return config_; }
 
  private:
+  /// The schedule()d micro-op awaiting its retire(): just what retire
+  /// needs to file the queue-occupancy deadlines.
   struct InFlight {
     Cycle issue = 0;
-    Cycle complete = 0;
-    Cycle commit = 0;
     bool is_load = false;
     bool is_store = false;
   };
@@ -147,14 +144,50 @@ class OoOCore {
     std::array<Slot, kMask + 1> table_{};
   };
 
-  /// Min-heap of cycle deadlines with lazy removal: entries whose deadline
-  /// has passed the (monotonically rising) dispatch candidate are popped on
-  /// the next query instead of eagerly. Backs the incremental IQ/LQ/SQ
-  /// occupancy tracking in apply_queue_limits.
-  using DeadlineHeap =
-      std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>;
+  /// Sorted multiset of cycle deadlines with lazy removal: entries whose
+  /// deadline has passed the (monotonically rising) dispatch candidate are
+  /// dropped from the front on the next query instead of eagerly. Backs
+  /// the incremental IQ/LQ/SQ occupancy tracking in apply_queue_limits.
+  ///
+  /// Deliberately not a binary heap: the deadline streams the core
+  /// produces are sorted (LQ/SQ hold commit cycles, which in-order commit
+  /// makes non-decreasing) or nearly sorted (IQ issue cycles), so a flat
+  /// sorted buffer inserted by scanning back from the tail does O(1)
+  /// amortised work where priority_queue pays a branchy O(log n) sift on
+  /// every push and pop — this structure was the single hottest item in
+  /// the gprof profile of bench_perf_hotloop.
+  class DeadlineQueue {
+   public:
+    bool empty() const { return head_ == data_.size(); }
+    std::size_t size() const { return data_.size() - head_; }
+    Cycle front() const { return data_[head_]; }
 
-  static Cycle constrain_queue(DeadlineHeap& heap, unsigned entries,
+    void pop_front() {
+      ++head_;
+      // Reclaim the dead prefix once it dominates the buffer.
+      if (head_ >= 1024 && head_ * 2 >= data_.size()) {
+        data_.erase(data_.begin(),
+                    data_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+
+    void insert(Cycle value) {
+      std::size_t pos = data_.size();
+      data_.push_back(value);
+      while (pos > head_ && data_[pos - 1] > value) {
+        data_[pos] = data_[pos - 1];
+        --pos;
+      }
+      data_[pos] = value;
+    }
+
+   private:
+    std::vector<Cycle> data_;
+    std::size_t head_ = 0;
+  };
+
+  static Cycle constrain_queue(DeadlineQueue& queue, unsigned entries,
                                Cycle dispatch);
 
   void fetch_bubble(Cycle from, unsigned cycles);
@@ -165,7 +198,10 @@ class OoOCore {
   MainCoreConfig config_;
   mem::Cache& l1i_;
   mem::Cache& l1d_;
-  TournamentPredictor predictor_;
+  /// Pluggable front end (direction predictor + BTB + RAS); the default
+  /// tournament configuration is byte-identical to the legacy
+  /// TournamentPredictor.
+  FrontEnd predictor_;
 
   // Front end.
   Cycle fetch_cycle_ = 0;
@@ -187,21 +223,29 @@ class OoOCore {
   Cycle fp_unpipelined_busy_ = 0;
   Cycle muldiv_unpipelined_busy_ = 0;
 
-  // In-flight window (at most rob_entries micro-ops).
-  std::deque<InFlight> window_;
-  // Queue-occupancy deadlines of window_ entries: issue cycles of every
-  // micro-op (IQ) and commit cycles of loads (LQ) / stores (SQ). Entries
-  // evicted from window_ always have commit <= every later dispatch
-  // candidate (commit cycles are monotone and a full ROB bounds dispatch
-  // below by front().commit + 1), so their stale heap entries drain before
-  // they could ever be counted — the heaps stay exactly equivalent to
-  // rescanning window_.
-  DeadlineHeap iq_issue_deadlines_;
-  DeadlineHeap lq_commit_deadlines_;
-  DeadlineHeap sq_commit_deadlines_;
+  // In-flight window (at most rob_entries micro-ops). Only the oldest
+  // occupant's commit cycle is ever read (the full-ROB dispatch bound), so
+  // the window is a fixed ring of commit cycles, not a deque of records.
+  std::vector<Cycle> rob_commit_ring_;
+  std::size_t rob_head_ = 0;   ///< index of the oldest occupant.
+  std::size_t rob_count_ = 0;  ///< occupants; ring is full at rob_entries.
+  // Queue-occupancy deadlines of in-flight micro-ops: issue cycles of
+  // every micro-op (IQ) and commit cycles of loads (LQ) / stores (SQ).
+  // Entries evicted from the ROB ring always have commit <= every later
+  // dispatch candidate (commit cycles are monotone and a full ROB bounds
+  // dispatch below by oldest commit + 1), so their stale queue entries
+  // drain before they could ever be counted — the queues stay exactly
+  // equivalent to rescanning the in-flight window.
+  DeadlineQueue iq_issue_deadlines_;
+  DeadlineQueue lq_commit_deadlines_;
+  DeadlineQueue sq_commit_deadlines_;
   Cycle last_retired_commit_ = 0;
-  // Recent stores for forwarding/disambiguation (at most sq_entries).
-  std::deque<StoreWindowEntry> store_window_;
+  // Recent stores for forwarding/disambiguation (at most sq_entries), a
+  // fixed ring scanned youngest-first on every load — contiguous storage,
+  // not a deque, because the scan is on the load hot path.
+  std::vector<StoreWindowEntry> store_ring_;
+  std::size_t store_head_ = 0;   ///< index of the oldest store.
+  std::size_t store_count_ = 0;  ///< occupants; ring is full at sq_entries.
   Cycle last_store_agu_ = 0;
 
   // Pending schedule()d micro-op awaiting retire().

@@ -40,6 +40,7 @@
 #include "core/fault_injection.h"
 #include "core/load_forwarding_unit.h"
 #include "core/load_store_log.h"
+#include "isa/assembler.h"
 #include "isa/predecode.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
@@ -49,6 +50,11 @@
 #include "sim/uop_info.h"
 
 namespace paradet::sim {
+
+/// Shared immutable assembled image (what runtime::AssemblyCache hands
+/// out): LoadedProgram and WarmState co-own it instead of copying the
+/// predecoded code span, so repeated campaign loads cost refcount traffic.
+using AssembledImage = std::shared_ptr<const isa::Assembled>;
 
 /// The main core's timing machine — DRAM, cache hierarchy, out-of-order
 /// core — as one ownable unit. The members reference one another
@@ -151,11 +157,13 @@ struct WarmState {
   std::uint64_t max_instructions = 0;
 
   // Functional state. Both memories are CoW-frozen: resumed runs fork
-  // them, never write through them.
+  // them, never write through them. The assembled image and its statics
+  // are shared with the LoadedProgram the capture consumed (and with the
+  // process-wide caches) — holding a WarmState keeps them alive.
   arch::SparseMemory memory;          ///< working memory at capture.
   arch::SparseMemory fetch_snapshot;  ///< pristine start-of-run code image.
-  isa::PredecodedImage predecoded;
-  ProgramStatics statics;
+  AssembledImage image;
+  std::shared_ptr<const ProgramStatics> statics;
   arch::ArchState state;
 
   // Commit-loop position.

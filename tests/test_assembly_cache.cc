@@ -109,9 +109,9 @@ TEST(AssemblyCache, SweepOverThreeConfigPointsDoesZeroReassembly) {
   std::mutex mutex;
   std::set<const isa::Assembled*> images_seen;
   const auto record_cells = [&](std::size_t, std::size_t,
-                                const isa::Assembled& image, std::uint64_t) {
+                                const AssemblyCache::Image& image, std::uint64_t) {
     const std::lock_guard<std::mutex> lock(mutex);
-    images_seen.insert(&image);
+    images_seen.insert(image.get());
     return sim::RunResult{};  // image identity is the point, not timing.
   };
 

@@ -97,7 +97,7 @@ TEST(ConcurrentReplay, WorkloadSweepInvariantAcrossThreadsAndJobs) {
     runtime::SweepCampaign sweep(2, {workload}, /*seed=*/0xC0);
     const auto swept = sweep.run(
         runner, runtime::CampaignRunOptions{},
-        [&](std::size_t point, std::size_t, const isa::Assembled& image,
+        [&](std::size_t point, std::size_t, const runtime::AssemblyCache::Image& image,
             std::uint64_t) {
           SystemConfig config = SystemConfig::standard();
           config.checker.freq_mhz = point == 0 ? 500 : 1000;
@@ -187,7 +187,7 @@ TEST(ConcurrentReplay, FaultDetectionInvariantAcrossThreadCounts) {
   ASSERT_TRUE(faulty.recovery_checkpoint.has_value());
   const auto outcome = core::recover_and_replay(
       program.memory, undo, faulty.first_error->segment_ordinal,
-      *faulty.recovery_checkpoint, 100000, &program.predecoded);
+      *faulty.recovery_checkpoint, 100000, &program.predecoded());
   EXPECT_TRUE(outcome.recovered);
   EXPECT_EQ(arch::first_register_difference(outcome.final_state,
                                             clean.final_state),
@@ -362,7 +362,7 @@ loop:
   state.pc = program.entry;
   std::uint64_t cycle = 0;
   arch::MemoryDataPort port(program.memory, cycle);
-  arch::Machine machine(program.memory, port, &program.predecoded);
+  arch::Machine machine(program.memory, port, &program.predecoded());
 
   core::Segment segment;
   segment.start.state = state;
@@ -373,7 +373,7 @@ loop:
   segment.end.state = state;
   segment.instruction_count = kCount;
 
-  core::CheckerEngine engine(program.memory, &program.predecoded);
+  core::CheckerEngine engine(program.memory, &program.predecoded());
   core::CheckerEngine::Result arena;
   for (int repeat = 0; repeat < 50; ++repeat) {
     engine.check_into(segment, nullptr, arena);

@@ -109,7 +109,7 @@ TEST(Recovery, TransientFaultFullyCorrected) {
   // architectural state matches the clean run exactly.
   const auto outcome = recover_and_replay(
       program.memory, undo, faulty.first_error->segment_ordinal,
-      *faulty.recovery_checkpoint, 100000, &program.predecoded);
+      *faulty.recovery_checkpoint, 100000, &program.predecoded());
   EXPECT_TRUE(outcome.recovered);
   EXPECT_GT(outcome.stores_rolled_back, 0u);
   EXPECT_EQ(arch::first_register_difference(outcome.final_state,
@@ -143,7 +143,7 @@ TEST(Recovery, RegisterFaultAlsoCorrected) {
 
   const auto outcome = recover_and_replay(
       program.memory, undo, faulty.first_error->segment_ordinal,
-      *faulty.recovery_checkpoint, 100000, &program.predecoded);
+      *faulty.recovery_checkpoint, 100000, &program.predecoded());
   EXPECT_TRUE(outcome.recovered);
   EXPECT_EQ(arch::first_register_difference(outcome.final_state,
                                             clean.final_state),

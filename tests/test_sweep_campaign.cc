@@ -41,7 +41,7 @@ std::vector<workloads::Workload> tiny_suite() {
 
 /// The fig09 cell: a checked run at the point's checker frequency.
 sim::RunResult freq_cell(std::size_t point, std::size_t,
-                         const isa::Assembled& image, std::uint64_t) {
+                         const AssemblyCache::Image& image, std::uint64_t) {
   SystemConfig config = SystemConfig::standard();
   config.checker.freq_mhz = kFreqsMhz[point];
   return sim::run_program(config, image, kBudget);
@@ -148,7 +148,7 @@ TEST(SweepCampaign, FlatSweepNamesWorkloadPerCell) {
   EXPECT_EQ(sweep.tasks(), 3u);
   const SweepResult result = sweep.run(
       ParallelRunner(1), CampaignRunOptions{},
-      [&](std::size_t point, std::size_t workload, const isa::Assembled&,
+      [&](std::size_t point, std::size_t workload, const AssemblyCache::Image&,
           std::uint64_t) {
         const std::lock_guard<std::mutex> lock(mutex);
         seen_points.push_back(point);
@@ -189,7 +189,7 @@ TEST(SweepCampaign, CheckpointResumeMatchesUninterruptedBytes) {
   std::atomic<unsigned> launched{0};
   EXPECT_THROW(
       sweep.run(ParallelRunner(1), options,
-                [&](std::size_t p, std::size_t w, const isa::Assembled& image,
+                [&](std::size_t p, std::size_t w, const AssemblyCache::Image& image,
                     std::uint64_t seed) {
                   if (launched.fetch_add(1) >= 4) {
                     throw std::runtime_error("injected crash");
