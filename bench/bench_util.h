@@ -37,8 +37,11 @@ struct Options {
 
   /// `campaign` = true for drivers that execute through
   /// Campaign::run_sharded; others reject --shard/--out/--checkpoint
-  /// (exit 2) rather than silently running unsharded.
-  static Options parse(int argc, char** argv, bool campaign = false) {
+  /// (exit 2) rather than silently running unsharded. `extra_usage` is
+  /// appended to the --help line: any flag a driver parses itself must
+  /// appear there (scripts/check_flag_docs.sh fails the build on drift).
+  static Options parse(int argc, char** argv, bool campaign = false,
+                       const char* extra_usage = nullptr) {
     Options options;
     options.runtime = RuntimeOptions::from_args(argc, argv, campaign);
     for (int i = 1; i < argc; ++i) {
@@ -57,13 +60,14 @@ struct Options {
         }
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]"
-                    " [--checker-threads=N] [--frontend=NAME]%s\n",
+                    " [--checker-threads=N] [--frontend=NAME]%s%s\n",
                     argv[0],
                     campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
                                "\n          [--checkpoint=ckpt.json |"
                                " --journal=ckpt.json]"
                                " [--checkpoint-every=M]"
-                             : "");
+                             : "",
+                    extra_usage == nullptr ? "" : extra_usage);
         std::exit(0);
       }
     }

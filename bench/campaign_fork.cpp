@@ -43,7 +43,9 @@ using namespace paradet;
 constexpr double kTailFraction = 0.15;
 
 int run(int argc, char** argv) {
-  auto options = bench::Options::parse(argc, argv, /*campaign=*/false);
+  auto options = bench::Options::parse(
+      argc, argv, /*campaign=*/false,
+      "\n          [--json=FILE] [--trials=N] [--min-speedup=F]");
   std::string json_path = "BENCH_campaign_fork.json";
   unsigned trials = 24;
   double min_speedup = 0.0;
@@ -66,9 +68,15 @@ int run(int argc, char** argv) {
         std::fprintf(stderr, "%s: want --min-speedup=F with F >= 0\n", arg);
         return 2;
       }
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      ++i;  // detached worker count, consumed by RuntimeOptions above.
     } else if (std::strncmp(arg, "--scale=", 8) == 0 ||
-               std::strncmp(arg, "--benchmark=", 12) == 0) {
-      // Parsed by bench::Options above.
+               std::strncmp(arg, "--benchmark=", 12) == 0 ||
+               std::strncmp(arg, "--jobs=", 7) == 0 ||
+               std::strncmp(arg, "--checker-threads=", 18) == 0 ||
+               std::strncmp(arg, "--frontend=", 11) == 0 ||
+               std::strncmp(arg, "-j", 2) == 0) {
+      // Parsed by bench::Options / RuntimeOptions above.
     } else if (std::strcmp(arg, "--help") == 0) {
       // Printed by bench::Options above (never reached: parse exits).
     } else {

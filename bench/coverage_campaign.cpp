@@ -31,7 +31,8 @@ namespace {
 
 int run(int argc, char** argv) {
   using namespace paradet;
-  auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
+  auto options = bench::Options::parse(argc, argv, /*campaign=*/true,
+                                       "\n          [--fork=on|off]");
   const unsigned checker_threads = options.checker_threads();
   if (options.scale == 1.0) options.scale = 0.1;  // campaign is many runs.
   bool use_fork = true;

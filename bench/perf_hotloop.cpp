@@ -182,7 +182,11 @@ bool measure_way_hint(const workloads::Workload& workload,
 }
 
 int run(int argc, char** argv) {
-  const auto options = bench::Options::parse(argc, argv, /*campaign=*/false);
+  const auto options = bench::Options::parse(
+      argc, argv, /*campaign=*/false,
+      "\n          [--json=FILE] [--compare=BASELINE.json]"
+      " [--max-regress=F]\n          [--repeat=N] [--verify-predecode]"
+      " [--verify-way-hint]");
   std::string json_path = "BENCH_hotloop.json";
   std::string compare_path;
   double max_regress = 0.30;
@@ -222,6 +226,7 @@ int run(int argc, char** argv) {
                std::strncmp(arg, "--benchmark=", 12) == 0 ||
                std::strncmp(arg, "--jobs=", 7) == 0 ||
                std::strncmp(arg, "--checker-threads=", 18) == 0 ||
+               std::strncmp(arg, "--frontend=", 11) == 0 ||
                std::strncmp(arg, "-j", 2) == 0) {
       // Parsed by bench::Options / RuntimeOptions above.
     } else {

@@ -52,6 +52,14 @@ int run(int argc, char** argv) {
       ++i;  // skip the flag's value; RuntimeOptions consumes it.
     } else if (std::strncmp(argv[i], "--fork=", 7) == 0) {
       use_fork = std::strcmp(argv[i] + 7, "off") != 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [trials-per-site] [--jobs=N]"
+                  " [--checker-threads=N] [--fork=on|off]\n"
+                  "          [--shard=K/N] [--out=artifact.json]\n"
+                  "          [--checkpoint=ckpt.json | --journal=ckpt.json]"
+                  " [--checkpoint-every=M]\n",
+                  argv[0]);
+      return 0;
     } else if (argv[i][0] != '-') {
       // The positional argument is the per-site trial count; anything
       // non-numeric here is a mistyped flag, not a count of zero.

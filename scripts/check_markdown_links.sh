@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Relative-link check over README.md and docs/*.md: every `[text](target)`
+# that is not an absolute URL must point at an existing file, and an
+# `#anchor` must match a heading in the target file (GitHub slug rules:
+# lowercase, drop everything but alphanumerics/spaces/hyphens, spaces to
+# hyphens). Keeps the docs tree from rotting as sections move between
+# pages.
+#
+# usage: check_markdown_links.sh   (paths are found relative to the repo)
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+files=("$repo/README.md" "$repo"/docs/*.md)
+fail=0
+
+# One GitHub-style slug per heading of the given file.
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" | sed -E 's/^#+ +//' | awk '{
+    s = tolower($0)
+    gsub(/[^a-z0-9 -]/, "", s)
+    gsub(/ /, "-", s)
+    print s
+  }'
+}
+
+for f in "${files[@]}"; do
+  rel=${f#"$repo"/}
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    case $target in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    path=${target%%#*}
+    anchor=""
+    [[ $target == *#* ]] && anchor=${target#*#}
+    if [[ -z $path ]]; then
+      dest=$f
+    else
+      dest=$dir/$path
+    fi
+    if [[ ! -e $dest ]]; then
+      echo "FAIL: $rel links to missing file: ($target)"
+      fail=1
+      continue
+    fi
+    if [[ -n $anchor ]] && ! slugs_of "$dest" | grep -qxF "$anchor"; then
+      echo "FAIL: $rel links to missing anchor: ($target)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "markdown links drifted (see FAIL lines)" >&2
+  exit 1
+fi
+echo "OK: every relative link and anchor in README.md + docs/ resolves"

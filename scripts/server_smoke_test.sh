@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for campaign-as-a-service: start campaign_server
+# on a Unix socket, submit two campaigns concurrently through
+# campaign_client — one with an injected shard SIGKILL (checkpoint
+# restart), one watched by a client that deliberately drops its
+# connection mid-stream and reconnects with resume_from — and require
+# both merged artifacts streamed back through the `merged` event to be
+# byte-identical to an unsharded run's --out file. Exercises the real
+# socket surface (framing, submit/watch dispatch, journal replay on
+# reconnect, server shutdown) that tests/test_campaign_server.cc mocks
+# away.
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: $0 <bench_fig09> <campaign_server> <campaign_client>" >&2
+  exit 2
+fi
+fig09=$1
+server=$2
+client=$3
+
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+  if [[ -n "$server_pid" ]]; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT HUP INT TERM
+
+fig09_flags=(--scale=0.02 --benchmark=randacc)
+
+# The ground truth every campaign must reproduce byte for byte.
+"$fig09" "${fig09_flags[@]}" --jobs=2 --out="$workdir/whole.json" \
+    > "$workdir/whole.log"
+
+sock="$workdir/server.sock"
+"$server" --socket="$sock" 2> "$workdir/server.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  sleep 0.1
+done
+if [[ ! -S "$sock" ]]; then
+  echo "FAIL: server socket never appeared" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+fi
+
+# Campaign alpha: 3 shards, one injected SIGKILL after checkpoint
+# progress; the submitting client stays attached (--watch) and writes
+# the artifact carried by the terminal `merged` event.
+timeout 300 "$client" --connect="$sock" submit --name=alpha --shards=3 \
+    --jobs-per-shard=2 --run-dir="$workdir/alpha" --inject-kill=1 \
+    --watch --out="$workdir/alpha_merged.json" \
+    -- "$fig09" "${fig09_flags[@]}" --checkpoint-every=1 \
+    > "$workdir/alpha_watch.out" 2> "$workdir/alpha_watch.err" &
+alpha_pid=$!
+
+# Campaign beta submitted while alpha is still running: the server
+# multiplexes both over one launcher on one thread.
+timeout 300 "$client" --connect="$sock" submit --name=beta --shards=2 \
+    --jobs-per-shard=2 --run-dir="$workdir/beta" \
+    -- "$fig09" "${fig09_flags[@]}" > "$workdir/beta_submit.out"
+if [[ "$(cat "$workdir/beta_submit.out")" != "beta" ]]; then
+  echo "FAIL: submit did not echo the campaign name" >&2
+  exit 1
+fi
+
+# Beta's watcher runs the reconnect drill: after 2 events it drops the
+# connection on purpose, redials, and resumes from its last seq.
+timeout 300 "$client" --connect="$sock" watch --name=beta \
+    --reconnect-after=2 --out="$workdir/beta_merged.json" \
+    > "$workdir/beta_watch.out" 2> "$workdir/beta_watch.err" &
+beta_pid=$!
+
+if ! wait "$alpha_pid"; then
+  echo "FAIL: alpha submit+watch client exited nonzero" >&2
+  cat "$workdir/alpha_watch.err" "$workdir/server.log" >&2
+  exit 1
+fi
+if ! wait "$beta_pid"; then
+  echo "FAIL: beta watch client exited nonzero" >&2
+  cat "$workdir/beta_watch.err" "$workdir/server.log" >&2
+  exit 1
+fi
+
+for campaign in alpha beta; do
+  if ! cmp "$workdir/${campaign}_merged.json" "$workdir/whole.json"; then
+    echo "FAIL: $campaign's streamed merged artifact differs from the" \
+         "unsharded artifact" >&2
+    exit 1
+  fi
+done
+echo "OK: both campaigns' streamed merged artifacts are byte-identical" \
+     "to the unsharded artifact"
+
+# The injected kill must have exercised the checkpoint-restart path
+# (or, if the shard outran the kill, the relaunch-once drill).
+if ! grep -qE "injected SIGKILL|relaunching once" "$workdir/server.log"; then
+  echo "FAIL: server log shows no injected kill for alpha" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+fi
+if ! grep -qE "restarting from its checkpoint|relaunching once" \
+    "$workdir/server.log"; then
+  echo "FAIL: server log shows no restart after the injected kill" >&2
+  cat "$workdir/server.log" >&2
+  exit 1
+fi
+echo "OK: injected kill + checkpoint restart ran under the server"
+
+# The reconnect drill must actually have dropped and redialed...
+if ! grep -q "reconnecting" "$workdir/beta_watch.err"; then
+  echo "FAIL: beta's watcher never performed its reconnect drill" >&2
+  cat "$workdir/beta_watch.err" >&2
+  exit 1
+fi
+# ...and the resumed stream must be gapless and duplicate-free: the
+# printed seqs are strictly consecutive across the reconnect.
+if ! awk '{ if (prev != "" && $1 != prev + 1) exit 1; prev = $1 }' \
+    "$workdir/beta_watch.out"; then
+  echo "FAIL: beta's event stream has a gap or duplicate across the" \
+       "reconnect" >&2
+  cat "$workdir/beta_watch.out" >&2
+  exit 1
+fi
+echo "OK: watcher reconnect resumed the stream with no gap or duplicate"
+
+# The on-disk event journal is the stream's durable twin.
+for campaign in alpha beta; do
+  if [[ ! -s "$workdir/$campaign/events.journal" ]]; then
+    echo "FAIL: $campaign has no events.journal in its run dir" >&2
+    exit 1
+  fi
+done
+echo "OK: both campaigns journaled their event streams"
+
+# Clean shutdown on SIGTERM: aborted campaigns, removed socket.
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=
+if [[ -S "$sock" ]]; then
+  echo "FAIL: server left its socket behind on shutdown" >&2
+  exit 1
+fi
+echo "OK: server shut down cleanly and removed its socket"

@@ -1,0 +1,390 @@
+#include "runtime/campaign_run.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/canonical_json.h"
+#include "runtime/serialize.h"
+#include "runtime/shard_launcher.h"
+
+namespace paradet::runtime {
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string join_argv(const std::vector<std::string>& argv) {
+  std::string joined;
+  for (const std::string& arg : argv) {
+    if (!joined.empty()) joined += ' ';
+    joined += arg;
+  }
+  return joined;
+}
+
+}  // namespace
+
+CampaignRun::CampaignRun(std::vector<std::string> driver_command,
+                         OrchestratorOptions options, ShardLauncher& launcher,
+                         EventSink sink, bool narrate)
+    : driver_command_(std::move(driver_command)),
+      options_(std::move(options)),
+      launcher_(launcher),
+      sink_(std::move(sink)),
+      narrate_(narrate) {
+  if (driver_command_.empty()) {
+    throw std::invalid_argument("orchestrate: empty driver command");
+  }
+  if (options_.shards == 0) {
+    throw std::invalid_argument("orchestrate: need at least one shard");
+  }
+  if (options_.run_dir.empty()) {
+    throw std::invalid_argument("orchestrate: run_dir is required");
+  }
+  if (options_.inject_kill >= 0 &&
+      static_cast<std::uint64_t>(options_.inject_kill) >= options_.shards) {
+    throw std::invalid_argument("orchestrate: inject_kill shard out of range");
+  }
+  // A driver the launcher can prove unrunnable must fail here, before the
+  // run directory fills with doomed exit-127 logs. (For remote launchers
+  // nothing is provable up front and the check is a pass.)
+  if (!launcher_.command_is_runnable(driver_command_[0])) {
+    throw std::runtime_error("driver '" + driver_command_[0] +
+                             "' is not an executable file");
+  }
+  std::filesystem::create_directories(options_.run_dir);
+  // A parent that set SIGCHLD to SIG_IGN (inherited across fork/exec)
+  // would have the kernel auto-reap a process launcher's children, making
+  // every waitpid fail with ECHILD and the monitor loop treat each shard
+  // as crashed. Claim normal child semantics for ourselves.
+  ::signal(SIGCHLD, SIG_DFL);
+
+  result_.merged_path = options_.merged_out.empty()
+                            ? options_.run_dir + "/merged.json"
+                            : options_.merged_out;
+  kill_dispatched_ = options_.inject_kill < 0;
+  drill_done_ = options_.inject_kill < 0;
+
+  procs_.resize(options_.shards);
+  for (std::uint64_t k = 0; k < options_.shards; ++k) {
+    ShardProc& proc = procs_[k];
+    proc.status.index = k;
+    proc.status.out_path = shard_out_path(options_, k);
+    proc.status.checkpoint_path = shard_checkpoint_path(options_, k);
+    proc.status.log_path = shard_log_path(options_, k);
+    proc.argv = shard_argv(driver_command_, options_, k);
+    launch(proc);
+    if (narrate_) {
+      std::fprintf(stderr, "orchestrator: shard %llu/%llu via %s: %s\n",
+                   static_cast<unsigned long long>(k),
+                   static_cast<unsigned long long>(options_.shards),
+                   launcher_.name(), join_argv(proc.argv).c_str());
+    }
+  }
+}
+
+CampaignRun::~CampaignRun() {
+  // Never leave shard children running behind an exception or a dropped
+  // run: a rerun on the same run dir would race them on the very same
+  // journal and artifact paths.
+  for (ShardProc& proc : procs_) {
+    if (!proc.running) continue;
+    launcher_.kill(proc.handle);
+    launcher_.reap(proc.handle);
+    proc.running = false;
+  }
+}
+
+void CampaignRun::launch(ShardProc& proc) {
+  proc.handle = launcher_.launch(proc.argv, proc.status.log_path);
+  proc.running = true;
+  proc.kill_sent = false;
+  proc.launched_at = Clock::now();
+  ++proc.status.launches;
+  std::string body = "{\"shard\":";
+  json::append_u64(body, proc.status.index);
+  body += ",\"attempt\":";
+  json::append_u64(body, proc.status.launches);
+  body += '}';
+  emit("launch", body);
+}
+
+unsigned CampaignRun::allowed_launches(const ShardProc& proc) const {
+  // The shard's first launch, the retries, and one extra for the
+  // inject-kill drill target so the induced restart does not eat into
+  // its real-failure budget.
+  return 1 + options_.retries + (proc.status.inject_kill_fired ? 1u : 0u);
+}
+
+void CampaignRun::emit(const std::string& kind, const std::string& body) {
+  if (sink_) sink_({kind, body});
+}
+
+void CampaignRun::tick() {
+  if (finished_) return;
+
+  for (ShardProc& proc : procs_) {
+    if (proc.done || !proc.running) continue;
+    const std::uint64_t k = proc.status.index;
+
+    const ShardExit exit = launcher_.poll(proc.handle);
+    if (exit.exited) {
+      proc.running = false;
+      const double elapsed = elapsed_seconds(proc.launched_at);
+      proc.status.last_exit_code = exit.exit_code;
+      proc.status.last_signal = exit.signal;
+
+      if (exit.clean()) {
+        if (!drill_done_ &&
+            static_cast<std::int64_t>(k) == options_.inject_kill) {
+          // The drill target outran the kill — either it was never sent,
+          // or it raced the clean exit and landed as a no-op. Relaunch
+          // once anyway: it resumes from its completed checkpoint,
+          // re-runs nothing, and rewrites the identical artifact — the
+          // resume path still gets exercised.
+          drill_done_ = true;
+          kill_dispatched_ = true;
+          proc.status.inject_kill_fired = true;
+          ++result_.restarts;
+          if (narrate_) {
+            std::fprintf(stderr,
+                         "orchestrator: shard %llu finished before the "
+                         "injected kill took effect; relaunching once to "
+                         "exercise checkpoint resume\n",
+                         static_cast<unsigned long long>(k));
+          }
+          emit("drill_relaunch",
+               "{\"shard\":" + std::to_string(k) + "}");
+          launch(proc);
+          continue;
+        }
+        proc.status.succeeded = true;
+        proc.status.wall_seconds = elapsed;
+        proc.done = true;
+        ++done_count_;
+        finished_seconds_.push_back(elapsed);
+        if (narrate_) {
+          std::fprintf(stderr, "orchestrator: shard %llu done in %.2fs\n",
+                       static_cast<unsigned long long>(k), elapsed);
+        }
+        // Collect this shard's artifact now (a no-op locally, an rsync
+        // for remote launchers): completed work is safe on this side
+        // from here on, and the incremental aggregate below can read it.
+        launcher_.collect({proc.status.out_path});
+        {
+          std::string body = "{\"shard\":";
+          json::append_u64(body, k);
+          body += ",\"wall\":";
+          json::append_double(body, elapsed);
+          body += ",\"launches\":";
+          json::append_u64(body, proc.status.launches);
+          body += '}';
+          emit("shard_done", body);
+        }
+        if (sink_) {
+          // Partial aggregate over the shards done so far, merged in
+          // shard-index order (merge order is observable in the
+          // floating-point sums; a fixed order keeps the stream
+          // deterministic).
+          CampaignAggregate partial;
+          std::uint64_t shards_done = 0;
+          for (const ShardProc& p : procs_) {
+            if (!p.status.succeeded) continue;
+            partial.merge(read_artifact_file(p.status.out_path).aggregate);
+            ++shards_done;
+          }
+          std::string body = "{\"shards_done\":";
+          json::append_u64(body, shards_done);
+          body += ",\"shards\":";
+          json::append_u64(body, options_.shards);
+          body += ",\"runs\":";
+          json::append_u64(body, partial.runs);
+          body += ",\"errors_detected\":";
+          json::append_u64(body, partial.errors_detected);
+          body += ",\"instructions\":";
+          json::append_u64(body, partial.instructions);
+          body += ",\"segments\":";
+          json::append_u64(body, partial.segments);
+          body += '}';
+          emit("aggregate", body);
+        }
+        continue;
+      }
+
+      // Crash, kill (injected or straggler) or nonzero exit: relaunch
+      // the identical command — it resumes from the shard's checkpoint
+      // journal — while the retry budget lasts.
+      const bool budget_left = proc.status.launches < allowed_launches(proc);
+      {
+        std::string body = "{\"shard\":";
+        json::append_u64(body, k);
+        body += ",\"exit\":";
+        json::append_i64(body, exit.exit_code);
+        body += ",\"signal\":";
+        json::append_i64(body, exit.signal);
+        body += ",\"attempt\":";
+        json::append_u64(body, proc.status.launches);
+        body += ",\"final\":";
+        body += budget_left ? "false" : "true";
+        body += '}';
+        emit("shard_failed", body);
+      }
+      if (budget_left) {
+        if (proc.status.inject_kill_fired) drill_done_ = true;
+        ++result_.restarts;
+        if (narrate_) {
+          std::fprintf(
+              stderr,
+              "orchestrator: shard %llu died (%s%d) after %.2fs; "
+              "restarting from its checkpoint (attempt %u of %u)\n",
+              static_cast<unsigned long long>(k),
+              proc.status.last_signal != 0 ? "signal " : "exit ",
+              proc.status.last_signal != 0 ? proc.status.last_signal
+                                           : proc.status.last_exit_code,
+              elapsed, proc.status.launches + 1, allowed_launches(proc));
+        }
+        launch(proc);
+      } else {
+        proc.done = true;
+        ++done_count_;
+        if (narrate_) {
+          std::fprintf(stderr,
+                       "orchestrator: shard %llu failed %u times; giving up "
+                       "(see %s)\n",
+                       static_cast<unsigned long long>(k),
+                       proc.status.launches, proc.status.log_path.c_str());
+        }
+      }
+      continue;
+    }
+
+    // Still running: fire the injected kill once its checkpoint proves
+    // there is something to resume, and police stragglers.
+    if (!kill_dispatched_ &&
+        static_cast<std::int64_t>(k) == options_.inject_kill &&
+        !proc.kill_sent &&
+        launcher_.checkpoint_progress(proc.status.checkpoint_path)) {
+      kill_dispatched_ = true;
+      proc.status.inject_kill_fired = true;
+      proc.kill_sent = true;
+      launcher_.kill(proc.handle);
+      if (narrate_) {
+        std::fprintf(stderr,
+                     "orchestrator: injected SIGKILL into shard %llu "
+                     "after checkpoint progress\n",
+                     static_cast<unsigned long long>(k));
+      }
+      emit("inject_kill", "{\"shard\":" + std::to_string(k) + "}");
+      continue;
+    }
+    // One straggler kill per shard: the restart already resumed it from
+    // its checkpoint, so if it is *still* over the threshold the
+    // remaining work is genuinely long (one atomic task, a slow box) —
+    // killing again would just burn the retry budget re-running it. And
+    // never kill a shard with no relaunch budget left (e.g. --retries=0):
+    // the orchestrator must not destroy a run it cannot restart.
+    if (!proc.kill_sent && !proc.status.straggler_killed &&
+        proc.status.launches < allowed_launches(proc) &&
+        is_straggler(elapsed_seconds(proc.launched_at), finished_seconds_,
+                     options_.shards, options_.straggler_factor)) {
+      proc.kill_sent = true;
+      proc.status.straggler_killed = true;
+      launcher_.kill(proc.handle);
+      if (narrate_) {
+        std::fprintf(stderr,
+                     "orchestrator: shard %llu is straggling (%.2fs with "
+                     "%zu of %llu shards already finished); killing for a "
+                     "checkpoint restart\n",
+                     static_cast<unsigned long long>(k),
+                     elapsed_seconds(proc.launched_at),
+                     finished_seconds_.size(),
+                     static_cast<unsigned long long>(options_.shards));
+      }
+      emit("straggler_kill", "{\"shard\":" + std::to_string(k) + "}");
+    }
+  }
+
+  if (done_count_ == options_.shards) finish();
+}
+
+void CampaignRun::abort() {
+  if (finished_) return;
+  for (ShardProc& proc : procs_) {
+    if (!proc.running) continue;
+    launcher_.kill(proc.handle);
+    launcher_.reap(proc.handle);
+    proc.running = false;
+    if (!proc.done) {
+      proc.done = true;
+      ++done_count_;
+    }
+  }
+  finish();
+}
+
+void CampaignRun::finish() {
+  finished_ = true;
+  result_.shards.clear();
+  for (ShardProc& proc : procs_) {
+    result_.shards.push_back(proc.status);
+  }
+  const bool all_ok =
+      std::all_of(result_.shards.begin(), result_.shards.end(),
+                  [](const ShardStatus& s) { return s.succeeded; });
+  if (!all_ok) {
+    std::string body = "{\"restarts\":";
+    json::append_u64(body, result_.restarts);
+    body += ",\"failed_shards\":[";
+    bool first = true;
+    for (const ShardStatus& s : result_.shards) {
+      if (s.succeeded) continue;
+      if (!first) body += ',';
+      first = false;
+      json::append_u64(body, s.index);
+    }
+    body += "]}";
+    emit("failed", body);
+    return;
+  }
+
+  // Merge through the same library path tools/merge_results drives; the
+  // output is byte-identical to the unsharded run's --out artifact.
+  std::vector<CampaignArtifact> artifacts;
+  artifacts.reserve(result_.shards.size());
+  for (const ShardStatus& shard : result_.shards) {
+    artifacts.push_back(read_artifact_file(shard.out_path));
+  }
+  write_artifact_file(result_.merged_path,
+                      merge_artifacts(std::move(artifacts)));
+  result_.merged_ok = true;
+  if (narrate_) {
+    std::fprintf(stderr,
+                 "orchestrator: merged %zu shard artifacts -> %s "
+                 "(%u restart%s)\n",
+                 result_.shards.size(), result_.merged_path.c_str(),
+                 result_.restarts, result_.restarts == 1 ? "" : "s");
+  }
+  if (sink_) {
+    // The merged artifact travels inside the event, so a watching client
+    // can write a byte-identical copy without filesystem access to the
+    // server's run dir (escape/unescape of the JSON text is identity).
+    std::string body = "{\"path\":";
+    json::append_string(body, result_.merged_path);
+    body += ",\"restarts\":";
+    json::append_u64(body, result_.restarts);
+    body += ",\"artifact\":";
+    json::append_string(body, json::read_whole_file(result_.merged_path));
+    body += '}';
+    emit("merged", body);
+  }
+}
+
+}  // namespace paradet::runtime

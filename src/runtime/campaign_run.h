@@ -1,0 +1,106 @@
+// CampaignRun: the orchestrator's monitor loop as a non-blocking state
+// machine.
+//
+// orchestrate() (runtime/orchestrator.h) wants to block until the merge
+// is done; the campaign server (runtime/campaign_server.h) wants to
+// interleave many campaigns with socket traffic on one thread. Both
+// need the identical policy — launch every shard, relaunch failures
+// from their checkpoints within the retry budget, police stragglers,
+// run the inject-kill drill, merge byte-identically — so the policy
+// lives here once, as a tick()-able object, and both callers are thin
+// loops around it.
+//
+// Each observable transition is also emitted as a CampaignEvent (a kind
+// plus a canonical-JSON body): the server journals and streams these to
+// watching clients; orchestrate() ignores them. Shard artifacts are
+// collected (rsync'd back, for remote launchers) per shard as it
+// succeeds, which is what lets the aggregate events be incremental.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/orchestrator.h"
+
+namespace paradet::runtime {
+
+class ShardLauncher;
+
+/// One observable campaign transition. `body` is canonical-JSON text,
+/// ready to travel inside a wire frame verbatim. Kinds and bodies are
+/// specified normatively in docs/formats.md:
+///   launch, shard_done, shard_failed, straggler_kill, inject_kill,
+///   drill_relaunch, aggregate, merged, failed
+struct CampaignEvent {
+  std::string kind;
+  std::string body;
+};
+
+class CampaignRun {
+ public:
+  using EventSink = std::function<void(const CampaignEvent&)>;
+
+  /// Validates options, creates the run directory and launches every
+  /// shard (same setup-error throws as orchestrate()). `sink` may be
+  /// null. `narrate` keeps the classic orchestrator stderr commentary.
+  CampaignRun(std::vector<std::string> driver_command,
+              OrchestratorOptions options, ShardLauncher& launcher,
+              EventSink sink = nullptr, bool narrate = true);
+
+  /// Kills and reaps anything still running (the orchestrator's unwind
+  /// guard, now owned by the object's lifetime).
+  ~CampaignRun();
+
+  CampaignRun(const CampaignRun&) = delete;
+  CampaignRun& operator=(const CampaignRun&) = delete;
+
+  /// One non-blocking pass: poll every live shard, apply the
+  /// restart/straggler/drill policy, and — when the last shard lands —
+  /// collect, merge and finish. Call repeatedly; never sleeps.
+  void tick();
+
+  bool finished() const { return finished_; }
+
+  /// Kill every running shard and finish as failed (server shutdown).
+  void abort();
+
+  /// Valid once finished(): the same result orchestrate() returns.
+  const OrchestratorResult& result() const { return result_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ShardProc {
+    ShardStatus status;
+    std::vector<std::string> argv;
+    std::uint64_t handle = 0;
+    bool running = false;
+    bool done = false;
+    bool kill_sent = false;
+    Clock::time_point launched_at;
+  };
+
+  void launch(ShardProc& proc);
+  unsigned allowed_launches(const ShardProc& proc) const;
+  void emit(const std::string& kind, const std::string& body);
+  void finish();
+
+  std::vector<std::string> driver_command_;
+  OrchestratorOptions options_;
+  ShardLauncher& launcher_;
+  EventSink sink_;
+  bool narrate_ = true;
+
+  std::vector<ShardProc> procs_;
+  std::vector<double> finished_seconds_;
+  std::uint64_t done_count_ = 0;
+  bool kill_dispatched_ = false;
+  bool drill_done_ = false;
+  bool finished_ = false;
+  OrchestratorResult result_;
+};
+
+}  // namespace paradet::runtime

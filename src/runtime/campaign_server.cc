@@ -1,0 +1,534 @@
+#include "runtime/campaign_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/campaign_run.h"
+#include "runtime/canonical_json.h"
+#include "runtime/shard_launcher.h"
+#include "runtime/wire_protocol.h"
+
+namespace paradet::runtime {
+
+// --- Campaign specs ----------------------------------------------------------
+
+bool CampaignSpec::operator==(const CampaignSpec& other) const {
+  const OrchestratorOptions& a = options;
+  const OrchestratorOptions& b = other.options;
+  return name == other.name && driver == other.driver &&
+         a.shards == b.shards && a.jobs_per_shard == b.jobs_per_shard &&
+         a.run_dir == b.run_dir && a.merged_out == b.merged_out &&
+         a.retries == b.retries && a.straggler_factor == b.straggler_factor &&
+         a.poll_ms == b.poll_ms && a.inject_kill == b.inject_kill;
+}
+
+std::string campaign_spec_body(const CampaignSpec& spec) {
+  std::string body = "{\"name\":";
+  json::append_string(body, spec.name);
+  body += ",\"driver\":[";
+  bool first = true;
+  for (const std::string& arg : spec.driver) {
+    if (!first) body += ',';
+    first = false;
+    json::append_string(body, arg);
+  }
+  body += "],\"shards\":";
+  json::append_u64(body, spec.options.shards);
+  body += ",\"jobs_per_shard\":";
+  json::append_u64(body, spec.options.jobs_per_shard);
+  body += ",\"run_dir\":";
+  json::append_string(body, spec.options.run_dir);
+  body += ",\"merged_out\":";
+  json::append_string(body, spec.options.merged_out);
+  body += ",\"retries\":";
+  json::append_u64(body, spec.options.retries);
+  body += ",\"straggler_factor\":";
+  json::append_double(body, spec.options.straggler_factor);
+  body += ",\"poll_ms\":";
+  json::append_u64(body, spec.options.poll_ms);
+  body += ",\"inject_kill\":";
+  json::append_i64(body, spec.options.inject_kill);
+  body += '}';
+  return body;
+}
+
+CampaignSpec parse_campaign_spec(std::string_view body_text) {
+  const json::Json body = json::parse(body_text);
+  if (body.kind != json::Json::Kind::kObject) {
+    throw std::runtime_error("campaign spec: expected a JSON object");
+  }
+  CampaignSpec spec;
+  bool saw_driver = false, saw_shards = false, saw_run_dir = false;
+  for (const auto& [key, value] : body.fields) {
+    if (key == "name") {
+      spec.name = value.as_string();
+    } else if (key == "driver") {
+      saw_driver = true;
+      for (const json::Json& arg : value.as_array()) {
+        spec.driver.push_back(arg.as_string());
+      }
+    } else if (key == "shards") {
+      saw_shards = true;
+      spec.options.shards = value.as_u64();
+    } else if (key == "jobs_per_shard") {
+      spec.options.jobs_per_shard = static_cast<unsigned>(value.as_u64());
+    } else if (key == "run_dir") {
+      saw_run_dir = true;
+      spec.options.run_dir = value.as_string();
+    } else if (key == "merged_out") {
+      spec.options.merged_out = value.as_string();
+    } else if (key == "retries") {
+      spec.options.retries = static_cast<unsigned>(value.as_u64());
+    } else if (key == "straggler_factor") {
+      spec.options.straggler_factor = value.as_double();
+    } else if (key == "poll_ms") {
+      spec.options.poll_ms = static_cast<unsigned>(value.as_u64());
+    } else if (key == "inject_kill") {
+      spec.options.inject_kill = value.as_i64();
+    } else {
+      // A typo'd option silently falling back to its default would run
+      // the wrong campaign; refuse instead.
+      throw std::runtime_error("campaign spec: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_driver || spec.driver.empty()) {
+    throw std::runtime_error("campaign spec: 'driver' is required");
+  }
+  if (!saw_shards) {
+    throw std::runtime_error("campaign spec: 'shards' is required");
+  }
+  if (!saw_run_dir) {
+    throw std::runtime_error("campaign spec: 'run_dir' is required");
+  }
+  return spec;
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+struct CampaignScheduler::Entry {
+  CampaignSpec spec;
+  std::unique_ptr<CampaignRun> run;
+  std::vector<std::string> lines;  ///< lines[i] carries seq i+1.
+  std::FILE* journal = nullptr;    ///< <run_dir>/events.journal, append.
+
+  ~Entry() {
+    if (journal != nullptr) std::fclose(journal);
+  }
+};
+
+CampaignScheduler::CampaignScheduler(ShardLauncher& launcher)
+    : launcher_(launcher) {}
+
+CampaignScheduler::~CampaignScheduler() = default;
+
+void CampaignScheduler::append_line(Entry& entry, const std::string& kind,
+                                    const std::string& data_body) {
+  wire::Message message;
+  message.type = "event";
+  message.seq = entry.lines.size() + 1;
+  message.body = "{\"campaign\":";
+  json::append_string(message.body, entry.spec.name);
+  message.body += ",\"kind\":";
+  json::append_string(message.body, kind);
+  message.body += ",\"data\":";
+  message.body += data_body;
+  message.body += '}';
+
+  const std::string line = wire::message_line(message);
+  entry.lines.push_back(line);
+  if (entry.journal != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), entry.journal);
+    std::fflush(entry.journal);  // durable before it is streamed.
+  }
+  if (sink_) sink_(entry.spec.name, message.seq, line);
+}
+
+CampaignScheduler::SubmitResult CampaignScheduler::submit(CampaignSpec spec) {
+  if (spec.name.empty()) {
+    spec.name = "campaign-" + std::to_string(next_auto_name_++);
+  }
+  if (campaigns_.count(spec.name) != 0) {
+    return {"", "campaign '" + spec.name + "' already exists"};
+  }
+  for (const auto& [name, entry] : campaigns_) {
+    if (entry->spec.options.run_dir == spec.options.run_dir) {
+      return {"", "run_dir '" + spec.options.run_dir +
+                  "' is already in use by campaign '" + name + "'"};
+    }
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->spec = spec;
+  Entry* raw = entry.get();
+  try {
+    std::filesystem::create_directories(spec.options.run_dir);
+    const std::string journal_path = spec.options.run_dir + "/events.journal";
+    raw->journal = std::fopen(journal_path.c_str(), "ab");
+    if (raw->journal == nullptr) {
+      throw std::runtime_error("cannot open '" + journal_path +
+                               "': " + std::strerror(errno));
+    }
+    campaigns_[spec.name] = std::move(entry);
+    std::string accepted = "{\"shards\":";
+    json::append_u64(accepted, spec.options.shards);
+    accepted += ",\"driver\":";
+    json::append_string(accepted, spec.driver[0]);
+    accepted += '}';
+    append_line(*raw, "accepted", accepted);
+    // The run launches every shard right here; its launch events land
+    // after `accepted` in the journal.
+    raw->run = std::make_unique<CampaignRun>(
+        spec.driver, spec.options, launcher_,
+        [this, raw](const CampaignEvent& event) {
+          append_line(*raw, event.kind, event.body);
+        });
+  } catch (const std::exception& e) {
+    campaigns_.erase(spec.name);
+    return {"", e.what()};
+  }
+  return {spec.name, ""};
+}
+
+void CampaignScheduler::tick() {
+  for (auto& [name, entry] : campaigns_) {
+    if (entry->run && !entry->run->finished()) entry->run->tick();
+  }
+}
+
+bool CampaignScheduler::busy() const {
+  for (const auto& [name, entry] : campaigns_) {
+    if (entry->run && !entry->run->finished()) return true;
+  }
+  return false;
+}
+
+bool CampaignScheduler::known(const std::string& campaign) const {
+  return campaigns_.count(campaign) != 0;
+}
+
+bool CampaignScheduler::finished(const std::string& campaign) const {
+  const auto it = campaigns_.find(campaign);
+  return it != campaigns_.end() && it->second->run &&
+         it->second->run->finished();
+}
+
+std::vector<std::string> CampaignScheduler::replay(
+    const std::string& campaign, std::uint64_t from_seq) const {
+  std::vector<std::string> lines;
+  const auto it = campaigns_.find(campaign);
+  if (it == campaigns_.end()) return lines;
+  const std::vector<std::string>& all = it->second->lines;
+  for (std::size_t i = from_seq; i < all.size(); ++i) lines.push_back(all[i]);
+  return lines;
+}
+
+void CampaignScheduler::abort_all() {
+  for (auto& [name, entry] : campaigns_) {
+    if (entry->run && !entry->run->finished()) entry->run->abort();
+  }
+}
+
+// --- The poll() daemon -------------------------------------------------------
+
+namespace {
+
+struct Endpoint {
+  bool is_unix = true;
+  std::string path;  ///< unix socket path.
+  std::string host;  ///< tcp host (empty = loopback).
+  int port = 0;
+};
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.is_unix = false;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? rest : rest.substr(colon + 1);
+    if (colon != std::string::npos) ep.host = rest.substr(0, colon);
+    char* end = nullptr;
+    ep.port = static_cast<int>(std::strtol(port_text.c_str(), &end, 10));
+    if (end == port_text.c_str() || *end != '\0' || ep.port < 0 ||
+        ep.port > 65535) {
+      throw std::runtime_error("bad tcp endpoint '" + spec + "'");
+    }
+    return ep;
+  }
+  ep.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (ep.path.empty()) {
+    throw std::runtime_error("bad endpoint '" + spec + "'");
+  }
+  return ep;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int make_listener(const Endpoint& ep) {
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("socket: ") +
+                               std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      throw std::runtime_error("unix socket path too long: " + ep.path);
+    }
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof addr.sun_path - 1);
+    ::unlink(ep.path.c_str());  // a stale socket from a dead server.
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, 16) < 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw std::runtime_error("bind/listen on '" + ep.path + "': " + why);
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (!ep.host.empty() &&
+      ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad tcp host '" + ep.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind/listen tcp port " +
+                             std::to_string(ep.port) + ": " + why);
+  }
+  return fd;
+}
+
+struct Connection {
+  int fd = -1;
+  wire::FrameDecoder decoder;
+  std::string outbuf;
+  std::set<std::string> watching;
+  bool dead = false;
+};
+
+void queue_message(Connection& conn, const wire::Message& message) {
+  conn.outbuf += wire::encode_frame(message);
+}
+
+void queue_error(Connection& conn, const std::string& what) {
+  wire::Message reply;
+  reply.type = "error";
+  reply.body = "{\"message\":";
+  json::append_string(reply.body, what);
+  reply.body += '}';
+  queue_message(conn, reply);
+}
+
+}  // namespace
+
+std::uint64_t run_campaign_server(const CampaignServerOptions& options,
+                                  ShardLauncher& launcher,
+                                  const volatile std::sig_atomic_t* stop) {
+  // A watcher that vanished mid-write must be an EPIPE, not a fatal
+  // signal: its campaign keeps running and its journal keeps the events
+  // for the reconnect.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const Endpoint endpoint = parse_endpoint(options.endpoint);
+  const int listener = make_listener(endpoint);
+  set_nonblocking(listener);
+  std::fprintf(stderr, "campaign_server: listening on %s\n",
+               options.endpoint.c_str());
+
+  CampaignScheduler scheduler(launcher);
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::uint64_t served = 0;
+
+  scheduler.set_line_sink([&conns](const std::string& campaign,
+                                   std::uint64_t /*seq*/,
+                                   const std::string& line) {
+    const std::string frame = wire::frame_line(line);
+    for (const auto& conn : conns) {
+      if (!conn->dead && conn->watching.count(campaign) != 0) {
+        conn->outbuf += frame;
+      }
+    }
+  });
+
+  const auto dispatch = [&](Connection& conn, const wire::Message& message) {
+    if (message.type == "submit") {
+      CampaignSpec spec;
+      try {
+        spec = parse_campaign_spec(message.body);
+      } catch (const std::exception& e) {
+        queue_error(conn, e.what());
+        return;
+      }
+      const CampaignScheduler::SubmitResult result =
+          scheduler.submit(std::move(spec));
+      if (!result.error.empty()) {
+        queue_error(conn, result.error);
+        return;
+      }
+      ++served;
+      wire::Message reply;
+      reply.type = "submitted";
+      reply.body = "{\"campaign\":";
+      json::append_string(reply.body, result.campaign);
+      reply.body += '}';
+      queue_message(conn, reply);
+      return;
+    }
+    if (message.type == "watch") {
+      std::string campaign;
+      std::uint64_t resume_from = 0;
+      try {
+        const json::Json body = json::parse(message.body);
+        campaign = body.at("campaign").as_string();
+        if (const json::Json* from = body.find("resume_from")) {
+          resume_from = from->as_u64();
+        }
+      } catch (const std::exception& e) {
+        queue_error(conn, e.what());
+        return;
+      }
+      if (!scheduler.known(campaign)) {
+        queue_error(conn, "unknown campaign '" + campaign + "'");
+        return;
+      }
+      conn.watching.insert(campaign);
+      // The reconnect path: everything past the client's last
+      // acknowledged seq, streamed verbatim from the journal.
+      for (const std::string& line : scheduler.replay(campaign, resume_from)) {
+        conn.outbuf += wire::frame_line(line);
+      }
+      return;
+    }
+    queue_error(conn, "unsupported message type '" + message.type + "'");
+  };
+
+  while (*stop == 0) {
+    std::vector<pollfd> fds;
+    fds.push_back({listener, POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+    const int ready =
+        ::poll(fds.data(), fds.size(), static_cast<int>(options.poll_ms));
+    if (ready < 0 && errno != EINTR) {
+      break;  // the loop's fd set is broken beyond repair.
+    }
+
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& conn = *conns[i];
+      // fds[i + 1] only covers connections that existed at poll time.
+      if (i + 1 >= fds.size() || fds[i + 1].fd != conn.fd) continue;
+      const short revents = fds[i + 1].revents;
+
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char buf[1 << 16];
+        while (true) {
+          const ssize_t got = ::recv(conn.fd, buf, sizeof buf, 0);
+          if (got > 0) {
+            conn.decoder.feed(
+                std::string_view(buf, static_cast<std::size_t>(got)));
+            continue;
+          }
+          if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (got < 0 && errno == EINTR) continue;
+          conn.dead = true;  // EOF or hard error.
+          break;
+        }
+        try {
+          while (const auto message = conn.decoder.next()) {
+            dispatch(conn, *message);
+          }
+        } catch (const std::exception& e) {
+          // Malformed frame: the stream cannot be resynchronized. Tell
+          // the client why, flush what we can, drop the connection.
+          queue_error(conn, e.what());
+          conn.dead = true;
+        }
+      }
+
+      if (!conn.outbuf.empty()) {
+        const ssize_t sent =
+            ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), 0);
+        if (sent > 0) {
+          conn.outbuf.erase(0, static_cast<std::size_t>(sent));
+        } else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          conn.dead = true;
+        }
+      }
+    }
+
+    // Reap closed connections, flushing any pending error reply
+    // best-effort first (the peer may already be gone — that's fine).
+    for (std::size_t i = 0; i < conns.size();) {
+      if (conns[i]->dead) {
+        if (!conns[i]->outbuf.empty()) {
+          ::send(conns[i]->fd, conns[i]->outbuf.data(),
+                 conns[i]->outbuf.size(), 0);
+        }
+        ::close(conns[i]->fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    scheduler.tick();
+  }
+
+  scheduler.abort_all();
+  for (const auto& conn : conns) ::close(conn->fd);
+  ::close(listener);
+  if (endpoint.is_unix) ::unlink(endpoint.path.c_str());
+  std::fprintf(stderr, "campaign_server: shut down (%llu campaign%s served)\n",
+               static_cast<unsigned long long>(served), served == 1 ? "" : "s");
+  return served;
+}
+
+}  // namespace paradet::runtime

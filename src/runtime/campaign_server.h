@@ -1,0 +1,135 @@
+// Campaign-as-a-service: a long-lived scheduler multiplexing many
+// sharded campaigns over one ShardLauncher, plus the socket server that
+// exposes it.
+//
+// Layering:
+//
+//   CampaignScheduler — socket-free core, unit-testable with
+//     MockShardLauncher. Holds one CampaignRun per active campaign,
+//     tick()s them round-robin, and turns every CampaignEvent into a
+//     sequenced wire-envelope line that is (a) appended to the
+//     campaign's on-disk event journal (<run_dir>/events.journal) and
+//     (b) handed to the line sink for live streaming. The line on disk
+//     and the line on the wire are the same bytes — the PR 4 journal
+//     format promoted to the wire — so "resume from the last
+//     acknowledged record" is just replaying the journal tail.
+//
+//   CampaignServer — the poll()-loop daemon: accepts clients on a Unix
+//     or TCP socket, speaks wire_protocol.h frames, dispatches `submit`
+//     and `watch` requests into the scheduler, and fans new journal
+//     lines out to every watching connection. Single-threaded: campaign
+//     ticks and socket traffic interleave on one loop, so there is no
+//     locking anywhere.
+//
+// Client protocol (normative spec in docs/formats.md):
+//   -> {type:"submit", body: campaign spec}     one campaign per message
+//   <- {type:"submitted", body:{campaign}}      or {type:"error", ...}
+//   -> {type:"watch", body:{campaign, resume_from}}
+//   <- {type:"event", seq:N, body:{campaign, kind, data}}  (stream; the
+//      `merged` / `failed` kinds are terminal for that campaign)
+// A reconnecting watcher passes the last seq it durably consumed as
+// `resume_from` and receives seq resume_from+1.. verbatim.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/orchestrator.h"
+
+namespace paradet::runtime {
+
+class ShardLauncher;
+class CampaignRun;
+
+/// One sweep request: the driver command plus the orchestration options
+/// the server should run it under. `name` is the campaign's identity for
+/// watch/resume; empty lets the server assign one.
+struct CampaignSpec {
+  std::string name;
+  std::vector<std::string> driver;
+  OrchestratorOptions options;
+
+  bool operator==(const CampaignSpec&) const;
+};
+
+/// The canonical-JSON body of a `submit` message for `spec` (fixed key
+/// order; docs/formats.md). parse_campaign_spec inverts it; unknown keys
+/// are rejected so a typo'd option cannot silently fall back to a
+/// default.
+std::string campaign_spec_body(const CampaignSpec& spec);
+CampaignSpec parse_campaign_spec(std::string_view body_text);
+
+/// Socket-free scheduler core. Not thread-safe; everything happens on
+/// the caller's (the server loop's) thread.
+class CampaignScheduler {
+ public:
+  /// Invoked once per new journal line, after it is durably appended to
+  /// the campaign's events.journal: (campaign name, seq, envelope line).
+  using LineSink =
+      std::function<void(const std::string&, std::uint64_t, const std::string&)>;
+
+  explicit CampaignScheduler(ShardLauncher& launcher);
+  ~CampaignScheduler();
+
+  void set_line_sink(LineSink sink) { sink_ = std::move(sink); }
+
+  struct SubmitResult {
+    std::string campaign;  ///< assigned name (empty on error).
+    std::string error;     ///< empty on success.
+  };
+
+  /// Starts every shard of the campaign immediately (the work queue is
+  /// the set of unfinished shards, persisted per shard as checkpoint
+  /// journals; retry budgets and straggler policy come from the spec's
+  /// options). Duplicate active names and run-dir collisions are errors.
+  SubmitResult submit(CampaignSpec spec);
+
+  /// One non-blocking pass over every active campaign.
+  void tick();
+
+  bool busy() const;  ///< any campaign still running.
+  bool known(const std::string& campaign) const;
+  bool finished(const std::string& campaign) const;
+
+  /// Journal lines of `campaign` with seq > from_seq, in order. Empty
+  /// for unknown campaigns.
+  std::vector<std::string> replay(const std::string& campaign,
+                                  std::uint64_t from_seq) const;
+
+  /// Kill every running shard of every campaign (server shutdown).
+  void abort_all();
+
+ private:
+  struct Entry;
+  void append_line(Entry& entry, const std::string& kind,
+                   const std::string& data_body);
+
+  ShardLauncher& launcher_;
+  LineSink sink_;
+  std::map<std::string, std::unique_ptr<Entry>> campaigns_;
+  std::uint64_t next_auto_name_ = 1;
+};
+
+// --- The daemon --------------------------------------------------------------
+
+struct CampaignServerOptions {
+  /// "unix:/path/to.sock" (or a bare path), or "tcp:HOST:PORT" /
+  /// "tcp:PORT" (loopback when HOST is omitted).
+  std::string endpoint;
+  /// Scheduler tick + poll() timeout cadence.
+  unsigned poll_ms = 20;
+};
+
+/// Runs the daemon until *stop becomes nonzero (wire it to
+/// SIGINT/SIGTERM) — then aborts active campaigns and returns. Throws on
+/// endpoint setup failure. Returns the number of campaigns served.
+std::uint64_t run_campaign_server(const CampaignServerOptions& options,
+                                  ShardLauncher& launcher,
+                                  const volatile std::sig_atomic_t* stop);
+
+}  // namespace paradet::runtime

@@ -1,84 +1,15 @@
 #include "runtime/orchestrator.h"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <stdexcept>
 #include <thread>
-#include <utility>
 
+#include "runtime/campaign_run.h"
 #include "runtime/serialize.h"
+#include "runtime/shard_launcher.h"
 
 namespace paradet::runtime {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-std::string join_argv(const std::vector<std::string>& argv) {
-  std::string joined;
-  for (const std::string& arg : argv) {
-    if (!joined.empty()) joined += ' ';
-    joined += arg;
-  }
-  return joined;
-}
-
-/// One shard subprocess across its (re)launches.
-struct ShardProc {
-  ShardStatus status;
-  std::vector<std::string> argv;
-  pid_t pid = -1;
-  bool running = false;
-  bool done = false;
-  bool kill_sent = false;  ///< SIGKILL delivered, exit not yet reaped.
-  Clock::time_point launched_at;
-};
-
-void launch(ShardProc& proc) {
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    throw std::runtime_error(std::string("fork failed: ") +
-                             std::strerror(errno));
-  }
-  if (pid == 0) {
-    // Child: capture stdout+stderr in the shard log (append across
-    // relaunches, so one file tells the shard's whole story), then exec.
-    const int fd = ::open(proc.status.log_path.c_str(),
-                          O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd >= 0) {
-      ::dup2(fd, STDOUT_FILENO);
-      ::dup2(fd, STDERR_FILENO);
-      if (fd > STDERR_FILENO) ::close(fd);
-    }
-    std::vector<char*> argv;
-    argv.reserve(proc.argv.size() + 1);
-    for (std::string& arg : proc.argv) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-    ::execvp(argv[0], argv.data());
-    std::fprintf(stderr, "exec %s failed: %s\n", argv[0],
-                 std::strerror(errno));
-    ::_exit(127);
-  }
-  proc.pid = pid;
-  proc.running = true;
-  proc.kill_sent = false;
-  proc.launched_at = Clock::now();
-  ++proc.status.launches;
-}
-
-}  // namespace
 
 std::string shard_out_path(const OrchestratorOptions& options,
                            std::uint64_t index) {
@@ -161,250 +92,24 @@ bool checkpoint_has_progress(const std::string& checkpoint_path) {
 }
 
 OrchestratorResult orchestrate(const std::vector<std::string>& driver_command,
+                               const OrchestratorOptions& options,
+                               ShardLauncher& launcher) {
+  // All policy lives in CampaignRun (runtime/campaign_run.h), shared
+  // with the campaign server; this wrapper just blocks until it lands.
+  CampaignRun run(driver_command, options, launcher);
+  while (!run.finished()) {
+    run.tick();
+    if (!run.finished()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+    }
+  }
+  return run.result();
+}
+
+OrchestratorResult orchestrate(const std::vector<std::string>& driver_command,
                                const OrchestratorOptions& options) {
-  if (driver_command.empty()) {
-    throw std::invalid_argument("orchestrate: empty driver command");
-  }
-  if (options.shards == 0) {
-    throw std::invalid_argument("orchestrate: need at least one shard");
-  }
-  if (options.run_dir.empty()) {
-    throw std::invalid_argument("orchestrate: run_dir is required");
-  }
-  if (options.inject_kill >= 0 &&
-      static_cast<std::uint64_t>(options.inject_kill) >= options.shards) {
-    throw std::invalid_argument("orchestrate: inject_kill shard out of range");
-  }
-  // A driver given by path must at least exist and be executable; a bare
-  // name is left to the child's PATH lookup (exec failure surfaces as
-  // exit 127 in the shard log).
-  if (driver_command[0].find('/') != std::string::npos &&
-      ::access(driver_command[0].c_str(), X_OK) != 0) {
-    throw std::runtime_error("driver '" + driver_command[0] +
-                             "' is not an executable file");
-  }
-  std::filesystem::create_directories(options.run_dir);
-  // A parent that set SIGCHLD to SIG_IGN (inherited across fork/exec)
-  // would have the kernel auto-reap our children, making every waitpid
-  // fail with ECHILD and the monitor loop spin forever. Claim normal
-  // child semantics for ourselves.
-  ::signal(SIGCHLD, SIG_DFL);
-
-  OrchestratorResult result;
-  result.merged_path = options.merged_out.empty()
-                           ? options.run_dir + "/merged.json"
-                           : options.merged_out;
-
-  std::vector<ShardProc> procs(options.shards);
-  // If anything below throws (a relaunch's fork failing on EAGAIN, an
-  // unwritable checkpoint during progress probing, ...), the still-live
-  // shard children must not be orphaned: a re-run of the orchestrator on
-  // the same run dir would then race them on the very same journal and
-  // artifact paths. The guard SIGKILLs and reaps whatever is still
-  // running on any unwind; the normal path disarms it once every shard
-  // has been reaped.
-  struct KillGuard {
-    std::vector<ShardProc>& procs;
-    bool armed = true;
-    ~KillGuard() {
-      if (!armed) return;
-      for (ShardProc& proc : procs) {
-        if (!proc.running) continue;
-        ::kill(proc.pid, SIGKILL);
-        ::waitpid(proc.pid, nullptr, 0);
-        proc.running = false;
-      }
-    }
-  } kill_guard{procs};
-
-  for (std::uint64_t k = 0; k < options.shards; ++k) {
-    ShardProc& proc = procs[k];
-    proc.status.index = k;
-    proc.status.out_path = shard_out_path(options, k);
-    proc.status.checkpoint_path = shard_checkpoint_path(options, k);
-    proc.status.log_path = shard_log_path(options, k);
-    proc.argv = shard_argv(driver_command, options, k);
-    launch(proc);
-    std::fprintf(stderr, "orchestrator: shard %llu/%llu pid %d: %s\n",
-                 static_cast<unsigned long long>(k),
-                 static_cast<unsigned long long>(options.shards),
-                 static_cast<int>(proc.pid), join_argv(proc.argv).c_str());
-  }
-
-  std::uint64_t done_count = 0;
-  std::vector<double> finished_seconds;
-  // The inject-kill drill is done only once its target has actually been
-  // relaunched (a checkpoint resume ran) — not merely once the SIGKILL
-  // was sent, which can race the shard's own clean exit and land on a
-  // zombie as a no-op.
-  bool kill_dispatched = options.inject_kill < 0;
-  bool drill_done = options.inject_kill < 0;
-
-  // Total launches a shard may use: its first one, the retries, and one
-  // extra for the inject-kill drill target so the induced restart does
-  // not eat into its real-failure budget.
-  const auto allowed_launches = [&options](const ShardProc& proc) {
-    return 1 + options.retries +
-           (proc.status.inject_kill_fired ? 1u : 0u);
-  };
-
-  while (done_count < options.shards) {
-    for (ShardProc& proc : procs) {
-      if (proc.done || !proc.running) continue;
-      const std::uint64_t k = proc.status.index;
-
-      int wait_status = 0;
-      const pid_t reaped = ::waitpid(proc.pid, &wait_status, WNOHANG);
-      if (reaped < 0 && errno == EINTR) continue;
-      if (reaped == proc.pid || reaped < 0) {
-        proc.running = false;
-        const double elapsed = seconds_since(proc.launched_at);
-        // reaped < 0 (ECHILD despite the SIG_DFL reset above): the child
-        // vanished with an unknowable status. Treat it as a failure —
-        // the relaunch resumes from the checkpoint, so re-covering an
-        // actually-successful run costs nothing.
-        const bool clean_exit = reaped == proc.pid &&
-            WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
-        proc.status.last_exit_code =
-            reaped == proc.pid && WIFEXITED(wait_status)
-                ? WEXITSTATUS(wait_status)
-                : -1;
-        proc.status.last_signal =
-            reaped == proc.pid && WIFSIGNALED(wait_status)
-                ? WTERMSIG(wait_status)
-                : 0;
-
-        if (clean_exit) {
-          if (!drill_done &&
-              static_cast<std::int64_t>(k) == options.inject_kill) {
-            // The drill target outran the kill — either it was never
-            // sent, or it raced the clean exit and hit a zombie as a
-            // no-op. Relaunch once anyway: it resumes from its completed
-            // checkpoint, re-runs nothing, and rewrites the identical
-            // artifact — the resume path still gets exercised.
-            drill_done = true;
-            kill_dispatched = true;
-            proc.status.inject_kill_fired = true;
-            ++result.restarts;
-            std::fprintf(stderr,
-                         "orchestrator: shard %llu finished before the "
-                         "injected kill took effect; relaunching once to "
-                         "exercise checkpoint resume\n",
-                         static_cast<unsigned long long>(k));
-            launch(proc);
-            continue;
-          }
-          proc.status.succeeded = true;
-          proc.status.wall_seconds = elapsed;
-          proc.done = true;
-          ++done_count;
-          finished_seconds.push_back(elapsed);
-          std::fprintf(stderr, "orchestrator: shard %llu done in %.2fs\n",
-                       static_cast<unsigned long long>(k), elapsed);
-          continue;
-        }
-
-        // Crash, kill (injected or straggler) or nonzero exit: relaunch
-        // the identical command — it resumes from the shard's checkpoint
-        // journal — while the retry budget lasts.
-        if (proc.status.launches < allowed_launches(proc)) {
-          if (proc.status.inject_kill_fired) drill_done = true;
-          ++result.restarts;
-          std::fprintf(
-              stderr,
-              "orchestrator: shard %llu died (%s%d) after %.2fs; "
-              "restarting from its checkpoint (attempt %u of %u)\n",
-              static_cast<unsigned long long>(k),
-              proc.status.last_signal != 0 ? "signal " : "exit ",
-              proc.status.last_signal != 0 ? proc.status.last_signal
-                                           : proc.status.last_exit_code,
-              elapsed, proc.status.launches + 1, allowed_launches(proc));
-          launch(proc);
-        } else {
-          proc.done = true;
-          ++done_count;
-          std::fprintf(stderr,
-                       "orchestrator: shard %llu failed %u times; giving up "
-                       "(see %s)\n",
-                       static_cast<unsigned long long>(k),
-                       proc.status.launches, proc.status.log_path.c_str());
-        }
-        continue;
-      }
-
-      // Still running: fire the injected kill once its checkpoint proves
-      // there is something to resume, and police stragglers.
-      if (!kill_dispatched &&
-          static_cast<std::int64_t>(k) == options.inject_kill &&
-          !proc.kill_sent &&
-          checkpoint_has_progress(proc.status.checkpoint_path)) {
-        kill_dispatched = true;
-        proc.status.inject_kill_fired = true;
-        proc.kill_sent = true;
-        ::kill(proc.pid, SIGKILL);
-        std::fprintf(stderr,
-                     "orchestrator: injected SIGKILL into shard %llu (pid %d) "
-                     "after checkpoint progress\n",
-                     static_cast<unsigned long long>(k),
-                     static_cast<int>(proc.pid));
-        continue;
-      }
-      // One straggler kill per shard: the restart already resumed it
-      // from its checkpoint, so if it is *still* over the threshold the
-      // remaining work is genuinely long (one atomic task, a slow box) —
-      // killing again would just burn the retry budget re-running it.
-      // And never kill a shard with no relaunch budget left (e.g.
-      // --retries=0): the orchestrator must not destroy a run it cannot
-      // restart.
-      if (!proc.kill_sent && !proc.status.straggler_killed &&
-          proc.status.launches < allowed_launches(proc) &&
-          is_straggler(seconds_since(proc.launched_at), finished_seconds,
-                       options.shards, options.straggler_factor)) {
-        proc.kill_sent = true;
-        proc.status.straggler_killed = true;
-        ::kill(proc.pid, SIGKILL);
-        std::fprintf(stderr,
-                     "orchestrator: shard %llu is straggling (%.2fs with "
-                     "%zu of %llu shards already finished); killing for a "
-                     "checkpoint restart\n",
-                     static_cast<unsigned long long>(k),
-                     seconds_since(proc.launched_at),
-                     finished_seconds.size(),
-                     static_cast<unsigned long long>(options.shards));
-      }
-    }
-
-    if (done_count < options.shards) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options.poll_ms));
-    }
-  }
-  kill_guard.armed = false;  // every shard reaped; nothing left to kill.
-
-  for (ShardProc& proc : procs) {
-    result.shards.push_back(std::move(proc.status));
-  }
-  const bool all_ok =
-      std::all_of(result.shards.begin(), result.shards.end(),
-                  [](const ShardStatus& s) { return s.succeeded; });
-  if (!all_ok) return result;
-
-  // Merge through the same library path tools/merge_results drives; the
-  // output is byte-identical to the unsharded run's --out artifact.
-  std::vector<CampaignArtifact> artifacts;
-  artifacts.reserve(result.shards.size());
-  for (const ShardStatus& shard : result.shards) {
-    artifacts.push_back(read_artifact_file(shard.out_path));
-  }
-  write_artifact_file(result.merged_path,
-                      merge_artifacts(std::move(artifacts)));
-  result.merged_ok = true;
-  std::fprintf(stderr,
-               "orchestrator: merged %zu shard artifacts -> %s "
-               "(%u restart%s)\n",
-               result.shards.size(), result.merged_path.c_str(),
-               result.restarts, result.restarts == 1 ? "" : "s");
-  return result;
+  LocalShardLauncher launcher;
+  return orchestrate(driver_command, options, launcher);
 }
 
 }  // namespace paradet::runtime

@@ -22,9 +22,11 @@
 //     byte-identical to the unsharded run's `--out` (the invariant CI
 //     checks with cmp).
 //
-// The spawn/monitor machinery is POSIX (fork/exec/waitpid); the policy
-// pieces (argv construction, run-directory layout, straggler decision)
-// are pure functions exposed for unit tests.
+// The spawn/monitor *mechanism* lives behind runtime/shard_launcher.h —
+// local fork/exec by default, ssh for remote hosts, a scripted mock for
+// tests — so this file owns only policy: argv construction, run-directory
+// layout, retry budgets, the straggler decision. The policy pieces are
+// pure functions exposed for unit tests.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +34,8 @@
 #include <vector>
 
 namespace paradet::runtime {
+
+class ShardLauncher;
 
 struct OrchestratorOptions {
   std::uint64_t shards = 2;
@@ -128,7 +132,12 @@ bool checkpoint_has_progress(const std::string& checkpoint_path);
 /// on setup errors (unrunnable driver, uncreatable run directory);
 /// shard-level failures are reported in the result, with `merged_ok`
 /// false when any shard exhausted its retries. Progress is narrated to
-/// stderr.
+/// stderr. Shards run wherever `launcher` puts them — the overload
+/// without one uses a LocalShardLauncher (fork/exec on this host), which
+/// is the PR 4 behaviour unchanged.
+OrchestratorResult orchestrate(const std::vector<std::string>& driver_command,
+                               const OrchestratorOptions& options,
+                               ShardLauncher& launcher);
 OrchestratorResult orchestrate(const std::vector<std::string>& driver_command,
                                const OrchestratorOptions& options);
 

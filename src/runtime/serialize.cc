@@ -12,368 +12,23 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "runtime/canonical_json.h"
 
 namespace paradet::runtime {
 namespace {
 
-// --- Writer helpers --------------------------------------------------------
+// The canonical-JSON writers, document model and checksummed line framing
+// live in runtime/canonical_json.{h,cc}, shared with the campaign-server
+// wire protocol (wire_protocol.cc) — a journal record line and a wire
+// frame payload are the same bytes.
+using json::append_double;
+using json::append_i64;
+using json::append_string;
+using json::append_u64;
+using json::Json;
+using json::parse;
+using json::read_whole_file;
 
-void append_u64(std::string& out, std::uint64_t v) {
-  out += std::to_string(v);
-}
-
-void append_i64(std::string& out, std::int64_t v) {
-  out += std::to_string(v);
-}
-
-// Shortest decimal that round-trips to the exact same bits via from_chars.
-void append_double(std::string& out, double v) {
-  if (std::isnan(v)) {
-    out += "\"nan\"";
-    return;
-  }
-  if (std::isinf(v)) {
-    out += v > 0 ? "\"inf\"" : "\"-inf\"";
-    return;
-  }
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  out.append(buf, static_cast<std::size_t>(ptr - buf));
-}
-
-void append_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-// --- A minimal JSON document model -----------------------------------------
-
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string text;  ///< number token (verbatim) or decoded string value.
-  std::vector<Json> items;
-  std::vector<std::pair<std::string, Json>> fields;  ///< ordered.
-
-  const Json* find(std::string_view key) const {
-    for (const auto& [name, value] : fields) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-
-  const Json& at(std::string_view key) const {
-    if (kind != Kind::kObject) {
-      throw std::runtime_error("expected a JSON object around field '" +
-                               std::string(key) + "'");
-    }
-    if (const Json* value = find(key)) return *value;
-    throw std::runtime_error("missing field '" + std::string(key) + "'");
-  }
-
-  bool as_bool() const {
-    if (kind != Kind::kBool) throw std::runtime_error("expected a boolean");
-    return boolean;
-  }
-
-  std::uint64_t as_u64() const {
-    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
-    std::uint64_t v = 0;
-    const auto [ptr, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), v);
-    if (ec != std::errc{} || ptr != text.data() + text.size()) {
-      throw std::runtime_error("not an unsigned integer: " + text);
-    }
-    return v;
-  }
-
-  std::int64_t as_i64() const {
-    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
-    std::int64_t v = 0;
-    const auto [ptr, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), v);
-    if (ec != std::errc{} || ptr != text.data() + text.size()) {
-      throw std::runtime_error("not an integer: " + text);
-    }
-    return v;
-  }
-
-  double as_double() const {
-    if (kind == Kind::kString) {
-      if (text == "inf") return std::numeric_limits<double>::infinity();
-      if (text == "-inf") return -std::numeric_limits<double>::infinity();
-      if (text == "nan") return std::numeric_limits<double>::quiet_NaN();
-      throw std::runtime_error("not a number: \"" + text + "\"");
-    }
-    if (kind != Kind::kNumber) throw std::runtime_error("expected a number");
-    double v = 0;
-    const auto [ptr, ec] =
-        std::from_chars(text.data(), text.data() + text.size(), v);
-    if (ec != std::errc{} || ptr != text.data() + text.size()) {
-      throw std::runtime_error("not a double: " + text);
-    }
-    return v;
-  }
-
-  const std::string& as_string() const {
-    if (kind != Kind::kString) throw std::runtime_error("expected a string");
-    return text;
-  }
-
-  const std::vector<Json>& as_array() const {
-    if (kind != Kind::kArray) throw std::runtime_error("expected an array");
-    return items;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  Json parse_document() {
-    Json value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return value;
-  }
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  unsigned depth_ = 0;
-  /// Artifacts nest ~6 deep; anything deeper is corrupt or hostile input,
-  /// rejected as a catchable error instead of recursing the stack away.
-  static constexpr unsigned kMaxDepth = 64;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
-        ++pos_;
-      } else {
-        return;
-      }
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) != literal) return false;
-    pos_ += literal.size();
-    return true;
-  }
-
-  Json parse_value() {
-    skip_ws();
-    const char c = peek();
-    switch (c) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
-      case '"': {
-        Json v;
-        v.kind = Json::Kind::kString;
-        v.text = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        const bool value = c == 't';
-        if (!consume_literal(value ? "true" : "false")) fail("bad literal");
-        Json v;
-        v.kind = Json::Kind::kBool;
-        v.boolean = value;
-        return v;
-      }
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return Json{};
-      default:
-        return parse_number();
-    }
-  }
-
-  Json parse_object() {
-    expect('{');
-    if (++depth_ > kMaxDepth) fail("nesting too deep");
-    Json v;
-    v.kind = Json::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      --depth_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.fields.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      const char next = peek();
-      if (next == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      --depth_;
-      return v;
-    }
-  }
-
-  Json parse_array() {
-    expect('[');
-    if (++depth_ > kMaxDepth) fail("nesting too deep");
-    Json v;
-    v.kind = Json::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      --depth_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(parse_value());
-      skip_ws();
-      const char next = peek();
-      if (next == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      --depth_;
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out += esc;
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape");
-            }
-          }
-          // The writer only emits \u00xx; decode the BMP generally anyway.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-  }
-
-  Json parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    bool digits = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
-          c == '+' || c == '-') {
-        digits = digits || (c >= '0' && c <= '9');
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (!digits) fail("expected a value");
-    Json v;
-    v.kind = Json::Kind::kNumber;
-    v.text = std::string(text_.substr(start, pos_ - start));
-    return v;
-  }
-};
-
-Json parse(std::string_view text) { return Parser(text).parse_document(); }
 
 // --- Struct writers --------------------------------------------------------
 
@@ -731,22 +386,6 @@ CampaignArtifact read_artifact(const Json& j) {
 
 // --- Journal helpers -------------------------------------------------------
 
-/// One framed journal line: 16 lowercase-hex checksum chars, a space, the
-/// payload, a newline. The checksum covers exactly the payload bytes.
-std::string frame_journal_line(std::string_view payload) {
-  static const char* kHex = "0123456789abcdef";
-  const std::uint64_t sum = fnv1a64(payload);
-  std::string line;
-  line.reserve(payload.size() + 18);
-  for (int shift = 60; shift >= 0; shift -= 4) {
-    line += kHex[(sum >> shift) & 0xF];
-  }
-  line += ' ';
-  line += payload;
-  line += '\n';
-  return line;
-}
-
 std::string journal_header_payload(const JournalHeader& header) {
   std::string out;
   out += "{\"format\":\"";
@@ -796,59 +435,6 @@ void read_journal_header(const Json& j, const std::string& path,
         path + ": journal belongs to a different campaign, configuration or "
                "shard (seed/tasks/fingerprint/shard mismatch)");
   }
-}
-
-/// Parses the hex checksum prefix of a framed line; returns false on any
-/// framing defect (short line, missing separator, non-hex digit).
-bool parse_frame_checksum(std::string_view line, std::uint64_t* sum) {
-  if (line.size() < 17 || line[16] != ' ') return false;
-  std::uint64_t value = 0;
-  for (int i = 0; i < 16; ++i) {
-    const char h = line[static_cast<std::size_t>(i)];
-    value <<= 4;
-    if (h >= '0' && h <= '9') {
-      value |= static_cast<std::uint64_t>(h - '0');
-    } else if (h >= 'a' && h <= 'f') {
-      value |= static_cast<std::uint64_t>(h - 'a' + 10);
-    } else {
-      return false;
-    }
-  }
-  *sum = value;
-  return true;
-}
-
-/// True when `path` is openable; false only on ENOENT. Any other failure
-/// (permissions, fd exhaustion) throws: silently treating an existing
-/// checkpoint as absent would re-run the campaign and clobber the file.
-bool file_exists_or_throw(const std::string& path) {
-  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
-    std::fclose(f);
-    return true;
-  }
-  if (errno == ENOENT) return false;
-  throw std::runtime_error("cannot open checkpoint '" + path +
-                           "': " + std::strerror(errno));
-}
-
-std::string read_whole_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot open '" + path +
-                             "': " + std::strerror(errno));
-  }
-  std::string text;
-  char buf[1 << 16];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
-    text.append(buf, got);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    throw std::runtime_error("error reading '" + path + "'");
-  }
-  return text;
 }
 
 }  // namespace
@@ -993,13 +579,13 @@ std::string journal_record_line(std::uint64_t index,
   payload += ",\"result\":";
   append_run_result(payload, result);
   payload += '}';
-  return frame_journal_line(payload);
+  return json::checksum_line(payload);
 }
 
 JournalReplay replay_journal_file(const std::string& path,
                                   const JournalHeader& expected) {
   JournalReplay replay;
-  if (!file_exists_or_throw(path)) return replay;
+  if (!json::exists_or_throw(path)) return replay;
   const std::string text = read_whole_file(path);
 
   std::size_t pos = 0;
@@ -1013,7 +599,7 @@ JournalReplay replay_journal_file(const std::string& path,
     // torn append; anywhere else it is corruption.
     const bool is_last_line = nl + 1 == text.size();
     std::uint64_t sum = 0;
-    if (!parse_frame_checksum(line, &sum) ||
+    if (!json::parse_checksum_prefix(line, &sum) ||
         sum != fnv1a64(line.substr(17))) {
       // A torn append is always the final bytes of the file; a bad line
       // with intact lines after it is real corruption.
@@ -1058,7 +644,7 @@ JournalReplay replay_journal_file(const std::string& path,
 
 JournalWriter::JournalWriter(std::string path, const JournalHeader& header)
     : path_(std::move(path)),
-      header_line_(frame_journal_line(journal_header_payload(header))) {
+      header_line_(json::checksum_line(journal_header_payload(header))) {
   open_appending_();
 }
 
@@ -1153,7 +739,7 @@ bool load_checkpoint_state(const std::string& checkpoint_path,
   state->aggregate = CampaignAggregate{};
 
   bool found = false;
-  if (file_exists_or_throw(checkpoint_path)) {
+  if (json::exists_or_throw(checkpoint_path)) {
     CampaignArtifact snapshot = read_artifact_file(checkpoint_path);
     if (snapshot.seed != expected.seed || snapshot.tasks != expected.tasks ||
         snapshot.fingerprint != expected.fingerprint ||

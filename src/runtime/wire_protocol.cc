@@ -1,0 +1,97 @@
+#include "runtime/wire_protocol.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+#include "runtime/canonical_json.h"
+
+namespace paradet::runtime::wire {
+
+std::string message_line(const Message& message) {
+  std::string envelope;
+  envelope.reserve(message.body.size() + 80);
+  envelope += "{\"format\":";
+  json::append_string(envelope, kWireFormat);
+  envelope += ",\"version\":";
+  json::append_u64(envelope, kWireFormatVersion);
+  envelope += ",\"type\":";
+  json::append_string(envelope, message.type);
+  envelope += ",\"seq\":";
+  json::append_u64(envelope, message.seq);
+  envelope += ",\"body\":";
+  envelope += message.body;
+  envelope += '}';
+  return json::checksum_line(envelope);
+}
+
+Message parse_message_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  std::uint64_t sum = 0;
+  if (!json::parse_checksum_prefix(line, &sum)) {
+    throw std::runtime_error("wire: malformed frame line");
+  }
+  const std::string_view payload = line.substr(17);
+  if (sum != fnv1a64(payload)) {
+    throw std::runtime_error("wire: frame checksum mismatch");
+  }
+  const json::Json envelope = json::parse(payload);
+  const std::string& format = envelope.at("format").as_string();
+  if (format != kWireFormat) {
+    throw std::runtime_error("wire: not a " + std::string(kWireFormat) +
+                             " frame (format \"" + format + "\")");
+  }
+  const std::uint64_t version = envelope.at("version").as_u64();
+  if (version != kWireFormatVersion) {
+    throw std::runtime_error(
+        "wire: protocol version " + std::to_string(version) +
+        " is not supported (this end speaks version " +
+        std::to_string(kWireFormatVersion) + ")");
+  }
+  Message message;
+  message.type = envelope.at("type").as_string();
+  message.seq = envelope.at("seq").as_u64();
+  message.body = json::dump(envelope.at("body"));
+  return message;
+}
+
+std::string frame_line(std::string_view line) {
+  if (line.size() > kMaxFramePayload) {
+    throw std::runtime_error("wire: frame payload too large");
+  }
+  std::string frame;
+  frame.reserve(4 + line.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(line.size());
+  frame += static_cast<char>((n >> 24) & 0xFF);
+  frame += static_cast<char>((n >> 16) & 0xFF);
+  frame += static_cast<char>((n >> 8) & 0xFF);
+  frame += static_cast<char>(n & 0xFF);
+  frame += line;
+  return frame;
+}
+
+std::string encode_frame(const Message& message) {
+  return frame_line(message_line(message));
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_ += bytes; }
+
+std::optional<Message> FrameDecoder::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [this](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t n =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (n > kMaxFramePayload) {
+    throw std::runtime_error("wire: frame length " + std::to_string(n) +
+                             " exceeds the protocol maximum");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  const Message message =
+      parse_message_line(std::string_view(buffer_).substr(4, n));
+  buffer_.erase(0, 4 + static_cast<std::size_t>(n));
+  return message;
+}
+
+}  // namespace paradet::runtime::wire

@@ -1,0 +1,94 @@
+// The campaign-server wire protocol: length-prefixed, checksummed,
+// versioned canonical-JSON frames.
+//
+// One frame on the wire is
+//
+//   [u32 big-endian payload length][payload]
+//
+// where the payload is exactly one checkpoint-journal-format line
+// (canonical_json.h checksum_line): 16 lowercase-hex FNV-1a-64 chars, a
+// space, the message envelope, a newline. The envelope is a canonical
+// JSON object with fixed key order:
+//
+//   {"format":"paradet-wire","version":1,"type":T,"seq":N,"body":B}
+//
+// Promoting the journal line format to the wire is what makes resumable
+// streaming cheap: the server journals every campaign event as one such
+// line, streams the very same bytes inside frames, and a client that
+// reconnects with `resume_from = last acknowledged seq` is replayed the
+// journal's tail verbatim — no separate serialization path, and the
+// same torn/corrupt-line rules apply on both surfaces.
+//
+// Versioning mirrors the artifact header (docs/formats.md): `format` is
+// a magic that rejects foreign senders outright; `version` is bumped on
+// any incompatible change and a mismatch is a refusal, never a guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace paradet::runtime::wire {
+
+inline constexpr char kWireFormat[] = "paradet-wire";
+inline constexpr std::uint32_t kWireFormatVersion = 1;
+
+/// Frames beyond this are rejected before buffering: a hostile or
+/// desynchronized length prefix must not look like a 4 GiB allocation.
+/// (The largest legitimate payload — a full merged artifact inside a
+/// `merged` event — is far below this.)
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 28;
+
+/// One decoded (or to-be-encoded) protocol message. `body` is the
+/// canonical-JSON text of the message's payload object; it travels
+/// verbatim, so round-tripping a message through encode/decode is byte
+/// identity.
+struct Message {
+  std::string type;       ///< e.g. "submit", "event", "merged", "error".
+  std::uint64_t seq = 0;  ///< per-campaign journal sequence; 0 = unsequenced.
+  std::string body = "{}";
+
+  bool operator==(const Message&) const = default;
+};
+
+/// The checksummed envelope line for `message` (with trailing newline) —
+/// byte-identical to how the server journals the event on disk.
+std::string message_line(const Message& message);
+
+/// Parses and validates one envelope line (trailing newline optional):
+/// checksum, format magic, version, field types. Throws
+/// std::runtime_error naming the defect; a version mismatch is refused
+/// with both versions in the message.
+Message parse_message_line(std::string_view line);
+
+/// Wraps an already-encoded envelope line in the length prefix. This is
+/// how the server streams journaled lines: the stored bytes go out
+/// verbatim, no re-encoding. Throws when the line exceeds the frame
+/// maximum.
+std::string frame_line(std::string_view line);
+
+/// The full wire frame: length prefix + envelope line.
+std::string encode_frame(const Message& message);
+
+/// Incremental frame reassembly over an arbitrary byte stream (socket
+/// reads land here as they arrive). next() yields complete messages in
+/// order and throws on any malformed frame — oversized length prefix,
+/// checksum mismatch, bad envelope — after which the stream is
+/// unrecoverable and the connection should be dropped.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes);
+
+  /// The next complete message, or nullopt when more bytes are needed.
+  std::optional<Message> next();
+
+  /// True when no partial frame is buffered — the state a cleanly closed
+  /// connection must end in; EOF with idle() false means a torn frame.
+  bool idle() const { return buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace paradet::runtime::wire

@@ -1,0 +1,248 @@
+// The campaign scheduler (runtime/campaign_server.h) against the
+// MockShardLauncher: spec round-trips, multiplexed campaigns merging
+// real artifacts, journal sequencing and replay, and the submit error
+// paths. The socket daemon itself runs end-to-end in the `server_smoke`
+// CTest (scripts/server_smoke_test.sh) and the CI server-smoke job —
+// everything below the socket is exercised here without one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.h"
+#include "runtime/campaign_server.h"
+#include "runtime/canonical_json.h"
+#include "runtime/orchestrator.h"
+#include "runtime/serialize.h"
+#include "runtime/shard_launcher.h"
+#include "runtime/wire_protocol.h"
+
+namespace paradet::runtime {
+namespace {
+
+constexpr std::uint64_t kMockTasks = 6;
+
+CampaignSpec spec_under(const std::string& name, std::uint64_t shards) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.driver = {"driver", "--scale=0.05"};
+  spec.options.shards = shards;
+  spec.options.run_dir = testing::TempDir() + "/" + name;
+  spec.options.poll_ms = 1;
+  std::filesystem::remove_all(spec.options.run_dir);
+  return spec;
+}
+
+/// The artifact the mocked shard would have written (mirrors
+/// tests/test_orchestrator.cc so the merge path folds real coverage).
+CampaignArtifact mock_shard_artifact(std::uint64_t index,
+                                     std::uint64_t count) {
+  CampaignArtifact artifact;
+  artifact.seed = 42;
+  artifact.tasks = kMockTasks;
+  artifact.fingerprint = 0xF00D;
+  artifact.shard = ShardSpec{index, count};
+  for (std::uint64_t task = 0; task < artifact.tasks; ++task) {
+    if (!artifact.shard.owns(task)) continue;
+    artifact.runs.push_back({task, sim::RunResult{}});
+    artifact.aggregate.absorb(artifact.runs.back().result);
+  }
+  return artifact;
+}
+
+/// Campaign-agnostic success hook: recover the shard's --out path and
+/// --shard=K/N from the launch argv, so one mock serves every campaign
+/// the scheduler multiplexes over it.
+void write_artifacts_on_success(MockShardLauncher& mock) {
+  mock.on_success([](std::uint64_t, const std::vector<std::string>& argv) {
+    std::string out;
+    std::uint64_t index = 0, count = 1;
+    for (const std::string& arg : argv) {
+      if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+      if (arg.rfind("--shard=", 0) == 0) {
+        std::sscanf(arg.c_str() + 8, "%llu/%llu",
+                    reinterpret_cast<unsigned long long*>(&index),
+                    reinterpret_cast<unsigned long long*>(&count));
+      }
+    }
+    ASSERT_FALSE(out.empty());
+    write_artifact_file(out, mock_shard_artifact(index, count));
+  });
+}
+
+void tick_until_done(CampaignScheduler& scheduler, int limit = 100000) {
+  while (scheduler.busy() && limit-- > 0) scheduler.tick();
+  ASSERT_FALSE(scheduler.busy()) << "scheduler did not converge";
+}
+
+/// The `kind` field of a journal line's event body.
+std::string line_kind(const std::string& line) {
+  const wire::Message message = wire::parse_message_line(line);
+  return json::parse(message.body).at("kind").as_string();
+}
+
+TEST(CampaignSpec, BodyRoundTripsThroughTheParser) {
+  CampaignSpec spec;
+  spec.name = "fig09-sweep";
+  spec.driver = {"./bench_fig09", "--scale=0.05", "--benchmark=randacc"};
+  spec.options.shards = 4;
+  spec.options.jobs_per_shard = 2;
+  spec.options.run_dir = "/tmp/run";
+  spec.options.merged_out = "/tmp/run/merged.json";
+  spec.options.retries = 3;
+  spec.options.straggler_factor = 2.5;
+  spec.options.poll_ms = 7;
+  spec.options.inject_kill = 1;
+
+  const CampaignSpec parsed = parse_campaign_spec(campaign_spec_body(spec));
+  EXPECT_EQ(parsed, spec);
+}
+
+TEST(CampaignSpec, UnknownKeysAreRefusedNotDefaulted) {
+  EXPECT_THROW(
+      parse_campaign_spec(
+          R"({"driver":["d"],"shards":2,"run_dir":"/tmp/r","retrys":9})"),
+      std::runtime_error);
+}
+
+TEST(CampaignSpec, MissingRequiredKeysAreRefused) {
+  EXPECT_THROW(parse_campaign_spec(R"({"shards":2,"run_dir":"/tmp/r"})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec(R"({"driver":["d"],"run_dir":"/tmp/r"})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_campaign_spec(R"({"driver":["d"],"shards":2})"),
+               std::runtime_error);
+}
+
+TEST(CampaignScheduler, MultiplexesTwoCampaignsToMergedArtifacts) {
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock);
+  CampaignScheduler scheduler(mock);
+
+  const auto a = scheduler.submit(spec_under("sched_a", 2));
+  const auto b = scheduler.submit(spec_under("sched_b", 3));
+  ASSERT_EQ(a.error, "");
+  ASSERT_EQ(b.error, "");
+  EXPECT_EQ(a.campaign, "sched_a");
+  EXPECT_TRUE(scheduler.known("sched_a"));
+  EXPECT_TRUE(scheduler.busy());
+  tick_until_done(scheduler);
+  EXPECT_TRUE(scheduler.finished("sched_a"));
+  EXPECT_TRUE(scheduler.finished("sched_b"));
+
+  // Both campaigns merged real shard artifacts, independently.
+  for (const auto& [name, shards] :
+       std::vector<std::pair<std::string, std::uint64_t>>{{"sched_a", 2},
+                                                          {"sched_b", 3}}) {
+    const std::string merged_path =
+        testing::TempDir() + "/" + name + "/merged.json";
+    const CampaignArtifact merged = read_artifact_file(merged_path);
+    EXPECT_TRUE(merged.shard.whole()) << name;
+    EXPECT_EQ(merged.runs.size(), kMockTasks) << name;
+
+    // The journal narrates the whole campaign: `accepted` first, the
+    // terminal `merged` event carrying the artifact bytes last.
+    const std::vector<std::string> lines = scheduler.replay(name, 0);
+    ASSERT_GE(lines.size(), 2u + shards) << name;
+    EXPECT_EQ(line_kind(lines.front()), "accepted");
+    EXPECT_EQ(line_kind(lines.back()), "merged");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const wire::Message message = wire::parse_message_line(lines[i]);
+      EXPECT_EQ(message.type, "event");
+      EXPECT_EQ(message.seq, i + 1) << name;  // lines[i] carries seq i+1.
+      EXPECT_EQ(json::parse(message.body).at("campaign").as_string(), name);
+    }
+
+    // "The journal promoted to the wire": the streamed artifact text in
+    // the merged event is byte-identical to the merged file.
+    const json::Json merged_body =
+        json::parse(wire::parse_message_line(lines.back()).body);
+    EXPECT_EQ(merged_body.at("data").at("artifact").as_string(),
+              json::read_whole_file(merged_path));
+
+    // And the on-disk events.journal holds the same bytes it streamed.
+    std::string journaled;
+    for (const std::string& line : lines) journaled += line;
+    EXPECT_EQ(json::read_whole_file(testing::TempDir() + "/" + name +
+                                    "/events.journal"),
+              journaled);
+  }
+}
+
+TEST(CampaignScheduler, ReplayReturnsExactlyTheTailPastResumeFrom) {
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock);
+  CampaignScheduler scheduler(mock);
+  ASSERT_EQ(scheduler.submit(spec_under("sched_replay", 2)).error, "");
+  tick_until_done(scheduler);
+
+  const std::vector<std::string> all = scheduler.replay("sched_replay", 0);
+  ASSERT_GE(all.size(), 3u);
+  // A watcher that durably consumed seq K reconnects with
+  // resume_from=K and receives K+1.. verbatim.
+  const std::vector<std::string> tail = scheduler.replay("sched_replay", 2);
+  ASSERT_EQ(tail.size(), all.size() - 2);
+  for (std::size_t i = 0; i < tail.size(); ++i) EXPECT_EQ(tail[i], all[i + 2]);
+  EXPECT_TRUE(scheduler.replay("sched_replay", all.size()).empty());
+  EXPECT_TRUE(scheduler.replay("no-such-campaign", 0).empty());
+}
+
+TEST(CampaignScheduler, RetryExhaustionEndsInATerminalFailedEvent) {
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock);
+  mock.script(1, {{MockOutcome::Kind::kFail, 3, 0, 0}});
+  CampaignScheduler scheduler(mock);
+  CampaignSpec spec = spec_under("sched_fail", 2);
+  spec.options.retries = 1;
+  ASSERT_EQ(scheduler.submit(spec).error, "");
+  tick_until_done(scheduler);
+  EXPECT_TRUE(scheduler.finished("sched_fail"));
+
+  const std::vector<std::string> lines = scheduler.replay("sched_fail", 0);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(line_kind(lines.back()), "failed");
+  EXPECT_EQ(mock.launches(1), 2u);  // 1 + retries.
+  EXPECT_FALSE(std::filesystem::exists(testing::TempDir() +
+                                       "/sched_fail/merged.json"));
+}
+
+TEST(CampaignScheduler, SubmitAssignsNamesAndRefusesCollisions) {
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock);
+  CampaignScheduler scheduler(mock);
+
+  CampaignSpec anonymous = spec_under("sched_anon", 1);
+  anonymous.name.clear();
+  EXPECT_EQ(scheduler.submit(anonymous).campaign, "campaign-1");
+
+  CampaignSpec named = spec_under("sched_named", 1);
+  ASSERT_EQ(scheduler.submit(named).error, "");
+  const auto duplicate = scheduler.submit(named);
+  EXPECT_TRUE(duplicate.campaign.empty());
+  EXPECT_NE(duplicate.error.find("already exists"), std::string::npos);
+
+  CampaignSpec collides = spec_under("sched_other", 1);
+  collides.options.run_dir = named.options.run_dir;
+  const auto collision = scheduler.submit(collides);
+  EXPECT_NE(collision.error.find("already in use"), std::string::npos);
+  EXPECT_FALSE(scheduler.known("sched_other"));
+
+  tick_until_done(scheduler);
+}
+
+TEST(CampaignScheduler, SetupFailureIsAnErrorNotAGhostCampaign) {
+  MockShardLauncher mock;
+  CampaignScheduler scheduler(mock);
+  CampaignSpec spec = spec_under("sched_bad", 1);
+  spec.options.shards = 0;  // CampaignRun refuses at construction.
+  const auto result = scheduler.submit(spec);
+  EXPECT_TRUE(result.campaign.empty());
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(scheduler.known("sched_bad"));
+  EXPECT_FALSE(scheduler.busy());
+}
+
+}  // namespace
+}  // namespace paradet::runtime

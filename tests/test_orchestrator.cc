@@ -1,12 +1,17 @@
 // The orchestrator's policy pieces — shard argv/path construction, the
 // straggler decision and checkpoint-progress detection — as pure unit
-// tests. The spawn/kill/restart/merge machinery runs for real in the
+// tests, plus the whole spawn/retry/straggler/inject-kill loop run
+// against a MockShardLauncher (no subprocesses, scripted exits) so
+// restart budgets and kill ordering are asserted deterministically. The
+// real fork/exec machinery still runs end-to-end in the
 // `shard_cli_smoke` CTest (scripts/shard_smoke_test.sh drives
 // campaign_orchestrator with an injected shard kill and cmp-checks the
 // merged artifact) and in the CI orchestrator-smoke job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -14,6 +19,7 @@
 #include "runtime/campaign.h"
 #include "runtime/orchestrator.h"
 #include "runtime/serialize.h"
+#include "runtime/shard_launcher.h"
 
 namespace paradet::runtime {
 namespace {
@@ -126,6 +132,214 @@ TEST(Orchestrator, SetupErrorsThrowBeforeAnythingSpawns) {
 
   options.inject_kill = -1;
   EXPECT_THROW(orchestrate({"/no/such/driver"}, options), std::runtime_error);
+}
+
+// --- Launcher argv helpers (pure) -------------------------------------------
+
+TEST(ShardLauncher, ShellQuoteEscapesEmbeddedQuotes) {
+  EXPECT_EQ(shell_quote_command({"./driver", "--scale=0.05"}),
+            "'./driver' '--scale=0.05'");
+  // An embedded single quote closes the quote, escapes, and reopens —
+  // the one construct POSIX sh needs for arbitrary strings.
+  EXPECT_EQ(shell_quote_command({"a'b"}), "'a'\\''b'");
+}
+
+TEST(ShardLauncher, SshWrapCreatesRunDirAndExecs) {
+  SshLauncherOptions ssh;
+  ssh.host = "node7";
+  ssh.ssh_flags = {"-o", "BatchMode=yes"};
+  const std::vector<std::string> wrapped = ssh_wrap_argv(
+      ssh, {"./driver", "--out=/tmp/run/shard_0.json"});
+  ASSERT_EQ(wrapped.size(), 5u);
+  EXPECT_EQ(wrapped[0], "ssh");
+  EXPECT_EQ(wrapped[1], "-o");
+  EXPECT_EQ(wrapped[2], "BatchMode=yes");
+  EXPECT_EQ(wrapped[3], "node7");
+  // The remote command creates the run dir (no orchestrator over there
+  // to do it) and execs the identically-quoted driver argv.
+  EXPECT_EQ(wrapped[4],
+            "mkdir -p '/tmp/run' && exec "
+            "'./driver' '--out=/tmp/run/shard_0.json'");
+}
+
+TEST(ShardLauncher, RsyncBackCopiesRemoteToLocalPath) {
+  SshLauncherOptions ssh;
+  ssh.host = "node7";
+  const std::vector<std::string> argv =
+      rsync_back_argv(ssh, "/tmp/run/shard_0.json");
+  const std::vector<std::string> expected = {
+      "rsync", "-a", "node7:/tmp/run/shard_0.json", "/tmp/run/shard_0.json"};
+  EXPECT_EQ(argv, expected);
+}
+
+// --- The monitor loop against the mock launcher -----------------------------
+
+constexpr std::uint64_t kMockTasks = 6;
+
+/// The artifact shard `index` of `count` would write: every owned task
+/// with a default RunResult, aggregate absorbed in task order — enough
+/// for merge_artifacts to verify coverage and fold for real.
+CampaignArtifact mock_shard_artifact(std::uint64_t index,
+                                     std::uint64_t count) {
+  CampaignArtifact artifact;
+  artifact.seed = 42;
+  artifact.tasks = kMockTasks;
+  artifact.fingerprint = 0xF00D;
+  artifact.shard = ShardSpec{index, count};
+  for (std::uint64_t task = 0; task < artifact.tasks; ++task) {
+    if (!artifact.shard.owns(task)) continue;
+    artifact.runs.push_back({task, sim::RunResult{}});
+    artifact.aggregate.absorb(artifact.runs.back().result);
+  }
+  return artifact;
+}
+
+/// Fresh run dir + options wired for fast mock polling.
+OrchestratorOptions mock_options(const std::string& name,
+                                 std::uint64_t shards) {
+  OrchestratorOptions options;
+  options.shards = shards;
+  options.run_dir = testing::TempDir() + "/" + name;
+  options.poll_ms = 1;
+  std::filesystem::remove_all(options.run_dir);
+  return options;
+}
+
+/// Hook that materializes the succeeding shard's artifact, so the
+/// orchestrator's merge path runs against real files.
+void write_artifacts_on_success(MockShardLauncher& mock,
+                                const OrchestratorOptions& options) {
+  mock.on_success([&options](std::uint64_t index,
+                             const std::vector<std::string>&) {
+    write_artifact_file(shard_out_path(options, index),
+                        mock_shard_artifact(index, options.shards));
+  });
+}
+
+TEST(Orchestrator, MockRunMergesShardArtifactsForReal) {
+  OrchestratorOptions options = mock_options("orch_mock_merge", 3);
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_TRUE(result.merged_ok);
+  EXPECT_EQ(result.restarts, 0u);
+
+  const CampaignArtifact merged = read_artifact_file(result.merged_path);
+  EXPECT_TRUE(merged.shard.whole());
+  EXPECT_EQ(merged.runs.size(), kMockTasks);
+  EXPECT_EQ(merged.aggregate.runs, kMockTasks);
+}
+
+TEST(Orchestrator, RetryBudgetExhaustionGivesUpAndReportsTheShard) {
+  OrchestratorOptions options = mock_options("orch_mock_retry", 2);
+  options.retries = 2;
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+  // Shard 1 fails every attempt; its budget is 1 + retries launches.
+  mock.script(1, {{MockOutcome::Kind::kFail, 3, 0, 0}});
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_FALSE(result.merged_ok);
+  EXPECT_EQ(mock.launches(0), 1u);
+  EXPECT_EQ(mock.launches(1), 1u + options.retries);
+  EXPECT_EQ(result.restarts, options.retries);
+  EXPECT_TRUE(result.shards[0].succeeded);
+  EXPECT_FALSE(result.shards[1].succeeded);
+  EXPECT_EQ(result.shards[1].last_exit_code, 3);
+  EXPECT_EQ(result.shards[1].launches, 1u + options.retries);
+  // Giving up must not leave a merged artifact behind.
+  EXPECT_FALSE(std::filesystem::exists(result.merged_path));
+}
+
+TEST(Orchestrator, FailedShardRecoversWithinItsRetryBudget) {
+  OrchestratorOptions options = mock_options("orch_mock_recover", 2);
+  options.retries = 2;
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+  // Crash (signal), then a clean resume — one retry consumed.
+  mock.script(0, {{MockOutcome::Kind::kFail, -1, 9, 0},
+                  {MockOutcome::Kind::kSucceed}});
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_TRUE(result.merged_ok);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_EQ(mock.launches(0), 2u);
+  EXPECT_TRUE(result.shards[0].succeeded);
+}
+
+TEST(Orchestrator, StragglerIsKilledAfterQuorumThenRestarted) {
+  OrchestratorOptions options = mock_options("orch_mock_straggler", 3);
+  options.straggler_factor = 2.0;
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+  // Shards 0 and 1 finish on their first poll; shard 2 hangs until the
+  // straggler police kill it (the threshold floor is 0.1s of wall time),
+  // then succeeds on its checkpoint restart.
+  mock.script(2, {{MockOutcome::Kind::kHang},
+                  {MockOutcome::Kind::kSucceed}});
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_TRUE(result.merged_ok);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_TRUE(result.shards[2].straggler_killed);
+  EXPECT_TRUE(result.shards[2].succeeded);
+  EXPECT_EQ(mock.launches(2), 2u);
+
+  // Ordering: the kill decision waited for the finished-shard quorum,
+  // and the relaunch came only after the killed run's exit surfaced.
+  const std::vector<std::string>& events = mock.events();
+  const auto at = [&events](const std::string& event) {
+    const auto it = std::find(events.begin(), events.end(), event);
+    EXPECT_NE(it, events.end()) << "missing event: " << event;
+    return it - events.begin();
+  };
+  EXPECT_LT(at("exit 0 clean"), at("kill 2"));
+  EXPECT_LT(at("exit 1 clean"), at("kill 2"));
+  EXPECT_LT(at("kill 2"), at("exit 2 failed"));
+  const auto relaunch = std::find(events.begin() + at("exit 2 failed"),
+                                  events.end(), "launch 2");
+  ASSERT_NE(relaunch, events.end());
+  EXPECT_LT(std::find(events.begin(), events.end(), "kill 2"), relaunch);
+}
+
+TEST(Orchestrator, InjectKillDrillDoesNotEatTheRetryBudget) {
+  OrchestratorOptions options = mock_options("orch_mock_drill", 2);
+  options.retries = 0;  // the drill's relaunch must still be allowed.
+  options.inject_kill = 0;
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+  mock.set_checkpoint_progress(true);
+  // The target hangs so the kill always lands, then resumes cleanly.
+  mock.script(0, {{MockOutcome::Kind::kHang},
+                  {MockOutcome::Kind::kSucceed}});
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_TRUE(result.merged_ok);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_TRUE(result.shards[0].inject_kill_fired);
+  EXPECT_TRUE(result.shards[0].succeeded);
+  EXPECT_EQ(mock.launches(0), 2u);
+}
+
+TEST(Orchestrator, InjectKillWaitsForCheckpointProgress) {
+  OrchestratorOptions options = mock_options("orch_mock_drill_wait", 2);
+  options.inject_kill = 0;
+  MockShardLauncher mock;
+  write_artifacts_on_success(mock, options);
+  // No checkpoint progress ever: the kill must not fire; the target
+  // finishes cleanly and is relaunched once anyway so the resume path
+  // still runs (it takes a few polls, long enough to be observed).
+  mock.set_checkpoint_progress(false);
+  mock.script(0, {{MockOutcome::Kind::kSucceed, 0, 0, 3},
+                  {MockOutcome::Kind::kSucceed}});
+
+  const OrchestratorResult result = orchestrate({"driver"}, options, mock);
+  EXPECT_TRUE(result.merged_ok);
+  EXPECT_TRUE(result.shards[0].inject_kill_fired);
+  EXPECT_EQ(mock.launches(0), 2u);
+  const std::vector<std::string>& events = mock.events();
+  EXPECT_EQ(std::count(events.begin(), events.end(), "kill 0"), 0);
 }
 
 }  // namespace

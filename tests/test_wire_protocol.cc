@@ -1,0 +1,149 @@
+// Wire-protocol unit suite: frame round-trip identity, resilience of the
+// decoder to arbitrary packetization, and the rejection rules — corrupt
+// checksums, torn frames, hostile lengths and version mismatches are
+// refusals, never guesses. The envelope line is also asserted to be
+// journal-line-shaped, since the campaign server journals and streams
+// the identical bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/hash.h"
+#include "runtime/canonical_json.h"
+#include "runtime/wire_protocol.h"
+
+namespace paradet::runtime::wire {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.type = "event";
+  m.seq = 41;
+  m.body = "{\"kind\":\"shard_done\",\"shard\":2,\"wall\":0.25}";
+  return m;
+}
+
+TEST(WireProtocol, FrameRoundTripIsIdentity) {
+  const Message sent = sample_message();
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(sent));
+  const auto received = decoder.next();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, sent);
+  EXPECT_TRUE(decoder.idle());
+  // Re-encoding the decoded message reproduces the same bytes — the body
+  // travels verbatim, so relay hops cannot drift.
+  EXPECT_EQ(encode_frame(*received), encode_frame(sent));
+}
+
+TEST(WireProtocol, EnvelopeLineIsJournalLineShaped) {
+  // The server journals each event as exactly this line and streams the
+  // same bytes: checksum prefix, space, payload, newline — the PR 4
+  // journal framing, promoted to the wire.
+  const std::string line = message_line(sample_message());
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  std::uint64_t sum = 0;
+  ASSERT_TRUE(json::parse_checksum_prefix(line, &sum));
+  const std::string_view payload =
+      std::string_view(line).substr(17, line.size() - 18);
+  EXPECT_EQ(sum, fnv1a64(payload));
+  // And a journaled line parses straight back into the message.
+  EXPECT_EQ(parse_message_line(line), sample_message());
+}
+
+TEST(WireProtocol, DecoderHandlesArbitraryPacketization) {
+  const Message a = sample_message();
+  Message b;
+  b.type = "merged";
+  b.seq = 42;
+  b.body = "{\"path\":\"run/merged.json\"}";
+  const std::string stream = encode_frame(a) + encode_frame(b);
+
+  // Byte-at-a-time delivery: both messages come out, in order.
+  FrameDecoder decoder;
+  unsigned got = 0;
+  for (const char c : stream) {
+    decoder.feed(std::string_view(&c, 1));
+    while (const auto m = decoder.next()) {
+      EXPECT_EQ(*m, got == 0 ? a : b);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 2u);
+  EXPECT_TRUE(decoder.idle());
+
+  // One oversized read with both frames: same result.
+  FrameDecoder all_at_once;
+  all_at_once.feed(stream);
+  EXPECT_EQ(*all_at_once.next(), a);
+  EXPECT_EQ(*all_at_once.next(), b);
+  EXPECT_FALSE(all_at_once.next().has_value());
+}
+
+TEST(WireProtocol, TruncatedFrameIsIncompleteNotAccepted) {
+  const std::string frame = encode_frame(sample_message());
+  // Every proper prefix yields "need more bytes", never a message and
+  // never a bogus decode; idle() flags the torn tail a closed connection
+  // would leave behind.
+  for (std::size_t cut = 1; cut + 1 < frame.size(); cut += 7) {
+    FrameDecoder decoder;
+    decoder.feed(std::string_view(frame).substr(0, cut));
+    EXPECT_FALSE(decoder.next().has_value()) << "prefix length " << cut;
+    EXPECT_FALSE(decoder.idle());
+  }
+}
+
+TEST(WireProtocol, CorruptPayloadIsRejected) {
+  std::string frame = encode_frame(sample_message());
+  frame[10] ^= 0x01;  // one bit anywhere in the checksummed region.
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(WireProtocol, HostileLengthPrefixIsRejectedBeforeBuffering) {
+  FrameDecoder decoder;
+  const char huge[4] = {0x7F, 0x7F, 0x7F, 0x7F};  // ~2 GiB "payload".
+  decoder.feed(std::string_view(huge, 4));
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+}
+
+TEST(WireProtocol, VersionMismatchIsRefused) {
+  // A validly-checksummed envelope from a future protocol version: the
+  // refusal must come from the version check, not the checksum.
+  std::string envelope =
+      "{\"format\":\"paradet-wire\",\"version\":2,"
+      "\"type\":\"hello\",\"seq\":0,\"body\":{}}";
+  try {
+    parse_message_line(json::checksum_line(envelope));
+    FAIL() << "version 2 frame was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos);
+  }
+}
+
+TEST(WireProtocol, ForeignFormatMagicIsRefused) {
+  const std::string envelope =
+      "{\"format\":\"not-paradet\",\"version\":1,"
+      "\"type\":\"hello\",\"seq\":0,\"body\":{}}";
+  EXPECT_THROW(parse_message_line(json::checksum_line(envelope)),
+               std::runtime_error);
+}
+
+TEST(WireProtocol, BodyTextSurvivesVerbatim) {
+  // Doubles, escapes and nested structures: the body is carried as text,
+  // so nothing is re-formatted in flight.
+  Message m;
+  m.type = "aggregate";
+  m.seq = 7;
+  m.body =
+      "{\"runs\":6,\"mean\":0.1,\"inf\":\"inf\",\"note\":\"a\\\"b\","
+      "\"list\":[1,2.5,-3]}";
+  EXPECT_EQ(parse_message_line(message_line(m)).body, m.body);
+}
+
+}  // namespace
+}  // namespace paradet::runtime::wire

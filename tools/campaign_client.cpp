@@ -1,0 +1,382 @@
+// campaign_client: submit sweep specs to a running campaign_server and
+// watch their event streams.
+//
+//   campaign_client --connect=ENDPOINT submit [--name=X] --shards=N
+//       --run-dir=DIR [--jobs-per-shard=J] [--retries=R]
+//       [--straggler-factor=F] [--inject-kill=K] [--merged-out=PATH]
+//       [--watch] [--out=FILE] -- driver [args...]
+//
+//   campaign_client --connect=ENDPOINT watch --name=X [--resume-from=S]
+//       [--out=FILE] [--reconnect-after=K]
+//
+// ENDPOINT is the server's --socket path (optionally prefixed `unix:`)
+// or `tcp:[HOST:]PORT`. `submit` prints the campaign name the server
+// assigned; with --watch it then streams the campaign's events (one
+// line per event on stdout) until the terminal `merged` or `failed`
+// event. --out=FILE writes the merged artifact carried inside the
+// `merged` event to FILE — byte-identical to the server-side merged
+// file, which is byte-identical to an unsharded run's --out.
+//
+// `watch` attaches to an existing campaign; --resume-from=S skips
+// events up to sequence S (the reconnect contract: pass the last seq
+// you durably consumed). --reconnect-after=K is the resilience drill CI
+// runs: after K events the client drops the connection on purpose,
+// redials, and resumes from its last seq — the stream must continue
+// exactly where it left off.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign_server.h"
+#include "runtime/canonical_json.h"
+#include "runtime/wire_protocol.h"
+
+namespace {
+
+using paradet::runtime::CampaignSpec;
+namespace json = paradet::runtime::json;
+namespace wire = paradet::runtime::wire;
+
+int usage(const char* argv0, int status) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect=ENDPOINT submit [--name=X] --shards=N\n"
+      "          --run-dir=DIR [--jobs-per-shard=J] [--retries=R]\n"
+      "          [--straggler-factor=F] [--inject-kill=K]\n"
+      "          [--merged-out=PATH] [--watch] [--out=FILE]\n"
+      "          -- driver [args...]\n"
+      "       %s --connect=ENDPOINT watch --name=X [--resume-from=S]\n"
+      "          [--out=FILE] [--reconnect-after=K]\n"
+      "Submits a sweep spec to a campaign_server (ENDPOINT: a unix\n"
+      "socket path or tcp:[HOST:]PORT) and/or streams a campaign's\n"
+      "events. --out writes the merged artifact carried by the terminal\n"
+      "`merged` event to FILE, byte-identical to an unsharded run's\n"
+      "--out file.\n",
+      argv0, argv0);
+  return status;
+}
+
+/// Blocking connect to a `unix:PATH` / bare-path / `tcp:[HOST:]PORT`
+/// endpoint. Throws on failure.
+int connect_endpoint(const std::string& endpoint) {
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    const std::string host =
+        colon == std::string::npos ? "127.0.0.1" : rest.substr(0, colon);
+    const std::string port_text =
+        colon == std::string::npos ? rest : rest.substr(colon + 1);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(std::atoi(port_text.c_str())));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("bad tcp host '" + host + "'");
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const std::string why = std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      throw std::runtime_error("connect '" + endpoint + "': " + why);
+    }
+    return fd;
+  }
+  const std::string path =
+      endpoint.rfind("unix:", 0) == 0 ? endpoint.substr(5) : endpoint;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string why = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    throw std::runtime_error("connect '" + path + "': " + why);
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t sent =
+        ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+/// Next complete message off the connection; nullopt on clean EOF.
+/// Throws on a torn frame at EOF or any socket/protocol error.
+std::optional<wire::Message> read_message(int fd, wire::FrameDecoder& dec) {
+  while (true) {
+    if (auto message = dec.next()) return message;
+    char buf[1 << 16];
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got == 0) {
+      if (!dec.idle()) {
+        throw std::runtime_error("connection closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    dec.feed(std::string_view(buf, static_cast<std::size_t>(got)));
+  }
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::runtime_error("error writing '" + path + "'");
+  }
+}
+
+struct WatchOptions {
+  std::string endpoint;
+  std::string campaign;
+  std::uint64_t resume_from = 0;
+  std::string out_path;          ///< merged-artifact destination ("" = skip).
+  std::uint64_t reconnect_after = 0;  ///< 0 = never drop on purpose.
+};
+
+wire::Message watch_request(const WatchOptions& options) {
+  wire::Message request;
+  request.type = "watch";
+  request.body = "{\"campaign\":";
+  json::append_string(request.body, options.campaign);
+  request.body += ",\"resume_from\":";
+  json::append_u64(request.body, options.resume_from);
+  request.body += '}';
+  return request;
+}
+
+/// Streams the campaign until its terminal event; returns 0 on merged,
+/// 1 on failed. Performs at most one deliberate drop/redial when
+/// reconnect_after is set.
+int watch_stream(const WatchOptions& options) {
+  WatchOptions state = options;
+  bool reconnected = false;
+  int fd = connect_endpoint(state.endpoint);
+  wire::FrameDecoder decoder;
+  send_all(fd, wire::encode_frame(watch_request(state)));
+  std::uint64_t events_this_connection = 0;
+
+  while (true) {
+    std::optional<wire::Message> message;
+    try {
+      message = read_message(fd, decoder);
+    } catch (const std::exception&) {
+      ::close(fd);
+      throw;
+    }
+    if (!message.has_value()) {
+      ::close(fd);
+      throw std::runtime_error("server closed the stream before the "
+                               "campaign finished");
+    }
+    if (message->type == "error") {
+      const json::Json body = json::parse(message->body);
+      std::fprintf(stderr, "campaign_client: server error: %s\n",
+                   body.at("message").as_string().c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (message->type != "event") continue;
+
+    const json::Json body = json::parse(message->body);
+    const std::string& kind = body.at("kind").as_string();
+    std::printf("%llu %s %s\n",
+                static_cast<unsigned long long>(message->seq), kind.c_str(),
+                json::dump(body.at("data")).c_str());
+    std::fflush(stdout);
+    state.resume_from = message->seq;
+    ++events_this_connection;
+
+    if (kind == "merged") {
+      if (!state.out_path.empty()) {
+        write_file(state.out_path,
+                   body.at("data").at("artifact").as_string());
+      }
+      ::close(fd);
+      return 0;
+    }
+    if (kind == "failed") {
+      ::close(fd);
+      return 1;
+    }
+
+    if (!reconnected && state.reconnect_after != 0 &&
+        events_this_connection >= state.reconnect_after) {
+      // The resilience drill: drop the connection mid-stream, redial,
+      // and resume from the last seq we printed. The server replays the
+      // journal tail; nothing may be missing or duplicated.
+      reconnected = true;
+      ::close(fd);
+      std::fprintf(stderr,
+                   "campaign_client: dropping connection after seq %llu, "
+                   "reconnecting\n",
+                   static_cast<unsigned long long>(state.resume_from));
+      fd = connect_endpoint(state.endpoint);
+      decoder = wire::FrameDecoder();
+      events_this_connection = 0;
+      send_all(fd, wire::encode_frame(watch_request(state)));
+    }
+  }
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  if (*text < '0' || *text > '9') return false;
+  *out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::string mode;
+  WatchOptions watch;
+  CampaignSpec spec;
+  bool watch_after_submit = false;
+  bool saw_separator = false;
+  std::uint64_t value = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (saw_separator) {
+      spec.driver.emplace_back(arg);
+      continue;
+    }
+    if (std::strcmp(arg, "--") == 0) {
+      saw_separator = true;
+    } else if (std::strncmp(arg, "--connect=", 10) == 0) {
+      endpoint = arg + 10;
+    } else if (std::strcmp(arg, "submit") == 0 && mode.empty()) {
+      mode = "submit";
+    } else if (std::strcmp(arg, "watch") == 0 && mode.empty()) {
+      mode = "watch";
+    } else if (std::strncmp(arg, "--name=", 7) == 0) {
+      spec.name = arg + 7;
+      watch.campaign = arg + 7;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      if (!parse_u64(arg + 9, &value) || value == 0) return usage(argv[0], 2);
+      spec.options.shards = value;
+    } else if (std::strncmp(arg, "--jobs-per-shard=", 17) == 0) {
+      if (!parse_u64(arg + 17, &value) || value == 0) return usage(argv[0], 2);
+      spec.options.jobs_per_shard = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--run-dir=", 10) == 0) {
+      spec.options.run_dir = arg + 10;
+    } else if (std::strncmp(arg, "--merged-out=", 13) == 0) {
+      spec.options.merged_out = arg + 13;
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      if (!parse_u64(arg + 10, &value)) return usage(argv[0], 2);
+      spec.options.retries = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--straggler-factor=", 19) == 0) {
+      char* end = nullptr;
+      spec.options.straggler_factor = std::strtod(arg + 19, &end);
+      if (end == arg + 19 || *end != '\0' ||
+          spec.options.straggler_factor < 0) {
+        return usage(argv[0], 2);
+      }
+    } else if (std::strncmp(arg, "--inject-kill=", 14) == 0) {
+      if (!parse_u64(arg + 14, &value)) return usage(argv[0], 2);
+      spec.options.inject_kill = static_cast<std::int64_t>(value);
+    } else if (std::strncmp(arg, "--resume-from=", 14) == 0) {
+      if (!parse_u64(arg + 14, &value)) return usage(argv[0], 2);
+      watch.resume_from = value;
+    } else if (std::strncmp(arg, "--reconnect-after=", 18) == 0) {
+      if (!parse_u64(arg + 18, &value) || value == 0) return usage(argv[0], 2);
+      watch.reconnect_after = value;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      watch.out_path = arg + 6;
+    } else if (std::strcmp(arg, "--watch") == 0) {
+      watch_after_submit = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return usage(argv[0], 2);
+    }
+  }
+
+  if (endpoint.empty() || mode.empty()) {
+    std::fprintf(stderr, "--connect=ENDPOINT and a submit|watch mode are "
+                         "required\n");
+    return usage(argv[0], 2);
+  }
+  watch.endpoint = endpoint;
+
+  try {
+    if (mode == "submit") {
+      if (spec.driver.empty() || spec.options.shards == 0 ||
+          spec.options.run_dir.empty()) {
+        std::fprintf(stderr, "submit needs --shards=N, --run-dir=DIR and a "
+                             "`-- driver ...` command\n");
+        return usage(argv[0], 2);
+      }
+      const int fd = connect_endpoint(endpoint);
+      wire::Message request;
+      request.type = "submit";
+      request.body = campaign_spec_body(spec);
+      send_all(fd, wire::encode_frame(request));
+      wire::FrameDecoder decoder;
+      const auto reply = read_message(fd, decoder);
+      ::close(fd);
+      if (!reply.has_value()) {
+        throw std::runtime_error("server closed without replying");
+      }
+      const json::Json body = json::parse(reply->body);
+      if (reply->type == "error") {
+        std::fprintf(stderr, "campaign_client: server error: %s\n",
+                     body.at("message").as_string().c_str());
+        return 1;
+      }
+      if (reply->type != "submitted") {
+        throw std::runtime_error("unexpected reply type '" + reply->type +
+                                 "'");
+      }
+      watch.campaign = body.at("campaign").as_string();
+      std::printf("%s\n", watch.campaign.c_str());
+      std::fflush(stdout);
+      if (!watch_after_submit) return 0;
+      return watch_stream(watch);
+    }
+
+    // mode == "watch"
+    if (watch.campaign.empty()) {
+      std::fprintf(stderr, "watch needs --name=CAMPAIGN\n");
+      return usage(argv[0], 2);
+    }
+    return watch_stream(watch);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,7 +3,8 @@
 //   campaign_orchestrator --shards=N [--jobs-per-shard=J] --run-dir=DIR
 //                         [--out=merged.json] [--retries=R]
 //                         [--straggler-factor=X] [--poll-ms=M]
-//                         [--inject-kill=K] -- driver [driver args...]
+//                         [--inject-kill=K] [--launcher=local|ssh:HOST]
+//                         -- driver [driver args...]
 //
 // Spawns N subprocesses of the driver command (any bench/example that
 // runs as a Campaign), each with `--jobs=J --shard=k/N` and per-shard
@@ -13,13 +14,20 @@
 // to what an unsharded `--out` run writes. `--inject-kill=K` is the
 // recovery drill CI runs: SIGKILL shard K once after its checkpoint
 // shows progress, then let the restart path resume it.
+//
+// `--launcher=` picks where shards run (runtime/shard_launcher.h):
+// `local` (default) forks on this host; `ssh:HOST` runs the identical
+// command on HOST under the same absolute run-dir paths and rsyncs the
+// artifacts back before the merge.
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "runtime/orchestrator.h"
+#include "runtime/shard_launcher.h"
 
 namespace {
 
@@ -28,11 +36,13 @@ int usage(const char* argv0, int status) {
       stderr,
       "usage: %s --shards=N [--jobs-per-shard=J] --run-dir=DIR\n"
       "          [--out=merged.json] [--retries=R] [--straggler-factor=X]\n"
-      "          [--poll-ms=M] [--inject-kill=K] -- driver [args...]\n"
+      "          [--poll-ms=M] [--inject-kill=K] [--launcher=local|ssh:HOST]\n"
+      "          -- driver [args...]\n"
       "Runs `driver` as N shard subprocesses with per-shard artifact and\n"
       "checkpoint paths under DIR, restarts failed or straggling shards\n"
       "from their checkpoints, and merges the artifacts (byte-identical\n"
-      "to the unsharded run's --out).\n",
+      "to the unsharded run's --out). --launcher=ssh:HOST runs the shards\n"
+      "on HOST (same absolute run-dir paths; artifacts rsync'd back).\n",
       argv0);
   return status;
 }
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
 
   runtime::OrchestratorOptions options;
   options.shards = 0;  // required; 0 marks "not given".
+  std::string launcher_spec = "local";
   std::vector<std::string> driver;
   bool saw_separator = false;
 
@@ -105,6 +116,15 @@ int main(int argc, char** argv) {
         return usage(argv[0], 2);
       }
       options.inject_kill = static_cast<std::int64_t>(value);
+    } else if (std::strncmp(arg, "--launcher=", 11) == 0) {
+      launcher_spec = arg + 11;
+      if (launcher_spec != "local" &&
+          launcher_spec.rfind("ssh:", 0) != 0) {
+        std::fprintf(stderr, "invalid argument '%s' (expected local or "
+                             "ssh:HOST)\n",
+                     arg);
+        return usage(argv[0], 2);
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       return usage(argv[0], 0);
     } else {
@@ -123,8 +143,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    std::unique_ptr<runtime::ShardLauncher> launcher;
+    if (launcher_spec.rfind("ssh:", 0) == 0) {
+      runtime::SshLauncherOptions ssh;
+      ssh.host = launcher_spec.substr(4);
+      launcher = std::make_unique<runtime::SshShardLauncher>(std::move(ssh));
+    } else {
+      launcher = std::make_unique<runtime::LocalShardLauncher>();
+    }
     const runtime::OrchestratorResult result =
-        runtime::orchestrate(driver, options);
+        runtime::orchestrate(driver, options, *launcher);
     if (!result.merged_ok) {
       std::fprintf(stderr, "campaign_orchestrator: campaign failed\n");
       for (const runtime::ShardStatus& shard : result.shards) {

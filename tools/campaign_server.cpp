@@ -1,0 +1,107 @@
+// campaign_server: the long-lived campaign-as-a-service daemon.
+//
+//   campaign_server --socket=/path/to.sock | --listen=tcp:[HOST:]PORT
+//                   [--launcher=local|ssh:HOST] [--poll-ms=M]
+//
+// Accepts campaign_client connections (wire_protocol.h frames), runs
+// submitted sweep specs as sharded campaigns — many concurrently, all
+// multiplexed with the socket traffic on one poll() loop — restarts
+// failed/straggling shards from their checkpoint journals, and streams
+// every campaign event (sequenced, journaled to <run_dir>/events.journal)
+// to watching clients. SIGINT/SIGTERM aborts active campaigns and shuts
+// down cleanly. See docs/campaigns.md for the workflow and
+// docs/formats.md for the protocol.
+#include <signal.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "runtime/campaign_server.h"
+#include "runtime/shard_launcher.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+int usage(const char* argv0, int status) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=PATH | --listen=tcp:[HOST:]PORT\n"
+      "          [--launcher=local|ssh:HOST] [--poll-ms=M]\n"
+      "Long-lived campaign server: accepts sweep specs from\n"
+      "campaign_client over the socket, runs them as sharded campaigns\n"
+      "(concurrently; checkpointed restarts and straggler handling per\n"
+      "spec), journals every event and streams it to watching clients.\n"
+      "SIGINT/SIGTERM shuts down, aborting active campaigns.\n",
+      argv0);
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paradet;
+
+  runtime::CampaignServerOptions options;
+  std::string launcher_spec = "local";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      options.endpoint = std::string("unix:") + (arg + 9);
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      options.endpoint = arg + 9;
+    } else if (std::strncmp(arg, "--poll-ms=", 10) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(arg + 10, &end, 10);
+      if (end == arg + 10 || *end != '\0' || value <= 0 || value > 60'000) {
+        std::fprintf(stderr, "invalid argument '%s'\n", arg);
+        return usage(argv[0], 2);
+      }
+      options.poll_ms = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--launcher=", 11) == 0) {
+      launcher_spec = arg + 11;
+      if (launcher_spec != "local" && launcher_spec.rfind("ssh:", 0) != 0) {
+        std::fprintf(stderr, "invalid argument '%s' (expected local or "
+                             "ssh:HOST)\n",
+                     arg);
+        return usage(argv[0], 2);
+      }
+    } else if (std::strcmp(arg, "--help") == 0) {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return usage(argv[0], 2);
+    }
+  }
+  if (options.endpoint.empty()) {
+    std::fprintf(stderr, "--socket=PATH or --listen=tcp:PORT is required\n");
+    return usage(argv[0], 2);
+  }
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+
+  try {
+    std::unique_ptr<runtime::ShardLauncher> launcher;
+    if (launcher_spec.rfind("ssh:", 0) == 0) {
+      runtime::SshLauncherOptions ssh;
+      ssh.host = launcher_spec.substr(4);
+      launcher = std::make_unique<runtime::SshShardLauncher>(std::move(ssh));
+    } else {
+      launcher = std::make_unique<runtime::LocalShardLauncher>();
+    }
+    runtime::run_campaign_server(options, *launcher, &g_stop);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
