@@ -46,7 +46,7 @@ std::string ratio_or_dash(const RunResult* numer, const RunResult* denom) {
 int run(int argc, char** argv) {
   using namespace paradet;
   auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   if (!options.only.empty()) {
     // The studies hard-wire their kernel pairings; silently ignoring the
     // filter would report all 18 runs as if it had applied.
@@ -156,7 +156,7 @@ int run(int argc, char** argv) {
         }
         return sim::run_program(cell.config, image, bench::kInstructionBudget,
                                 cell.lfu_fault ? &faults : nullptr,
-                                checker_threads);
+                                checker);
       });
   const auto cell_result = [&](std::size_t index) {
     return result.cell_at(index);

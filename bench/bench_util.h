@@ -60,7 +60,8 @@ struct Options {
         }
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf("usage: %s [--scale=X] [--benchmark=name] [--jobs=N]"
-                    " [--checker-threads=N] [--frontend=NAME]%s%s\n",
+                    " [--checker-threads=N]\n          [--checker-batch=N|auto]"
+                    " [--frontend=NAME]%s%s\n",
                     argv[0],
                     campaign ? "\n          [--shard=K/N] [--out=artifact.json]"
                                "\n          [--checkpoint=ckpt.json |"
@@ -85,6 +86,13 @@ struct Options {
   unsigned checker_threads() const {
     return runtime::CheckerPool::bounded(runtime.checker_threads,
                                          runtime.jobs);
+  }
+
+  /// The full checker-replay execution shape for each simulated run:
+  /// host-clamped worker threads plus the --checker-batch ticket size.
+  /// This is what drivers should pass into run_program/SimJob.
+  CheckerExec checker_exec() const {
+    return CheckerExec(checker_threads(), runtime.checker_batch);
   }
 
   /// Hash (FNV-1a, common/hash.h) of the options that give campaign task
@@ -203,7 +211,7 @@ inline std::vector<SuiteRun> run_suite(const Options& options,
   SystemConfig baseline_config = config;
   baseline_config.detection.enabled = false;
   baseline_config.detection.simulate_checkers = false;
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   runtime::SweepCampaign sweep(1, suite(options), /*seed=*/0);
   sweep.enable_baselines(baseline_config, kInstructionBudget);
   const runtime::SweepResult swept = sweep.run(
@@ -211,7 +219,7 @@ inline std::vector<SuiteRun> run_suite(const Options& options,
       [&](std::size_t, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(config, image, kInstructionBudget, nullptr,
-                                checker_threads);
+                                checker);
       });
   std::vector<SuiteRun> runs;
   runs.reserve(swept.workload_count);

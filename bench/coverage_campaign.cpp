@@ -33,7 +33,7 @@ int run(int argc, char** argv) {
   using namespace paradet;
   auto options = bench::Options::parse(argc, argv, /*campaign=*/true,
                                        "\n          [--fork=on|off]");
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   if (options.scale == 1.0) options.scale = 0.1;  // campaign is many runs.
   bool use_fork = true;
   for (int i = 1; i < argc; ++i) {
@@ -101,7 +101,7 @@ int run(int argc, char** argv) {
   job.config = config;
   job.mode = sim::SimMode::kChecked;
   job.max_instructions = bench::kInstructionBudget;
-  job.checker_threads = checker_threads;
+  job.checker = checker;
 
   // Warm-state pool: one lazily-captured prefix per (kernel, injection
   // window). Tasks race to the capture under call_once; every strike in

@@ -20,7 +20,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 7: normalised slowdown per benchmark (Table I defaults)",
       "mean 1.0175, max 1.034; all benchmarks low single-digit %");
@@ -39,7 +39,7 @@ int run(int argc, char** argv) {
           std::uint64_t) {
         return sim::run_program(checked_config, image,
                                 bench::kInstructionBudget, nullptr,
-                                checker_threads);
+                                checker);
       });
 
   std::printf("%-14s %15s %15s %9s %12s %11s\n", "benchmark",

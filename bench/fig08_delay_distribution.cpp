@@ -20,7 +20,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 8: distribution of error-detection delays (defaults)",
       "means 256-1550ns, suite mean 770ns, 99.9% < 5000ns, max <= 45us");
@@ -33,7 +33,7 @@ int run(int argc, char** argv) {
           std::uint64_t) {
         return sim::run_program(SystemConfig::standard(), image,
                                 bench::kInstructionBudget, nullptr,
-                                checker_threads);
+                                checker);
       });
 
   // Only this shard's workloads have columns; merge_results reunites them.

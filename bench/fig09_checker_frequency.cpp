@@ -22,7 +22,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 9: slowdown vs checker-core frequency (12 cores)",
       "125MHz: up to ~4.5x for compute-bound, ~1x for memory-bound; "
@@ -45,7 +45,7 @@ int run(int argc, char** argv) {
         SystemConfig config = SystemConfig::standard();
         config.checker.freq_mhz = freqs_mhz[point];
         return sim::run_program(config, image, bench::kInstructionBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   runtime::TableSpec spec;

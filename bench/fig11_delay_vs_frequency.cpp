@@ -20,7 +20,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 11: detection delay vs checker frequency (12 cores)",
       "(a) mean ns halves per doubling, flattening at high freq; "
@@ -37,7 +37,7 @@ int run(int argc, char** argv) {
         SystemConfig config = SystemConfig::standard();
         config.checker.freq_mhz = freqs_mhz[point];
         return sim::run_program(config, image, bench::kInstructionBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   runtime::TableSpec spec;

@@ -19,7 +19,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 12: detection delay vs log size / instruction timeout",
       "(a) mean scales ~linearly with log size; (b) infinite timeouts let "
@@ -50,7 +50,7 @@ int run(int argc, char** argv) {
         config.log.total_bytes = points[point].log_bytes;
         config.log.instruction_timeout = points[point].timeout;
         return sim::run_program(config, image, bench::kInstructionBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   runtime::TableSpec spec;

@@ -22,7 +22,7 @@ namespace {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Figure 13: slowdown vs checker core count x frequency",
       "3c@1GHz ~ 6@500MHz-class behaviour; 12 slow cores beat 3-6 fast "
@@ -54,7 +54,7 @@ int run(int argc, char** argv) {
         // total log SRAM stays fixed as in the paper's sweep.
         config.log.segments = points[point].cores;
         return sim::run_program(config, image, bench::kInstructionBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   runtime::TableSpec spec;

@@ -34,7 +34,7 @@ struct Variant {
 int run(int argc, char** argv) {
   using namespace paradet;
   const auto options = bench::Options::parse(argc, argv, /*campaign=*/true);
-  const unsigned checker_threads = options.checker_threads();
+  const CheckerExec checker = options.checker_exec();
   bench::print_header(
       "Front-end ablation: slowdown vs main-core predictor model",
       "not in paper; tournament column must match Table II/fig07 slowdowns");
@@ -64,7 +64,7 @@ int run(int argc, char** argv) {
         config.checker.model_frontend =
             variants[point].checker_model_frontend;
         return sim::run_program(config, image, bench::kInstructionBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   runtime::TableSpec spec;

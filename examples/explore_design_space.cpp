@@ -36,8 +36,9 @@ int run(int argc, char** argv) {
   const RuntimeOptions host =
       RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
   const runtime::ParallelRunner runner(host.jobs);
-  const unsigned checker_threads =
-      runtime::CheckerPool::bounded(host.checker_threads, host.jobs);
+  const CheckerExec checker(
+      runtime::CheckerPool::bounded(host.checker_threads, host.jobs),
+      host.checker_batch);
   const auto workload =
       workloads::make_facesim(workloads::Scale{.factor = 0.4});
 
@@ -70,7 +71,7 @@ int run(int argc, char** argv) {
       [&](std::size_t point, std::size_t, const runtime::AssemblyCache::Image& image,
           std::uint64_t) {
         return sim::run_program(config_for(point), image, kBudget,
-                                nullptr, checker_threads);
+                                nullptr, checker);
       });
 
   const sim::RunResult* baseline = result.baseline(0);

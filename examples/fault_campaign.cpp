@@ -54,7 +54,8 @@ int run(int argc, char** argv) {
       use_fork = std::strcmp(argv[i] + 7, "off") != 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf("usage: %s [trials-per-site] [--jobs=N]"
-                  " [--checker-threads=N] [--fork=on|off]\n"
+                  " [--checker-threads=N] [--checker-batch=N|auto]"
+                  " [--fork=on|off]\n"
                   "          [--shard=K/N] [--out=artifact.json]\n"
                   "          [--checkpoint=ckpt.json | --journal=ckpt.json]"
                   " [--checkpoint-every=M]\n",
@@ -76,8 +77,10 @@ int run(int argc, char** argv) {
   }
   const RuntimeOptions host_options = RuntimeOptions::from_args(argc, argv, /*campaign_flags=*/true);
   const runtime::ParallelRunner runner(host_options.jobs);
-  const unsigned checker_threads = runtime::CheckerPool::bounded(
-      host_options.checker_threads, host_options.jobs);
+  const CheckerExec checker(
+      runtime::CheckerPool::bounded(host_options.checker_threads,
+                                    host_options.jobs),
+      host_options.checker_batch);
 
   const SystemConfig config = SystemConfig::standard();
   const auto workload =
@@ -110,7 +113,7 @@ int run(int argc, char** argv) {
   job.config = config;
   job.mode = sim::SimMode::kChecked;
   job.max_instructions = 500'000;
-  job.checker_threads = checker_threads;
+  job.checker = checker;
 
   // One warm state per injection window, captured lazily by whichever
   // strike gets there first; later strikes in the window fork it.

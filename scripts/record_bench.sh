@@ -26,6 +26,30 @@ if [[ "$build_type" != "Release" && "$build_type" != "RelWithDebInfo" ]]; then
   exit 1
 fi
 
-"$BUILD_DIR/bench_perf_hotloop" --repeat=3 \
-  --json=bench/baselines/BENCH_hotloop_baseline.json
-echo "recorded bench/baselines/BENCH_hotloop_baseline.json"
+BASELINE=bench/baselines/BENCH_hotloop_baseline.json
+"$BUILD_DIR/bench_perf_hotloop" --repeat=3 --json="$BASELINE"
+
+# A baseline whose checked-parallel numbers were recorded with 0 replay
+# workers (a host too small for any worker next to the producer) is inline
+# replay wearing a parallel label: committing it would make the CI
+# parallel-throughput gate compare real parallel runs against noise. Refuse
+# unless explicitly overridden — and then annotate loudly, so the compare
+# side (perf_hotloop --compare) knows to ignore the parallel ratio.
+workers=$(grep -o '"checker_threads":[0-9]*' "$BASELINE" \
+          | head -1 | cut -d: -f2)
+if [[ "${workers:-0}" -eq 0 ]]; then
+  if [[ "${PARADET_ALLOW_INLINE_PARALLEL:-0}" != "1" ]]; then
+    echo "error: this host granted 0 replay workers, so the recorded" \
+         "checked_mips_parallel is just inline replay renamed. Record on a" \
+         "machine with >= 2 spare cores, or re-run with" \
+         "PARADET_ALLOW_INLINE_PARALLEL=1 to record anyway (the compare" \
+         "gate will fall back to inline checked MIPS)." >&2
+    rm -f "$BASELINE"
+    exit 1
+  fi
+  echo "WARNING: recording a 0-worker baseline" \
+       "(PARADET_ALLOW_INLINE_PARALLEL=1): checked_mips_parallel is" \
+       "inline replay; perf_hotloop --compare will gate on checked_mips" \
+       "and ignore the parallel ratio." >&2
+fi
+echo "recorded $BASELINE"

@@ -131,6 +131,20 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
                  "a replay thread count between 0 (inline replay) and 65535");
       }
       options.checker_threads = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--checker-batch=", 16) == 0) {
+      const char* text = arg + 16;
+      if (std::strcmp(text, "auto") == 0) {
+        options.checker_batch = CheckerExec::kAutoBatch;
+      } else {
+        char* end = nullptr;
+        const unsigned long long value = parse_u64(text, &end);
+        if (end == text || *end != '\0' || value == 0 || value > 4096) {
+          bad_flag(arg,
+                   "--checker-batch=N with 1 <= N <= 4096 segments per "
+                   "replay ticket, or --checker-batch=auto");
+        }
+        options.checker_batch = static_cast<unsigned>(value);
+      }
     } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
       char* end = nullptr;
       const unsigned long long every = parse_u64(arg + 19, &end);
@@ -144,6 +158,7 @@ RuntimeOptions RuntimeOptions::from_args(int argc, char** argv,
                std::strcmp(arg, "--checkpoint") == 0 ||
                std::strcmp(arg, "--journal") == 0 ||
                std::strcmp(arg, "--checker-threads") == 0 ||
+               std::strcmp(arg, "--checker-batch") == 0 ||
                std::strcmp(arg, "--checkpoint-every") == 0) {
       // Only the '=' forms exist; swallowing e.g. `--shard 0/2` would let
       // the next driver's positional parsing misread "0/2".

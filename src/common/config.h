@@ -183,6 +183,30 @@ struct DetectionConfig {
   bool load_forwarding_unit = true;
 };
 
+/// How the checker-replay half of one simulated run executes on the host:
+/// worker-thread count plus the ticket batch size the segment pipeline
+/// coalesces sealed segments at. Purely host-side — results are
+/// byte-identical at any combination (sim/segment_pipeline.h), only
+/// wall-clock changes. Implicitly constructible from a bare thread count
+/// so legacy `run_program(..., threads)` call sites keep compiling.
+struct CheckerExec {
+  /// Adaptive batch sizing: the pipeline grows each ticket until it holds
+  /// ~kAutoBatchTargetInsts replayed instructions (clamped to half the
+  /// physical segments so work still overlaps the producer).
+  static constexpr unsigned kAutoBatch = 0;
+
+  constexpr CheckerExec() = default;
+  constexpr CheckerExec(unsigned t, unsigned b = kAutoBatch)  // NOLINT
+      : threads(t), batch(b) {}
+
+  /// Concurrent replay workers (0 = inline replay at seal time).
+  unsigned threads = 0;
+  /// Sealed segments coalesced into one CheckerPool ticket; kAutoBatch
+  /// sizes tickets adaptively from measured instructions per segment.
+  /// Ignored when threads == 0 (inline replay has no tickets).
+  unsigned batch = kAutoBatch;
+};
+
 /// Host-side execution options for campaign-style drivers (benches,
 /// examples, sweeps). Orthogonal to the simulated SystemConfig: this
 /// controls how many *host* worker threads the runtime uses, not anything
@@ -199,6 +223,13 @@ struct RuntimeOptions {
   /// the request with runtime::CheckerPool::bounded so jobs × threads
   /// cannot oversubscribe the host.
   unsigned checker_threads = 0;
+
+  /// `--checker-batch=N|auto`: sealed segments coalesced into one replay
+  /// ticket when --checker-threads > 0. `auto` (the default, stored as
+  /// CheckerExec::kAutoBatch) sizes batches from the measured
+  /// instructions per segment so every handoff carries enough replay work
+  /// to amortise the ticket cost. Byte-identical results at any value.
+  unsigned checker_batch = CheckerExec::kAutoBatch;
 
   /// Cross-process sharding (`--shard=K/N`): this process executes only
   /// campaign task indices with `index % shard_count == shard_index`.
@@ -225,7 +256,8 @@ struct RuntimeOptions {
   std::uint64_t checkpoint_every = 16;
 
   /// Scans argv for `--jobs=N` / `--jobs N` / `-jN` / `-j N`,
-  /// `--checker-threads=N`, and — when `campaign_flags` is true —
+  /// `--checker-threads=N`, `--checker-batch=N|auto`, and — when
+  /// `campaign_flags` is true —
   /// `--shard=K/N`, `--out=PATH`,
   /// `--checkpoint=PATH`/`--journal=PATH` and `--checkpoint-every=M`.
   /// Drivers that do not execute through Campaign::run_sharded must leave

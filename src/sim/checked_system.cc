@@ -165,11 +165,11 @@ class SystemRunner {
  public:
   static constexpr std::uint64_t kNoCapture = ~std::uint64_t{0};
 
-  SystemRunner(const SystemConfig& config, unsigned checker_threads,
+  SystemRunner(const SystemConfig& config, CheckerExec checker,
                LoadedProgram& program, core::FaultInjector* faults,
                core::UndoLog* undo_log)
       : config_(config),
-        checker_threads_(checker_threads),
+        checker_(checker),
         faults_(faults),
         undo_log_(undo_log),
         detect_(config.detection.enabled),
@@ -192,7 +192,7 @@ class SystemRunner {
       // snapshot must be taken here, before the first instruction
       // executes; taking it freezes the working memory (copy-on-write).
       pipeline_.emplace(config_, program.memory, predecoded_, statics_,
-                        checker_threads_, undo_log_);
+                        checker_, undo_log_);
       assert(config_.checker.num_cores == config_.log.segments);
     }
     last_checkpoint_ = checkpoint_unit_.take(state_, 0, 0);
@@ -212,7 +212,7 @@ class SystemRunner {
   /// value. `warm` stays untouched (and may be resumed from concurrently).
   SystemRunner(const WarmState& warm, core::FaultInjector* faults)
       : config_(warm.config),
-        checker_threads_(warm.checker_threads),
+        checker_(warm.checker),
         faults_(faults),
         undo_log_(nullptr),
         detect_(warm.config.detection.enabled),
@@ -244,7 +244,7 @@ class SystemRunner {
     if (detect_) {
       assert(warm.pipeline != nullptr);
       pipeline_.emplace(config_, *warm.pipeline, warm.fetch_snapshot,
-                        predecoded_, statics_, checker_threads_,
+                        predecoded_, statics_, checker_,
                         /*undo_log=*/nullptr);
     }
   }
@@ -268,7 +268,7 @@ class SystemRunner {
   void open_segment();
 
   SystemConfig config_;
-  unsigned checker_threads_;
+  CheckerExec checker_;
   core::FaultInjector* faults_;
   core::UndoLog* undo_log_;
   bool detect_;
@@ -577,7 +577,7 @@ std::unique_ptr<WarmState> SystemRunner::capture(
   // full run would have after the same segments absorbed.
   if (pipeline_.has_value()) pipeline_->finish();
 
-  auto warm = std::make_unique<WarmState>(config_, checker_threads_, machine_,
+  auto warm = std::make_unique<WarmState>(config_, checker_, machine_,
                                           log_, lfu_, checkpoint_unit_);
   warm->max_instructions = max_instructions;
   if (pipeline_.has_value()) {
@@ -714,7 +714,7 @@ RunResult CheckedSystem::run(LoadedProgram& program,
                              core::FaultInjector* faults,
                              core::UndoLog* undo_log) {
   ensure_statics(program);
-  SystemRunner runner(config_, checker_threads_, program, faults, undo_log);
+  SystemRunner runner(config_, checker_, program, faults, undo_log);
   runner.loop(max_instructions, SystemRunner::kNoCapture);
   return runner.finalize();
 }
@@ -737,8 +737,7 @@ SystemConfig apply_mode(SystemConfig config, SimMode mode) {
 }
 
 RunResult run_job(const SimJob& job, LoadedProgram& program) {
-  CheckedSystem system(apply_mode(job.config, job.mode),
-                       job.checker_threads);
+  CheckedSystem system(apply_mode(job.config, job.mode), job.checker);
   return system.run(program, job.max_instructions, job.faults, job.undo_log);
 }
 
@@ -756,18 +755,18 @@ RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults,
-                      unsigned checker_threads) {
+                      CheckerExec checker) {
   LoadedProgram program = load_program(assembled);
-  CheckedSystem system(config, checker_threads);
+  CheckedSystem system(config, checker);
   return system.run(program, max_instructions, faults);
 }
 
 RunResult run_program(const SystemConfig& config, const AssembledImage& image,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults,
-                      unsigned checker_threads) {
+                      CheckerExec checker) {
   LoadedProgram program = load_program(image);
-  CheckedSystem system(config, checker_threads);
+  CheckedSystem system(config, checker);
   return system.run(program, max_instructions, faults);
 }
 
@@ -781,7 +780,7 @@ std::unique_ptr<WarmState> capture_warm_state_loaded(
   }
   const SystemConfig config = apply_mode(job.config, job.mode);
   ensure_statics(program);
-  SystemRunner runner(config, job.checker_threads, program,
+  SystemRunner runner(config, job.checker, program,
                       /*faults=*/nullptr, /*undo_log=*/nullptr);
   if (!runner.loop(job.max_instructions, prefix_uops)) {
     return nullptr;  // program ended before the prefix: no warm state.

@@ -118,14 +118,15 @@ struct RunResult {
 
 class CheckedSystem {
  public:
-  /// `checker_threads` selects the segment-pipeline execution mode: 0
+  /// `checker` selects the segment-pipeline execution mode: 0 threads
   /// replays each sealed segment inline at seal time (the legacy
   /// behaviour); N > 0 replays concurrently on N worker threads with an
-  /// in-order absorber (sim/segment_pipeline.h). Results are
-  /// byte-identical at any value.
-  explicit CheckedSystem(const SystemConfig& config,
-                         unsigned checker_threads = 0)
-      : config_(config), checker_threads_(checker_threads) {}
+  /// in-order absorber, coalescing `checker.batch` sealed segments per
+  /// handoff ticket (sim/segment_pipeline.h). Results are byte-identical
+  /// at any thread count × batch size; a bare thread count converts
+  /// implicitly (batch = auto).
+  explicit CheckedSystem(const SystemConfig& config, CheckerExec checker = {})
+      : config_(config), checker_(checker) {}
 
   /// Simulates `program` until HALT/FAULT/trap or `max_instructions`.
   /// `faults` may be null (fault-free run). The program memory is mutated
@@ -138,11 +139,12 @@ class CheckedSystem {
                 core::UndoLog* undo_log = nullptr);
 
   const SystemConfig& config() const { return config_; }
-  unsigned checker_threads() const { return checker_threads_; }
+  unsigned checker_threads() const { return checker_.threads; }
+  const CheckerExec& checker_exec() const { return checker_; }
 
  private:
   SystemConfig config_;
-  unsigned checker_threads_ = 0;
+  CheckerExec checker_;
 };
 
 /// What the simulated machine is, reduced to the three shapes every driver
@@ -169,9 +171,11 @@ struct SimJob {
   std::uint64_t max_instructions = 0;
   core::FaultInjector* faults = nullptr;
   core::UndoLog* undo_log = nullptr;
-  /// Concurrent replay workers (0 = inline). Byte-identical results at
-  /// any value; see runtime::CheckerPool::bounded for the budget policy.
-  unsigned checker_threads = 0;
+  /// Concurrent replay workers + segments-per-ticket batch (0 threads =
+  /// inline). Byte-identical results at any value; see
+  /// runtime::CheckerPool::bounded for the thread budget policy. Assigning
+  /// a bare thread count works (batch stays auto).
+  CheckerExec checker;
 };
 
 /// Runs `job` against an already-loaded program (reload between runs: the
@@ -191,13 +195,13 @@ RunResult run_program(const SystemConfig& config,
                       const isa::Assembled& assembled,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults = nullptr,
-                      unsigned checker_threads = 0);
+                      CheckerExec checker = {});
 
 /// Shared-image run_program (the campaign path).
 RunResult run_program(const SystemConfig& config, const AssembledImage& image,
                       std::uint64_t max_instructions,
                       core::FaultInjector* faults = nullptr,
-                      unsigned checker_threads = 0);
+                      CheckerExec checker = {});
 
 // --- Warm-state forking (fault campaigns) --------------------------------
 

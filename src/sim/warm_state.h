@@ -127,12 +127,12 @@ struct PipelineWarm {
 /// MachineState inside is self-referential, and campaign code shares one
 /// capture across many tails anyway (std::unique_ptr<WarmState>).
 struct WarmState {
-  WarmState(const SystemConfig& cfg, unsigned threads,
+  WarmState(const SystemConfig& cfg, CheckerExec checker_src,
             const MachineState& machine_src, const core::LoadStoreLog& log_src,
             const core::LoadForwardingUnit& lfu_src,
             const core::CheckpointUnit& checkpoint_unit_src)
       : config(cfg),
-        checker_threads(threads),
+        checker(checker_src),
         machine(machine_src),
         log(log_src),
         lfu(lfu_src),
@@ -153,7 +153,10 @@ struct WarmState {
 
   /// The job shape the capture ran under (config is post-apply_mode).
   SystemConfig config;
-  unsigned checker_threads = 0;
+  /// Checker-replay execution shape (threads + ticket batch) the capture
+  /// ran under; resumed tails inherit it. Host-side only — forking into a
+  /// different shape stays byte-identical, this just preserves intent.
+  CheckerExec checker;
   std::uint64_t max_instructions = 0;
 
   // Functional state. Both memories are CoW-frozen: resumed runs fork

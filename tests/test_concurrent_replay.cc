@@ -202,7 +202,7 @@ TEST(SimJob, CheckedModeMatchesLegacyWrapper) {
   job.config = SystemConfig::standard();
   job.mode = sim::SimMode::kChecked;
   job.max_instructions = 50000;
-  job.checker_threads = 2;
+  job.checker = 2;
   const auto via_job = sim::run_job(job, assembled);
   const auto via_wrapper =
       sim::run_program(SystemConfig::standard(), assembled, 50000);

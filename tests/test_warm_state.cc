@@ -70,7 +70,7 @@ SimJob checked_job(unsigned checker_threads) {
   job.config = SystemConfig::standard();
   job.mode = SimMode::kChecked;
   job.max_instructions = kBudget;
-  job.checker_threads = checker_threads;
+  job.checker = checker_threads;
   return job;
 }
 
